@@ -1,0 +1,75 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace xflbench {
+
+std::string cache_dir() {
+  if (const char* env = std::getenv("XFL_CACHE_DIR")) return env;
+  return "/tmp/xfl_bench_cache";
+}
+
+xfl::sim::Scenario production_scenario() {
+  return xfl::sim::make_production({});
+}
+
+xfl::logs::LogStore cached_production_log(const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path dir = cache_dir();
+  const fs::path path = dir / ("production_log_" + tag + ".csv");
+  if (fs::exists(path)) {
+    std::ifstream in(path);
+    if (in) {
+      auto log = xfl::logs::LogStore::read_csv(in);
+      if (!log.empty()) {
+        std::printf("[cache] loaded %zu transfers from %s\n", log.size(),
+                    path.c_str());
+        return log;
+      }
+    }
+  }
+  std::printf("[cache] simulating production workload (one-time, cached to %s)...\n",
+              path.c_str());
+  std::fflush(stdout);
+  const auto scenario = production_scenario();
+  auto result = scenario.run();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    std::ofstream out(path);
+    if (out) result.log.write_csv(out);
+  }
+  std::printf("[cache] simulated %zu transfers\n", result.log.size());
+  return std::move(result.log);
+}
+
+xfl::core::AnalysisContext production_context(const std::string& tag) {
+  return xfl::core::analyze_log(cached_production_log(tag));
+}
+
+std::vector<xfl::logs::EdgeKey> heavy_edges(
+    const xfl::core::AnalysisContext& context) {
+  return xfl::core::select_heavy_edges(context, 300, 0.5, 30);
+}
+
+void print_banner(const std::string& experiment,
+                  const std::string& paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+void print_comparison(const std::string& text) {
+  std::printf("\n[paper-vs-measured] %s\n\n", text.c_str());
+}
+
+std::string endpoint_name(const xfl::sim::Scenario& scenario,
+                          xfl::endpoint::EndpointId id) {
+  return scenario.endpoints[id].name;
+}
+
+}  // namespace xflbench

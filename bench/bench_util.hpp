@@ -1,0 +1,46 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every table/figure binary prints (a) the regenerated rows/series and
+// (b) a "paper vs measured" note, so `for b in build/bench/*; do $b; done`
+// reproduces the whole evaluation section. The 12-day production
+// simulation is cached on disk (CSV transfer log) so that only the first
+// binary that needs it pays the simulation cost.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "sim/scenario.hpp"
+
+namespace xflbench {
+
+/// Directory used for cross-binary caching (override with XFL_CACHE_DIR).
+std::string cache_dir();
+
+/// The production scenario used by §4-§5 benches (fixed seed).
+xfl::sim::Scenario production_scenario();
+
+/// Simulated production log, loaded from cache or simulated then cached.
+/// `tag` isolates caches of scenario variants.
+xfl::logs::LogStore cached_production_log(const std::string& tag = "default");
+
+/// Full analysis context (log + contention + capabilities) for the cached
+/// production log.
+xfl::core::AnalysisContext production_context(const std::string& tag = "default");
+
+/// The paper's 30 heavy edges as realised in the simulation: edges with at
+/// least 300 transfers above 0.5 Rmax, heaviest first, at most 30.
+std::vector<xfl::logs::EdgeKey> heavy_edges(
+    const xfl::core::AnalysisContext& context);
+
+/// Pretty banner printed at the top of each harness.
+void print_banner(const std::string& experiment, const std::string& paper_claim);
+
+/// Closing paper-vs-measured note.
+void print_comparison(const std::string& text);
+
+/// Name an endpoint for display.
+std::string endpoint_name(const xfl::sim::Scenario& scenario,
+                          xfl::endpoint::EndpointId id);
+
+}  // namespace xflbench

@@ -1,0 +1,86 @@
+// Fig. 3: transfer rate vs relative external load for four ESnet testbed
+// edges. The paper's finding: on the clean testbed the achieved rate
+// declines with the external Globus load, and the maximum-rate transfer
+// sits at (or very near) zero external load.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "features/contention.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 3 - Transfer rate vs relative external load (ESnet testbed)",
+      "rate declines with external load; max-rate transfer at load ~ 0");
+
+  sim::EsnetConfig config;
+  config.transfers = 5000;
+  config.duration_s = 5.0 * 86400.0;
+  const auto scenario = sim::make_esnet_testbed(config);
+  const auto result = scenario.run();
+  const auto contention = features::compute_contention(result.log);
+
+  // The four panels of Fig. 3.
+  struct Panel {
+    endpoint::EndpointId src, dst;
+    const char* label;
+  };
+  // kEsnetSites order: ANL BNL CERN LBL.
+  const Panel panels[] = {{0, 1, "ANL to BNL"},
+                          {2, 1, "CERN to BNL"},
+                          {1, 3, "BNL to LBL"},
+                          {2, 0, "CERN to ANL"}};
+
+  for (const auto& panel : panels) {
+    // Bin transfers by relative external load and print the mean rate per
+    // bin (the figure is a scatter; binned means convey the trend).
+    constexpr int kBins = 10;
+    std::vector<std::vector<double>> bins(kBins);
+    double best_rate = 0.0;
+    double load_at_best = 0.0;
+    for (std::size_t i = 0; i < result.log.size(); ++i) {
+      const auto& record = result.log[i];
+      if (record.src != panel.src || record.dst != panel.dst) continue;
+      const double load =
+          features::relative_external_load(record, contention[i]);
+      const double rate = record.rate_Bps();
+      const int bin = std::min(kBins - 1, static_cast<int>(load * kBins));
+      bins[static_cast<std::size_t>(bin)].push_back(to_mbps(rate));
+      if (rate > best_rate) {
+        best_rate = rate;
+        load_at_best = load;
+      }
+    }
+    TextTable table;
+    table.set_title(std::string("\n") + panel.label);
+    table.set_header({"load bin", "n", "mean rate (MB/s)", "p90 (MB/s)"});
+    for (int b = 0; b < kBins; ++b) {
+      const auto& bin = bins[static_cast<std::size_t>(b)];
+      char range[32];
+      std::snprintf(range, sizeof range, "%.1f-%.1f", b / 10.0, (b + 1) / 10.0);
+      if (bin.empty()) {
+        table.add_row({range, "0", "-", "-"});
+      } else {
+        table.add_row({range, std::to_string(bin.size()),
+                       TextTable::num(mean(bin), 1),
+                       TextTable::num(percentile(bin, 90.0), 1)});
+      }
+    }
+    table.print(stdout);
+    std::printf("max-rate transfer: %.1f MB/s at relative load %.3f\n",
+                to_mbps(best_rate), load_at_best);
+  }
+
+  xflbench::print_comparison(
+      "Paper Fig. 3: on all four testbed edges the rate falls roughly "
+      "monotonically as relative external load grows from 0 to ~1, and the "
+      "starred maximum-rate transfer sits at load ~= 0. The binned means "
+      "above should decline from the first to the last populated bin, and "
+      "each panel's max-rate transfer should report a near-zero load.");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Fig. 4: aggregate incoming transfer rate vs total concurrency
+// (instantaneous number of GridFTP server instances) at four endpoints,
+// with a Weibull curve fitted. The paper's finding: "aggregate transfer
+// throughput first increases but eventually declines as total concurrency
+// across all transfers increases".
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "ml/weibull.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 4 - Aggregate incoming rate vs total concurrency (Weibull fit)",
+      "throughput rises with concurrency, peaks, then declines (Weibull shape)");
+
+  // Shorter, much denser production slice with endpoint sampling enabled:
+  // Fig. 4's panels are heavily loaded endpoints sweeping concurrency well
+  // past the throughput peak, so this stress scenario raises the arrival
+  // rate and relaxes the per-endpoint admission cap (the cap would
+  // otherwise hold endpoints below the declining regime).
+  sim::ProductionConfig config;
+  config.duration_s = 1.5 * 86400.0;
+  config.session_arrivals_per_s = 0.06;
+  auto scenario = sim::make_production(config);
+  scenario.sim_config.max_active_per_endpoint = 96;
+  // Sample the four panel endpoints (paper: NERSC-DTN, Colorado, JLAB, UCAR).
+  const char* panel_names[] = {"NERSC-dtn", "Colorado-dtn", "JLAB-dtn",
+                               "UCAR-dtn"};
+  for (const char* name : panel_names) {
+    endpoint::EndpointId id = 0;
+    if (scenario.endpoints.find(name, id))
+      scenario.monitored_endpoints.push_back(id);
+  }
+  scenario.sample_interval_s = 60.0;
+  const auto result = scenario.run();
+
+  for (const char* name : panel_names) {
+    endpoint::EndpointId id = 0;
+    if (!scenario.endpoints.find(name, id)) continue;
+    const auto it = result.samples.find(id);
+    if (it == result.samples.end() || it->second.size() < 10) continue;
+
+    // Aggregate samples by instantaneous concurrency.
+    std::map<int, std::vector<double>> by_concurrency;
+    for (const auto& sample : it->second) {
+      const int instances = static_cast<int>(sample.gridftp_instances);
+      if (instances == 0) continue;
+      by_concurrency[instances].push_back(to_mbps(sample.in_Bps));
+    }
+    std::vector<double> x, y;
+    TextTable table;
+    table.set_title(std::string("\n") + name);
+    table.set_header({"instances", "samples", "mean in-rate (MB/s)"});
+    for (const auto& [instances, rates] : by_concurrency) {
+      const double mean_rate = mean(rates);
+      x.push_back(static_cast<double>(instances));
+      y.push_back(mean_rate);
+      if (instances <= 40 || instances % 8 == 0)
+        table.add_row({std::to_string(instances),
+                       std::to_string(rates.size()),
+                       TextTable::num(mean_rate, 1)});
+    }
+    table.print(stdout);
+    if (x.size() >= 5) {
+      const auto curve = ml::fit_weibull_curve(x, y);
+      std::printf(
+          "Weibull fit: amplitude=%.3g shape=%.2f scale=%.1f -> peak at "
+          "%.1f instances\n",
+          curve.amplitude, curve.shape, curve.scale, curve.mode());
+    }
+  }
+
+  xflbench::print_comparison(
+      "Paper Fig. 4: each endpoint's aggregate incoming rate vs total "
+      "concurrency follows a rise-then-fall Weibull-like curve. The fitted "
+      "shape parameter should exceed 1 (an interior peak), with mean rates "
+      "above declining beyond the fitted mode.");
+  return 0;
+}

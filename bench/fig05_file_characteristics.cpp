@@ -1,0 +1,103 @@
+// Fig. 5: file characteristics vs transfer performance on one heavy edge
+// (JLAB to NERSC in the paper). Transfers are grouped into total-size
+// buckets; within each bucket, transfers are split at the median average
+// file size into "small files" and "big files" subgroups. Findings:
+// bigger transfers achieve higher rates, and within a bucket the big-file
+// subgroup beats the small-file subgroup.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 5 - File characteristics vs transfer performance",
+      "bigger total size -> higher rate; within a size bucket, bigger files -> higher rate");
+
+  const auto context = xflbench::production_context();
+  const auto scenario = xflbench::production_scenario();
+
+  // The JLAB->NERSC analogue: our heaviest edge.
+  const auto edges = xflbench::heavy_edges(context);
+  if (edges.empty()) {
+    std::printf("no heavy edges - scenario misconfigured\n");
+    return 1;
+  }
+  const auto edge = edges.front();
+  std::printf("edge under study: %s -> %s\n",
+              xflbench::endpoint_name(scenario, edge.src).c_str(),
+              xflbench::endpoint_name(scenario, edge.dst).c_str());
+
+  struct Sample {
+    double bytes;
+    double mean_file;
+    double rate_mbps;
+  };
+  std::vector<Sample> samples;
+  for (const auto i : context.log.edge_transfers(edge)) {
+    const auto& record = context.log[i];
+    samples.push_back({record.bytes,
+                       record.bytes / static_cast<double>(record.files),
+                       to_mbps(record.rate_Bps())});
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.bytes < b.bytes; });
+
+  // 20 equal-count total-size buckets (paper: "group transfers by total
+  // size to form 20 groups").
+  constexpr std::size_t kBuckets = 20;
+  TextTable table;
+  table.set_header({"bucket median size", "n", "small-file rate (MB/s)",
+                    "big-file rate (MB/s)", "big wins"});
+  std::size_t big_wins = 0, buckets_used = 0;
+  std::vector<double> bucket_mean_rate;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::size_t begin = b * samples.size() / kBuckets;
+    const std::size_t end = (b + 1) * samples.size() / kBuckets;
+    if (end - begin < 6) continue;
+    std::vector<Sample> bucket(samples.begin() + begin, samples.begin() + end);
+    // Split at the median average file size within the bucket.
+    std::vector<double> file_sizes;
+    for (const auto& sample : bucket) file_sizes.push_back(sample.mean_file);
+    const double median_file = median(file_sizes);
+    std::vector<double> small_rates, big_rates, all_rates;
+    for (const auto& sample : bucket) {
+      all_rates.push_back(sample.rate_mbps);
+      (sample.mean_file <= median_file ? small_rates : big_rates)
+          .push_back(sample.rate_mbps);
+    }
+    if (small_rates.empty() || big_rates.empty()) continue;
+    const double small_mean = mean(small_rates);
+    const double big_mean = mean(big_rates);
+    const double median_bytes = bucket[bucket.size() / 2].bytes;
+    ++buckets_used;
+    if (big_mean > small_mean) ++big_wins;
+    bucket_mean_rate.push_back(mean(all_rates));
+    table.add_row({format_bytes(median_bytes), std::to_string(bucket.size()),
+                   TextTable::num(small_mean, 1), TextTable::num(big_mean, 1),
+                   big_mean > small_mean ? "yes" : "no"});
+  }
+  table.print(stdout);
+
+  // Trend across buckets: later (bigger) buckets should be faster.
+  std::size_t rising = 0;
+  for (std::size_t i = 1; i < bucket_mean_rate.size(); ++i)
+    if (bucket_mean_rate[i] > bucket_mean_rate[i - 1]) ++rising;
+  std::printf(
+      "\nbig-file subgroup wins in %zu of %zu buckets; bucket-to-bucket "
+      "rate increases %zu of %zu times\n",
+      big_wins, buckets_used, rising, bucket_mean_rate.size() - 1);
+
+  xflbench::print_comparison(
+      "Paper Fig. 5: rates grow with total transfer size, and the "
+      "big-file subgroup beats the small-file subgroup in almost every "
+      "bucket (with occasional inversions when the subgroup file sizes are "
+      "similar). Expect 'big wins' in a clear majority of buckets and an "
+      "overall rising rate trend across buckets.");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 6: transfer size vs estimated transfer distance (great-circle km),
+// colour-encoding the transfer rate. Findings: sizes span many decades,
+// rate correlates with transfer size, and intracontinental vs
+// intercontinental transfers separate cleanly in distance.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 6 - Transfer size vs distance, colour = rate",
+      "sizes span ~1 B..1 PB; rate correlates with size; intra/intercontinental split");
+
+  const auto context = xflbench::production_context();
+  const auto scenario = xflbench::production_scenario();
+
+  // 2-D histogram: log10(size) x distance band, cell = mean rate.
+  const double size_decades[] = {0, 6, 8, 9, 10, 11, 12, 15};  // log-ish edges
+  const double distance_bands_km[] = {0, 500, 1500, 3000, 5000, 12000};
+  constexpr std::size_t kSizeBins = std::size(size_decades) - 1;
+  constexpr std::size_t kDistanceBins = std::size(distance_bands_km) - 1;
+
+  std::vector<std::vector<std::vector<double>>> cells(
+      kSizeBins, std::vector<std::vector<double>>(kDistanceBins));
+  double min_bytes = 1e30, max_bytes = 0.0;
+  std::vector<double> log_sizes, rates;
+  for (const auto& record : context.log.records()) {
+    const double km = scenario.sites.distance_km(
+        scenario.endpoints[record.src].site, scenario.endpoints[record.dst].site);
+    min_bytes = std::min(min_bytes, record.bytes);
+    max_bytes = std::max(max_bytes, record.bytes);
+    std::size_t size_bin = 0;
+    while (size_bin + 1 < kSizeBins &&
+           record.bytes >= std::pow(10.0, size_decades[size_bin + 1]))
+      ++size_bin;
+    std::size_t distance_bin = 0;
+    while (distance_bin + 1 < kDistanceBins &&
+           km >= distance_bands_km[distance_bin + 1])
+      ++distance_bin;
+    cells[size_bin][distance_bin].push_back(to_mbps(record.rate_Bps()));
+    log_sizes.push_back(std::log10(std::max(1.0, record.bytes)));
+    rates.push_back(std::log10(std::max(1e-3, to_mbps(record.rate_Bps()))));
+  }
+
+  TextTable table;
+  std::vector<std::string> header = {"size \\ km"};
+  for (std::size_t d = 0; d < kDistanceBins; ++d) {
+    char label[48];
+    std::snprintf(label, sizeof label, "%.0f-%.0f", distance_bands_km[d],
+                  distance_bands_km[d + 1]);
+    header.emplace_back(label);
+  }
+  table.set_header(header);
+  for (std::size_t s = 0; s < kSizeBins; ++s) {
+    char label[48];
+    std::snprintf(label, sizeof label, "1e%.0f-1e%.0f B", size_decades[s],
+                  size_decades[s + 1]);
+    std::vector<std::string> row = {label};
+    for (std::size_t d = 0; d < kDistanceBins; ++d) {
+      const auto& cell = cells[s][d];
+      row.push_back(cell.empty()
+                        ? "-"
+                        : TextTable::num(mean(cell), 1) + " (" +
+                              std::to_string(cell.size()) + ")");
+    }
+    table.add_row(row);
+  }
+  std::printf("cell = mean rate MB/s (count)\n\n");
+  table.print(stdout);
+
+  std::printf("\nobserved size span: %s .. %s\n", format_bytes(min_bytes).c_str(),
+              format_bytes(max_bytes).c_str());
+  std::printf("corr(log10 size, log10 rate) = %.3f\n",
+              pearson(log_sizes, rates));
+
+  xflbench::print_comparison(
+      "Paper Fig. 6: transfer sizes span ~1 B to ~1 PB with rates from "
+      "0.1 B/s to ~1 GB/s; rate visibly correlates with transfer size "
+      "(bigger -> faster cells toward the bottom of each column), and "
+      "intercontinental transfers (>5,000 km) form a separate band. Expect "
+      "a clearly positive size-rate correlation and populated cells in "
+      "both the <3,000 km and >5,000 km bands.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Fig. 8: transfer rate vs relative external load for four production
+// edges (TACC->ALCF, TACC->NERSC-Edison, SDSC->TACC, NERSC-DTN->JLAB in
+// the paper). Unlike the clean testbed (Fig. 3), the relationship is
+// muddied by *unknown* (non-Globus) load: high rates occur at nonzero
+// known load and vice versa, and the maximum-rate transfer usually does
+// NOT sit at zero known load.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 8 - Rate vs relative external load (production, unknown load present)",
+      "relationship is noisy; max-rate transfer often at nonzero known load");
+
+  const auto context = xflbench::production_context();
+  const auto scenario = xflbench::production_scenario();
+  auto edges = xflbench::heavy_edges(context);
+  if (edges.size() > 4) edges.resize(4);
+
+  int max_at_nonzero_load = 0;
+  for (const auto& edge : edges) {
+    constexpr int kBins = 10;
+    std::vector<std::vector<double>> bins(kBins);
+    double best_rate = 0.0, load_at_best = 0.0;
+    for (const auto i : context.log.edge_transfers(edge)) {
+      const auto& record = context.log[i];
+      const double load =
+          features::relative_external_load(record, context.contention[i]);
+      const double rate = record.rate_Bps();
+      bins[static_cast<std::size_t>(
+              std::min(kBins - 1, static_cast<int>(load * kBins)))]
+          .push_back(to_mbps(rate));
+      if (rate > best_rate) {
+        best_rate = rate;
+        load_at_best = load;
+      }
+    }
+    TextTable table;
+    table.set_title("\n" + xflbench::endpoint_name(scenario, edge.src) +
+                    " -> " + xflbench::endpoint_name(scenario, edge.dst));
+    table.set_header({"load bin", "n", "mean rate (MB/s)", "max (MB/s)"});
+    for (int b = 0; b < kBins; ++b) {
+      const auto& bin = bins[static_cast<std::size_t>(b)];
+      char range[32];
+      std::snprintf(range, sizeof range, "%.1f-%.1f", b / 10.0, (b + 1) / 10.0);
+      if (bin.empty()) {
+        table.add_row({range, "0", "-", "-"});
+      } else {
+        table.add_row({range, std::to_string(bin.size()),
+                       TextTable::num(mean(bin), 1),
+                       TextTable::num(max_value(bin), 1)});
+      }
+    }
+    table.print(stdout);
+    std::printf("max-rate transfer: %.1f MB/s at relative load %.3f\n",
+                to_mbps(best_rate), load_at_best);
+    if (load_at_best > 0.02) ++max_at_nonzero_load;
+  }
+
+  std::printf("\nedges whose max-rate transfer has load > 0.02: %d of %zu\n",
+              max_at_nonzero_load, edges.size());
+  xflbench::print_comparison(
+      "Paper Fig. 8: on three of the four production edges the "
+      "maximum-rate transfer occurs at a visibly nonzero known load - "
+      "evidence of unknown (non-Globus) competition. Expect at least one "
+      "edge above with its maximum away from load 0, and noisier bin "
+      "means than the Fig. 3 testbed.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 12: relative feature importance in the per-edge gradient-boosting
+// models (gain-based). The paper's observations: the importance pattern
+// broadly matches the linear coefficients (Fig. 9) for load features, but
+// the fault count Nflt - significant in the linear model - becomes far
+// less important in the nonlinear model, because faults correlate with a
+// nonlinear function of load the trees can already express.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/edge_model.hpp"
+#include "features/dataset.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 12 - XGB feature importance per edge",
+      "load features important in both models; Nflt matters less than in LR");
+
+  const auto context = xflbench::production_context();
+  const auto edges = xflbench::heavy_edges(context);
+  ThreadPool pool;
+  const auto reports = core::study_edges(context, edges, {}, &pool);
+  if (reports.empty()) return 1;
+
+  TextTable table;
+  std::vector<std::string> header = {"edge"};
+  for (const auto& name : reports.front().feature_names) header.push_back(name);
+  table.set_header(header);
+  for (std::size_t e = 0; e < reports.size(); ++e) {
+    const auto& report = reports[e];
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (std::size_t c = 0; c < report.feature_names.size(); ++c)
+      row.push_back(report.eliminated[c]
+                        ? "x"
+                        : TextTable::num(report.xgb_importance[c], 2));
+    table.add_row(row);
+  }
+  table.print(stdout);
+
+  // The Nflt comparison: linear weight vs boosting importance, averaged
+  // over edges where Nflt survived the variance filter.
+  const auto nflt =
+      static_cast<std::size_t>(features::FeatureId::kNflt);
+  std::vector<double> lr_weight, xgb_weight;
+  for (const auto& report : reports) {
+    if (report.eliminated[nflt]) continue;
+    lr_weight.push_back(report.lr_coefficients[nflt]);
+    xgb_weight.push_back(report.xgb_importance[nflt]);
+  }
+  if (!lr_weight.empty()) {
+    std::printf(
+        "\nNflt mean relative weight: linear %.3f vs boosting %.3f "
+        "(over %zu edges where Nflt varies)\n",
+        mean(lr_weight), mean(xgb_weight), lr_weight.size());
+  } else {
+    std::printf("\nNflt constant on all edges in this run\n");
+  }
+
+  xflbench::print_comparison(
+      "Paper Fig. 12 vs Fig. 9: most features keep similar importance "
+      "across the two model families (Ksout, Ssout, Nb important in "
+      "both), but Nflt is 'far less important' in the nonlinear model. "
+      "Expect the boosting Nflt weight above to be below the linear one.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 13 / §5.5.1: prediction error vs the unknown-load threshold T. For
+// the eight edges that keep >= 300 transfers at 0.8 Rmax, models are
+// retrained at T in {0.5, 0.6, 0.7, 0.8}. The paper: "prediction errors
+// generally decline as the threshold increases" - transfers closer to the
+// edge maximum are less likely to carry unobserved competing load.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/threshold_study.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Fig. 13 - MdAPE vs load threshold T*Rmax (8 heaviest qualifying edges)",
+      "error declines as T rises from 0.5 to 0.8");
+
+  const auto context = xflbench::production_context();
+  core::ThresholdStudyConfig config;
+  // Thin simulated edges qualify with fewer 0.8-threshold transfers than
+  // the paper's production log; keep the paper's 8-edge panel count.
+  config.min_transfers_at_max = 150;
+  config.max_edges = 8;
+  ThreadPool pool;
+  const auto series = core::run_threshold_study(context, config, &pool);
+  if (series.empty()) {
+    std::printf("no edges qualify at the 0.8 threshold - increase workload\n");
+    return 1;
+  }
+
+  TextTable table;
+  table.set_header({"edge", "metric", "T=0.5", "T=0.6", "T=0.7", "T=0.8"});
+  std::size_t improving = 0;
+  for (std::size_t e = 0; e < series.size(); ++e) {
+    const auto& entry = series[e];
+    std::vector<std::string> samples_row = {std::to_string(e + 1), "samples"};
+    std::vector<std::string> lr_row = {"", "LR MdAPE %"};
+    std::vector<std::string> xgb_row = {"", "XGB MdAPE %"};
+    for (std::size_t t = 0; t < entry.samples.size(); ++t) {
+      samples_row.push_back(std::to_string(entry.samples[t]));
+      lr_row.push_back(TextTable::num(entry.lr_mdape[t], 1));
+      xgb_row.push_back(TextTable::num(entry.xgb_mdape[t], 1));
+    }
+    table.add_row(samples_row);
+    table.add_row(lr_row);
+    table.add_row(xgb_row);
+    if (entry.xgb_mdape.back() <= entry.xgb_mdape.front()) ++improving;
+  }
+  table.print(stdout);
+  std::printf(
+      "\nedges where XGB MdAPE at T=0.8 <= MdAPE at T=0.5: %zu of %zu\n",
+      improving, series.size());
+
+  xflbench::print_comparison(
+      "Paper Fig. 13: for all eight edges the MdAPE generally declines as "
+      "the threshold grows (fewer unknown-load-contaminated samples), with "
+      "shrinking sample counts shown above each group. Expect the T=0.8 "
+      "error to be at or below the T=0.5 error for most edges.");
+  return 0;
+}

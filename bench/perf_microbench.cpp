@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks for the performance-critical substrate:
+// the max-min flow solver (hot path of every simulation event), the
+// contention sweep (feature engineering over the full log), gradient
+// boosting training, and MIC estimation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "features/contention.hpp"
+#include "logs/log_store.hpp"
+#include "ml/gbt.hpp"
+#include "ml/mic.hpp"
+#include "sim/resources.hpp"
+
+namespace {
+
+using namespace xfl;
+
+void BM_MaxMinAllocate(benchmark::State& state) {
+  const auto flow_count = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  sim::ResourcePool pool;
+  for (int r = 0; r < 64; ++r)
+    pool.add("r" + std::to_string(r), rng.uniform(1e8, 2e9));
+  std::vector<sim::FlowSpec> flows(flow_count);
+  for (auto& flow : flows) {
+    for (int u = 0; u < 6; ++u)
+      flow.usage.push_back({static_cast<sim::ResourceId>(rng.uniform_int(0, 63)),
+                            rng.uniform(1.0, 16.0), 1.0});
+    flow.cap_Bps = rng.uniform(1e7, 2e9);
+  }
+  for (auto _ : state) {
+    auto rates = sim::maxmin_allocate(pool, flows);
+    benchmark::DoNotOptimize(rates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(flow_count));
+}
+BENCHMARK(BM_MaxMinAllocate)->Arg(16)->Arg(64)->Arg(256);
+
+logs::LogStore synthetic_log(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  logs::LogStore log;
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::TransferRecord r;
+    r.id = i + 1;
+    r.src = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 19));
+    r.dst = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 19));
+    if (r.dst == r.src) r.dst = (r.src + 1) % 20;
+    r.start_s = rng.uniform(0.0, 1.0e6);
+    r.end_s = r.start_s + rng.uniform(10.0, 2000.0);
+    r.bytes = rng.lognormal(23.0, 2.0);
+    r.files = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, 500));
+    r.dirs = 1;
+    r.concurrency = 4;
+    r.parallelism = 4;
+    log.append(r);
+  }
+  return log;
+}
+
+void BM_ContentionSweep(benchmark::State& state) {
+  const auto log = synthetic_log(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto features = features::compute_contention(log);
+    benchmark::DoNotOptimize(features);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContentionSweep)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_GbtTrain(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  ml::Matrix x(rows, 15);
+  std::vector<double> y(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t c = 0; c < 15; ++c) x.at(i, c) = rng.normal();
+    y[i] = x.at(i, 0) * x.at(i, 0) + 2.0 * x.at(i, 5) + rng.normal(0.0, 0.1);
+  }
+  ml::GbtConfig config;
+  config.trees = 100;
+  for (auto _ : state) {
+    ml::GradientBoostedTrees model(config);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GbtTrain)->Arg(500)->Arg(2000);
+
+void BM_GbtPredict(benchmark::State& state) {
+  Rng rng(4);
+  ml::Matrix x(2000, 15);
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    for (std::size_t c = 0; c < 15; ++c) x.at(i, c) = rng.normal();
+    y[i] = x.at(i, 2) + rng.normal(0.0, 0.1);
+  }
+  ml::GradientBoostedTrees model;
+  model.fit(x, y);
+  std::size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(x.row(row)));
+    row = (row + 1) % 2000;
+  }
+}
+BENCHMARK(BM_GbtPredict);
+
+void BM_Mic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform();
+    y[i] = x[i] * x[i] + rng.normal(0.0, 0.1);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(ml::mic(x, y));
+}
+BENCHMARK(BM_Mic)->Arg(250)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// §3.2: validating Eq. 1 on production edges. DRmax/DWmax are estimated
+// from history (max observed rate as source / destination); MMmax comes
+// from perfSONAR-style memory-to-memory probes. The paper's funnel over 77
+// usable edges: 38 consistent immediately, +7 after accounting for known
+// Globus load, of the 45 consistent edges 11 were read-limited, 14
+// network-limited, 20 write-limited; the remaining 32 sat well below the
+// bound (unknown competing load).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/analytical.hpp"
+#include "core/bound_survey.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Sec. 3.2 - Eq. 1 validation on production edges",
+      "most probed edges consistent with min(DR, MM, DW); mixed bottleneck types");
+
+  const auto context = xflbench::production_context();
+  const auto scenario = xflbench::production_scenario();
+
+  // The paper's funnel probes every site pair with enough history (not
+  // just the 30 heavy edges): lightly used edges rarely contain a
+  // transfer that hit the subsystem bound, so a "below" population
+  // emerges.
+  core::BoundSurveyConfig survey_config;
+  survey_config.min_transfers = 40;
+  survey_config.max_edges = 100;
+  const auto reports = core::survey_bounds(
+      context, scenario.sites, scenario.endpoints, scenario.sim_config,
+      survey_config);
+  const auto summary = core::summarize_survey(reports);
+
+  TextTable table;
+  table.set_header({"edge", "observed max", "DRmax(hist)", "MMmax(probe)",
+                    "DWmax(hist)", "ratio", "verdict", "bottleneck"});
+  for (const auto& report : reports) {
+    table.add_row({xflbench::endpoint_name(scenario, report.edge.src) + "->" +
+                       xflbench::endpoint_name(scenario, report.edge.dst),
+                   TextTable::num(to_mbps(report.observed_max_Bps), 0) + " MB/s",
+                   TextTable::num(to_mbps(report.estimate.dr_max_Bps), 0),
+                   TextTable::num(to_mbps(report.estimate.mm_max_Bps), 0),
+                   TextTable::num(to_mbps(report.estimate.dw_max_Bps), 0),
+                   TextTable::num(report.validation.ratio, 2),
+                   report.validation.consistent
+                       ? "consistent"
+                       : (report.validation.exceeds ? "exceeds" : "below"),
+                   core::to_string(report.validation.bottleneck)});
+  }
+  table.print(stdout);
+
+  std::printf(
+      "\nfunnel: %zu probed edges -> %zu consistent with Eq. 1 "
+      "(read-limited %zu, network %zu, write %zu), %zu below, %zu exceed\n",
+      reports.size(), summary.consistent, summary.read_limited,
+      summary.network_limited, summary.write_limited, summary.below,
+      summary.exceeds);
+
+  xflbench::print_comparison(
+      "Paper Sec. 3.2: of 77 probed edges, 45 were consistent with Eq. 1 "
+      "(11 disk-read-, 14 network-, 20 disk-write-limited) and 32 fell "
+      "well below the bound due to unknown competing load. Expect a "
+      "majority-consistent split dominated by the disk classes and a "
+      "small 'below' group on chronically loaded paths (e.g. CERN->FNAL). "
+      "The 'below' class is rarer here than in the paper: most simulated "
+      "endpoints host few edges, so their historical DR/DW estimates come "
+      "from the probed edge itself and fold chronic unknown load into the "
+      "bound; the paper's endpoints had hundreds of decorrelated edges.");
+  return 0;
+}

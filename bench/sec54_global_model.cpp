@@ -1,0 +1,70 @@
+// §5.4: a single model for all edges. The pooled dataset over the 30
+// heavy edges gains two endpoint-capability features - ROmax(src) and
+// RImax(dst), reconstructed from history plus known competing load
+// (Eq. 5). Paper: pooled LR MdAPE 19%, pooled XGB 4.9% (the abstract
+// quotes 7.8% for the all-edges nonlinear setting); both far worse for
+// LR than per-edge models, while XGB stays close to per-edge accuracy.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "core/edge_model.hpp"
+#include "core/global_model.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Sec. 5.4 - One model for all edges (Eq. 5 capability features)",
+      "pooled LR ~19% MdAPE; pooled XGB ~4.9-7.8%; capability features carry signal");
+
+  const auto context = xflbench::production_context();
+  const auto edges = xflbench::heavy_edges(context);
+  std::printf("pooling %zu heavy edges\n\n", edges.size());
+
+  // Per-edge baseline (for the "pooled LR much worse" comparison).
+  ThreadPool pool;
+  const auto per_edge = core::study_edges(context, edges, {}, &pool);
+  std::vector<double> lr_per_edge, xgb_per_edge;
+  for (const auto& report : per_edge) {
+    lr_per_edge.push_back(report.lr_mdape);
+    xgb_per_edge.push_back(report.xgb_mdape);
+  }
+
+  const auto with_caps = core::study_global_model(context, edges, {});
+  core::GlobalModelConfig no_caps_config;
+  no_caps_config.without_capability_features = true;
+  const auto no_caps = core::study_global_model(context, edges, no_caps_config);
+
+  TextTable table;
+  table.set_header({"model", "samples", "LR MdAPE %", "XGB MdAPE %"});
+  table.add_row({"per-edge (median of 30)", "-",
+                 TextTable::num(median(lr_per_edge), 1),
+                 TextTable::num(median(xgb_per_edge), 1)});
+  table.add_row({"global with ROmax/RImax", std::to_string(with_caps.samples),
+                 TextTable::num(with_caps.lr_mdape, 1),
+                 TextTable::num(with_caps.xgb_mdape, 1)});
+  table.add_row({"global without capabilities", std::to_string(no_caps.samples),
+                 TextTable::num(no_caps.lr_mdape, 1),
+                 TextTable::num(no_caps.xgb_mdape, 1)});
+  table.print(stdout);
+
+  std::printf("\nglobal XGB top importances:\n");
+  for (std::size_t c = 0;
+       c < with_caps.feature_names.size() && c < with_caps.xgb_importance.size();
+       ++c) {
+    if (with_caps.xgb_importance[c] >= 0.15)
+      std::printf("  %-10s %.2f\n", with_caps.feature_names[c].c_str(),
+                  with_caps.xgb_importance[c]);
+  }
+
+  xflbench::print_comparison(
+      "Paper Sec. 5.4: pooling all 30 edges costs the linear model dearly "
+      "(19% vs 7.0% per-edge) while the nonlinear model stays accurate "
+      "(4.9% vs 4.6%). Expect: global LR MdAPE >> per-edge LR median; "
+      "global XGB close to the per-edge XGB median; and the capability "
+      "features improving (or at worst matching) the capability-free "
+      "global model.");
+  return 0;
+}

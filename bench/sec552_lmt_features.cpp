@@ -1,0 +1,60 @@
+// §5.5.2: eliminating the unknowns with storage monitoring. 666 uniform
+// Lustre-to-Lustre transfers run alongside ~10 concurrent Globus load
+// transfers and unmonitored non-Globus disk load; an LMT-style monitor
+// samples OST disk I/O and OSS CPU every 5 seconds. Paper: the 15-feature
+// baseline model reaches a 95th-percentile error of 9.29%; adding the four
+// monitored storage-load features drops it to 1.26%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/lmt_model.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Sec. 5.5.2 - LMT-monitored storage load as model features",
+      "p95 error collapses (paper: 9.29% -> 1.26%) once true load is visible");
+
+  const sim::LmtConfig scenario_config;  // 666 test transfers, 5 s samples.
+  const auto scenario = sim::make_nersc_lmt(scenario_config);
+  std::printf("simulating %zu transfers (%zu controlled tests + load)...\n",
+              scenario.workload.size(), scenario_config.test_transfers);
+  const auto result = scenario.run();
+
+  core::LmtStudyConfig study;
+  study.gbt.trees = 400;
+  study.gbt.max_depth = 6;
+  study.gbt.min_child_weight = 3.0;
+  study.gbt.learning_rate = 0.05;
+  const auto report = core::run_lmt_study(result,
+                                          scenario.monitored_endpoints[0],
+                                          scenario.monitored_endpoints[1],
+                                          study);
+
+  TextTable table;
+  table.set_header({"model", "MdAPE %", "p95 APE %"});
+  table.add_row({"baseline (15 log features)",
+                 TextTable::num(report.baseline_mdape, 2),
+                 TextTable::num(report.baseline_p95, 2)});
+  table.add_row({"+ OSS CPU / OST I/O (LMT)",
+                 TextTable::num(report.augmented_mdape, 2),
+                 TextTable::num(report.augmented_p95, 2)});
+  table.print(stdout);
+  std::printf("\ntest transfers evaluated: %zu\n", report.test_transfers);
+  std::printf("p95 improvement factor: %.1fx\n",
+              report.baseline_p95 / std::max(1e-9, report.augmented_p95));
+
+  xflbench::print_comparison(
+      "Paper Sec. 5.5.2: with uniform transfer characteristics, the "
+      "baseline model's 95th-percentile error was 9.29%; adding the four "
+      "monitored storage-load features cut it to 1.26% (~7x). Expect the "
+      "same direction here: MdAPE and the p95 error both drop sharply "
+      "(~2x) once true storage load becomes visible. The paper's full 7x "
+      "needs load that is essentially constant within each transfer; the "
+      "simulator's competing slots and background processes churn faster, "
+      "leaving residual within-window dynamics no window-mean feature can "
+      "explain.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 1: experimentally determined Rmax, DWmax, DRmax and MMmax (Gb/s)
+// on the ESnet testbed, one row per directed edge, minimum in bold (here:
+// marked with '*'). The paper's finding: every row satisfies Eq. 1,
+// R <= min(DR, MM, DW); disks write slower than they read; CERN paths have
+// slightly lower MMmax.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/analytical.hpp"
+#include "sim/probe.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+  xflbench::print_banner(
+      "Table 1 - ESnet testbed subsystem maxima (Gb/s)",
+      "R is always <= min(DR, MM, DW); DW ~7.1-7.9, DR ~8.7-9.3, MM 8.8-9.5");
+
+  sim::EsnetConfig config;
+  config.transfers = 0;  // Idle testbed: probes only.
+  const auto scenario = sim::make_esnet_testbed(config);
+  sim::SimConfig sim_config = scenario.sim_config;
+  sim_config.enable_faults = false;
+
+  TextTable table;
+  table.set_header({"From", "To", "Rmax", "DWmax", "DRmax", "MMmax", "bound ok"});
+  int violations = 0;
+  for (endpoint::EndpointId src = 0; src < 4; ++src) {
+    for (endpoint::EndpointId dst = 0; dst < 4; ++dst) {
+      if (src == dst) continue;
+      const auto maxima = sim::measure_subsystem_maxima(
+          scenario.sites, scenario.endpoints, sim_config, src, dst);
+      const core::BoundEstimate estimate{maxima.dr_max, maxima.mm_max,
+                                         maxima.dw_max};
+      const bool bound_ok = maxima.r_max <= estimate.r_max_Bps() * 1.0001;
+      if (!bound_ok) ++violations;
+      // Mark the row minimum with '*' (the paper bolds it).
+      const double row_min = estimate.r_max_Bps();
+      auto cell = [row_min](double value) {
+        std::string text = TextTable::num(to_gbit(value), 3);
+        if (value == row_min) text += "*";
+        return text;
+      };
+      table.add_row({net::kEsnetSites[src], net::kEsnetSites[dst],
+                     TextTable::num(to_gbit(maxima.r_max), 3),
+                     cell(maxima.dw_max), cell(maxima.dr_max),
+                     cell(maxima.mm_max), bound_ok ? "yes" : "NO"});
+    }
+  }
+  table.print(stdout);
+  std::printf("\nEq. 1 violations: %d of 12 edges\n", violations);
+  xflbench::print_comparison(
+      "Paper Table 1: all 12 edges consistent with Eq. 1; disk write "
+      "(7.1-7.9 Gb/s) is usually the minimum, reads ~8.7-9.3 Gb/s, "
+      "memory-to-memory 8.8-9.5 Gb/s with CERN edges lowest. Measured "
+      "table above should show the same ordering and zero violations.");
+  return violations == 0 ? 0 : 1;
+}

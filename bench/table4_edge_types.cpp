@@ -1,0 +1,68 @@
+// Table 4: edge type shares (%) - GCS=>GCS, GCS=>GCP, GCP=>GCS - for all
+// edges vs the 30 heavy edges. (No GCP=>GCP: Globus did not support
+// personal-to-personal transfers before 2016.)
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace xfl;
+  using endpoint::EndpointType;
+  xflbench::print_banner(
+      "Table 4 - Edge type shares (%)",
+      "all edges 45/34/20; 30 edges 51/30/19 (GCS=>GCS / GCS=>GCP / GCP=>GCS)");
+
+  const auto context = xflbench::production_context();
+  const auto scenario = xflbench::production_scenario();
+
+  auto classify = [&](const logs::EdgeKey& edge) {
+    const auto src = scenario.endpoints[edge.src].type;
+    const auto dst = scenario.endpoints[edge.dst].type;
+    if (src == EndpointType::kServer && dst == EndpointType::kServer)
+      return 0;  // GCS=>GCS
+    if (src == EndpointType::kServer) return 1;  // GCS=>GCP
+    if (dst == EndpointType::kServer) return 2;  // GCP=>GCS
+    return 3;                                    // GCP=>GCP (should not exist)
+  };
+
+  auto shares = [&](const std::vector<logs::EdgeKey>& edges) {
+    std::map<int, int> counts;
+    for (const auto& edge : edges) counts[classify(edge)]++;
+    std::array<double, 4> out{};
+    for (const auto& [type, count] : counts)
+      out[static_cast<std::size_t>(type)] =
+          100.0 * count / static_cast<double>(edges.size());
+    return out;
+  };
+
+  const auto all_edges = context.log.edges_by_usage();
+  const auto heavy = xflbench::heavy_edges(context);
+  const auto all_shares = shares(all_edges);
+  const auto heavy_shares = shares(heavy);
+
+  TextTable table;
+  table.set_header(
+      {"Dataset", "GCS=>GCS", "GCS=>GCP", "GCP=>GCS", "GCP=>GCP"});
+  table.add_row({"All edges", TextTable::num(all_shares[0], 0),
+                 TextTable::num(all_shares[1], 0),
+                 TextTable::num(all_shares[2], 0),
+                 TextTable::num(all_shares[3], 0)});
+  table.add_row({"30 edges", TextTable::num(heavy_shares[0], 0),
+                 TextTable::num(heavy_shares[1], 0),
+                 TextTable::num(heavy_shares[2], 0),
+                 TextTable::num(heavy_shares[3], 0)});
+  table.print(stdout);
+
+  const bool no_gcp_gcp = all_shares[3] == 0.0 && heavy_shares[3] == 0.0;
+  std::printf("\nGCP=>GCP edges present: %s (paper: none before 2016)\n",
+              no_gcp_gcp ? "no" : "YES - unexpected");
+
+  xflbench::print_comparison(
+      "Paper Table 4: all edges split 45/34/20 (plus 0 GCP=>GCP); the 30 "
+      "heavy edges split 51/30/19. Expect GCS=>GCS to dominate both rows, "
+      "a sizeable GCS=>GCP share, a smaller GCP=>GCS share, and zero "
+      "GCP=>GCP edges.");
+  return no_gcp_gcp ? 0 : 1;
+}

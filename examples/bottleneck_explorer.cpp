@@ -1,0 +1,100 @@
+// Bottleneck explorer: explain *why* an edge performs the way it does.
+//
+// Combines the paper's two lenses: the §3 analytical bound (which
+// subsystem caps the edge, via historical DR/DW estimates and a
+// memory-to-memory probe) and the §5 data-driven view (which features the
+// per-edge model leans on). Also answers the practical what-if: would
+// changing C and P help?
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/analytical.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "sim/probe.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+
+  std::printf("simulating history...\n");
+  sim::ProductionConfig config;
+  config.duration_s = 5.0 * 86400.0;
+  config.session_arrivals_per_s = 0.012;
+  const auto scenario = sim::make_production(config);
+  const auto context = core::analyze_log(scenario.run().log);
+
+  const auto edges = core::select_heavy_edges(context, 200, 0.5, 5);
+  if (edges.empty()) {
+    std::printf("no heavy edges in history\n");
+    return 1;
+  }
+
+  core::TransferPredictor::Options predictor_options;
+  predictor_options.min_edge_transfers = 150;
+  core::TransferPredictor predictor(predictor_options);
+  predictor.fit(context.log);
+
+  sim::SimConfig probe_config = scenario.sim_config;
+  probe_config.enable_faults = false;
+
+  for (const auto& edge : edges) {
+    const auto& src = scenario.endpoints[edge.src];
+    const auto& dst = scenario.endpoints[edge.dst];
+    std::printf("\n=== %s -> %s ===\n", src.name.c_str(), dst.name.c_str());
+
+    // Analytical lens (§3).
+    core::BoundEstimate estimate;
+    estimate.dr_max_Bps = context.capabilities.at(edge.src).dr_max_Bps;
+    estimate.dw_max_Bps = context.capabilities.at(edge.dst).dw_max_Bps;
+    sim::ProbeConfig probe;
+    probe.repetitions = 3;
+    estimate.mm_max_Bps = sim::measure_max_rate_Bps(
+        scenario.sites, scenario.endpoints, probe_config, edge.src, edge.dst,
+        sim::ProbeKind::kMemToMem, probe);
+    const double observed = context.log.edge_max_rate(edge);
+    const auto validation = core::validate_bound(observed, estimate);
+    std::printf(
+        "  Eq. 1 bound: min(DR %.0f, MM %.0f, DW %.0f) = %.0f MB/s; "
+        "observed max %.0f MB/s (%.0f%% of bound)\n",
+        to_mbps(estimate.dr_max_Bps), to_mbps(estimate.mm_max_Bps),
+        to_mbps(estimate.dw_max_Bps), to_mbps(estimate.r_max_Bps()),
+        to_mbps(observed), 100.0 * validation.ratio);
+    std::printf("  limiting subsystem: %s%s\n",
+                core::to_string(validation.bottleneck),
+                validation.consistent
+                    ? ""
+                    : (validation.exceeds ? " (bound estimate too low!)"
+                                          : " (edge runs below bound - "
+                                            "competing load suspected)"));
+
+    // Data-driven lens (§5).
+    std::printf("  top model features: ");
+    const auto importances = predictor.explain(edge);
+    for (std::size_t i = 0; i < importances.size() && i < 4; ++i)
+      std::printf("%s%s (%.2f)", i == 0 ? "" : ", ",
+                  importances[i].first.c_str(), importances[i].second);
+    std::printf("\n");
+
+    // What-if: tunable sweep under a typical load.
+    core::PlannedTransfer planned;
+    planned.src = edge.src;
+    planned.dst = edge.dst;
+    planned.bytes = 50.0 * kGB;
+    planned.files = 200;
+    planned.dirs = 4;
+    std::printf("  predicted MB/s for 50 GB / 200 files by (C, P):\n");
+    for (const std::uint32_t c : {1u, 4u, 16u}) {
+      std::printf("   ");
+      for (const std::uint32_t p : {1u, 4u, 8u}) {
+        planned.concurrency = c;
+        planned.parallelism = p;
+        std::printf("  C=%-2u P=%u: %7.1f", c, p,
+                    predictor.predict_rate_mbps(planned));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

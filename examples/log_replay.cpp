@@ -1,0 +1,82 @@
+// Log replay: the file-based workflow a real deployment would use.
+//
+//   1. Export a transfer log to CSV (here: simulated; in production, your
+//      transfer service's accounting records in the same schema).
+//   2. Reload it, recompute the engineered features, and print the
+//      competing-load profile of the busiest edge.
+//   3. Train a predictor from the file and answer a query.
+//
+// Usage: log_replay [path.csv]   (default: ./transfer_log.csv)
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
+#include "sim/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xfl;
+  const std::string path = argc > 1 ? argv[1] : "transfer_log.csv";
+
+  // 1. Produce and export a log.
+  {
+    sim::EsnetConfig config;
+    config.transfers = 2000;
+    config.duration_s = 3.0 * 86400.0;
+    const auto result = sim::make_esnet_testbed(config).run();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    result.log.write_csv(out);
+    std::printf("exported %zu transfers to %s\n", result.log.size(),
+                path.c_str());
+  }
+
+  // 2. Reload and analyse - from here on, everything works exactly the
+  //    same for a real exported log.
+  std::ifstream in(path);
+  const auto log = logs::LogStore::read_csv(in);
+  std::printf("reloaded %zu transfers\n", log.size());
+  const auto context = core::analyze_log(log);
+
+  const auto edges = context.log.edges_by_usage();
+  const auto& busiest = edges.front();
+  std::printf("\nbusiest edge: %u -> %u (%zu transfers)\n", busiest.src,
+              busiest.dst, context.log.edge_count(busiest));
+
+  // Competing-load profile of that edge.
+  double mean_load = 0.0;
+  std::size_t loaded = 0;
+  const auto indices = context.log.edge_transfers(busiest);
+  for (const auto i : indices) {
+    const double load = features::relative_external_load(
+        context.log[i], context.contention[i]);
+    mean_load += load;
+    if (load > 0.25) ++loaded;
+  }
+  mean_load /= static_cast<double>(indices.size());
+  std::printf("mean relative external load: %.2f; transfers above 0.25: %zu\n",
+              mean_load, loaded);
+
+  // 3. Train from the file and query.
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = 60;
+  core::TransferPredictor predictor(options);
+  predictor.fit(context.log);
+
+  core::PlannedTransfer planned;
+  planned.src = busiest.src;
+  planned.dst = busiest.dst;
+  planned.bytes = 25.0 * kGB;
+  planned.files = 50;
+  planned.concurrency = 4;
+  planned.parallelism = 4;
+  std::printf("\npredicted rate for 25 GB on the busiest edge: %.1f MB/s\n",
+              predictor.predict_rate_mbps(planned));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: simulate a small Globus-like workload, engineer features,
+// train a predictor, and query it — the library's core loop in ~80 lines.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace xfl;
+
+  // 1. Simulate the ESnet-like testbed with a competing workload. In real
+  //    deployments this log would come from the transfer service instead.
+  std::printf("Simulating testbed workload...\n");
+  sim::EsnetConfig config;
+  config.transfers = 1500;
+  config.duration_s = 2.0 * 86400.0;
+  const sim::Scenario scenario = sim::make_esnet_testbed(config);
+  const sim::SimResult result = scenario.run();
+  std::printf("  %zu transfers completed\n", result.log.size());
+
+  // 2. Engineer features (overlap-weighted competing load etc.).
+  const core::AnalysisContext context = core::analyze_log(result.log);
+
+  // 3. Train the predictor: per-edge gradient-boosting models plus the
+  //    global fallback model with endpoint-capability features.
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = 60;
+  core::TransferPredictor predictor(options);
+  predictor.fit(context.log);
+
+  // 4. Ask it questions.
+  core::PlannedTransfer planned;
+  planned.src = 0;  // ANL-dtn
+  planned.dst = 1;  // BNL-dtn
+  planned.bytes = 50.0 * kGB;
+  planned.files = 25;
+  planned.dirs = 1;
+  planned.concurrency = 4;
+  planned.parallelism = 4;
+
+  const double idle_rate = predictor.predict_rate_mbps(planned);
+  features::ContentionFeatures busy;
+  busy.k_sout = mbps(600.0);  // 600 MB/s of competing outgoing traffic.
+  busy.g_src = 12.0;
+  busy.s_sout = 48.0;
+  const double busy_rate = predictor.predict_rate_mbps(planned, busy);
+
+  std::printf("\nPredicted rate for 50 GB ANL->BNL (C=4, P=4):\n");
+  std::printf("  idle endpoints : %8.1f MB/s (~%.0f s)\n", idle_rate,
+              planned.bytes / mbps(idle_rate));
+  std::printf("  busy source    : %8.1f MB/s (~%.0f s)\n", busy_rate,
+              planned.bytes / mbps(busy_rate));
+
+  // 5. Explain what drives this edge.
+  TextTable table;
+  table.set_title("\nTop feature importances (ANL->BNL model):");
+  table.set_header({"feature", "importance"});
+  const auto importances = predictor.explain({planned.src, planned.dst});
+  for (std::size_t i = 0; i < importances.size() && i < 6; ++i)
+    table.add_row({importances[i].first,
+                   TextTable::num(importances[i].second, 3)});
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw xfl::ContractViolation so tests can
+// assert on them; they are never compiled out, because every caller of this
+// library is either a test, a bench harness, or an analysis pipeline where
+// correctness dominates raw speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xfl {
+
+/// Thrown when a precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace xfl
+
+#define XFL_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::xfl::detail::contract_fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define XFL_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::xfl::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,42 @@
+// Minimal CSV reader/writer for transfer logs and derived datasets. Handles
+// quoting per RFC 4180 (quoted fields, embedded commas/quotes/newlines).
+// The paper's published dataset is CSV; we mirror that at our I/O boundary
+// so users can export simulated logs and re-import them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xfl {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parse a full CSV document from a stream. Rows may have differing widths;
+/// callers validate shape. Throws std::runtime_error on malformed quoting.
+std::vector<CsvRow> read_csv(std::istream& in);
+
+/// Parse a CSV file from disk. Throws std::runtime_error if unreadable.
+std::vector<CsvRow> read_csv_file(const std::string& path);
+
+/// Escape a single field per RFC 4180 (quote only when necessary).
+std::string csv_escape(const std::string& field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  /// Writes to the given stream, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row (escapes each field).
+  void write_row(const CsvRow& row);
+
+  /// Convenience: write a row of doubles with full round-trip precision.
+  void write_row(const std::vector<double>& row);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace xfl

@@ -1,0 +1,40 @@
+#include "common/geo.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+// Speed of light in fibre ~ 2e5 km/s; 1.5x path stretch over great circle.
+constexpr double kFibreKmPerSecond = 2.0e5;
+constexpr double kPathStretch = 1.5;
+}  // namespace
+
+double great_circle_km(const GeoPoint& a, const GeoPoint& b) {
+  XFL_EXPECTS(a.lat_deg >= -90.0 && a.lat_deg <= 90.0);
+  XFL_EXPECTS(b.lat_deg >= -90.0 && b.lat_deg <= 90.0);
+  XFL_EXPECTS(a.lon_deg >= -180.0 && a.lon_deg <= 180.0);
+  XFL_EXPECTS(b.lon_deg >= -180.0 && b.lon_deg <= 180.0);
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double rtt_lower_bound_s(double distance_km) {
+  XFL_EXPECTS(distance_km >= 0.0);
+  // Round trip = 2x one-way propagation. A small floor models LAN/stack
+  // latency so that co-located endpoints do not get a zero RTT.
+  const double one_way = distance_km * kPathStretch / kFibreKmPerSecond;
+  return std::max(2.0 * one_way, 2.0e-4);
+}
+
+}  // namespace xfl

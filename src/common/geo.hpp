@@ -1,0 +1,23 @@
+// Great-circle geometry. The paper uses the great-circle distance between
+// source and destination as (a) a lower bound proxy for round-trip time
+// (Fig. 6, Table 3) and (b) the "edge length" statistic.
+#pragma once
+
+namespace xfl {
+
+/// A point on the Earth in decimal degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle (haversine) distance in kilometres.
+/// Preconditions: latitudes in [-90, 90], longitudes in [-180, 180].
+double great_circle_km(const GeoPoint& a, const GeoPoint& b);
+
+/// Rough RTT lower bound implied by a great-circle path: light travels in
+/// fibre at ~2/3 c, and real paths are longer than great circles; we apply
+/// the conventional 1.5x path-stretch factor used in WAN modeling.
+double rtt_lower_bound_s(double distance_km);
+
+}  // namespace xfl

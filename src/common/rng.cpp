@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  XFL_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  XFL_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) {
+  XFL_EXPECTS(sigma >= 0.0);
+  return mean + sigma * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double lambda) {
+  XFL_EXPECTS(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  XFL_EXPECTS(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // large-mean draws used in workload sizing.
+    const double draw = normal(mean, std::sqrt(mean));
+    return draw < 0.0 ? 0 : static_cast<std::int64_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::int64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  XFL_EXPECTS(xm > 0.0 && alpha > 0.0);
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+double Rng::weibull(double k, double lambda) {
+  XFL_EXPECTS(k > 0.0 && lambda > 0.0);
+  return lambda * std::pow(-std::log(1.0 - uniform()), 1.0 / k);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  XFL_EXPECTS(n >= 1 && s >= 0.0);
+  // Inverse-CDF on the (cached-free) harmonic weights via rejection-less
+  // linear scan is O(n); for the catalogue sizes used here (n <= ~2000)
+  // this is fine and exactly reproducible.
+  double total = 0.0;
+  for (std::int64_t rank = 1; rank <= n; ++rank) total += std::pow(rank, -s);
+  double target = uniform() * total;
+  for (std::int64_t rank = 1; rank <= n; ++rank) {
+    target -= std::pow(rank, -s);
+    if (target <= 0.0) return rank;
+  }
+  return n;
+}
+
+bool Rng::bernoulli(double p) {
+  XFL_EXPECTS(p >= 0.0 && p <= 1.0);
+  return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace xfl

@@ -1,0 +1,122 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - m) * (v - m);
+  return sum_sq / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+namespace {
+double percentile_sorted(std::span<const double> sorted, double p) {
+  XFL_EXPECTS(!sorted.empty());
+  XFL_EXPECTS(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double percentile(std::span<const double> values, double p) {
+  XFL_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  XFL_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(sorted, p));
+  return out;
+}
+
+double min_value(std::span<const double> values) {
+  XFL_EXPECTS(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  XFL_EXPECTS(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  XFL_EXPECTS(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+DistributionSummary summarize(std::span<const double> values) {
+  XFL_EXPECTS(!values.empty());
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  DistributionSummary s;
+  s.p5 = percentile_sorted(sorted, 5.0);
+  s.p25 = percentile_sorted(sorted, 25.0);
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p75 = percentile_sorted(sorted, 75.0);
+  s.p95 = percentile_sorted(sorted, 95.0);
+  s.mean = mean(values);
+  s.count = values.size();
+  return s;
+}
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace xfl

@@ -1,0 +1,77 @@
+// Descriptive statistics used throughout the feature-engineering and
+// evaluation code: means, variances, percentiles (the paper reports 25th/
+// 50th/90th edge-length percentiles, MdAPE = 50th percentile of absolute
+// percentage error, and 95th-percentile errors in the LMT study).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xfl {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+double mean(std::span<const double> values);
+
+/// Population variance (divide by n). Returns 0 for fewer than 2 values.
+double variance(std::span<const double> values);
+
+/// Population standard deviation.
+double stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. The input need not be
+/// sorted (a sorted copy is made). Requires a non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Median (50th percentile). Requires a non-empty input.
+double median(std::span<const double> values);
+
+/// Several percentiles of the same sample computed with one sort.
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps);
+
+/// Minimum / maximum. Require non-empty input.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Returns 0 if either sample has zero variance.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Five-number-plus summary used to serialise "violin" rows (Fig. 10):
+/// p5, p25, p50, p75, p95 of a sample.
+struct DistributionSummary {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+/// Summarise a sample. Requires a non-empty input.
+DistributionSummary summarize(std::span<const double> values);
+
+/// Online mean/variance accumulator (Welford). Used where streaming over
+/// simulation samples avoids materialising large vectors.
+class RunningStats {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xfl

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace xfl {
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << "  ";
+      out << row[i];
+      if (i + 1 < row.size())
+        out << std::string(widths[i] - row[i].size(), ' ');
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << title_ << '\n';
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i == 0 ? 0 : 2);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::print(std::FILE* out) const {
+  const std::string text = to_string();
+  std::fwrite(text.data(), 1, text.size(), out);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace xfl

@@ -1,0 +1,43 @@
+// Aligned plain-text table rendering. Every bench harness prints its
+// table/figure series through this so that outputs are uniform and easy to
+// diff against the paper.
+#pragma once
+
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xfl {
+
+/// A simple column-aligned text table with an optional title and header.
+class TextTable {
+ public:
+  /// Optional table title, printed above the header.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Set the header row (defines column count for alignment purposes).
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Append a data row; rows wider than the header extend the table.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Render to a stream with column alignment and a rule under the header.
+  void print(std::ostream& out) const;
+
+  /// Render to a C stdio stream (bench harnesses mix printf and tables).
+  void print(std::FILE* out) const;
+
+  /// Render to a string.
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xfl

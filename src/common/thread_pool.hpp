@@ -1,0 +1,45 @@
+// A small fixed-size thread pool with a blocking parallel_for. Used to train
+// per-edge models concurrently (the paper fits 30 independent models) and to
+// run independent simulation replicas. Deterministic results are preserved
+// because each parallel_for index owns its outputs and its own RNG stream.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace xfl {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; exceptions
+/// thrown by tasks propagate out of parallel_for (first one wins).
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run body(i) for i in [0, count), distributing indices across workers,
+  /// and block until all complete. Rethrows the first task exception.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace xfl

@@ -1,0 +1,47 @@
+#include "core/analytical.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace xfl::core {
+
+const char* to_string(Bottleneck bottleneck) {
+  switch (bottleneck) {
+    case Bottleneck::kDiskRead:
+      return "disk read";
+    case Bottleneck::kNetwork:
+      return "network";
+    case Bottleneck::kDiskWrite:
+      return "disk write";
+  }
+  return "?";
+}
+
+double BoundEstimate::r_max_Bps() const {
+  return std::min({dr_max_Bps, mm_max_Bps, dw_max_Bps});
+}
+
+Bottleneck BoundEstimate::bottleneck() const {
+  const double bound = r_max_Bps();
+  if (bound == dr_max_Bps && dr_max_Bps <= mm_max_Bps &&
+      dr_max_Bps <= dw_max_Bps)
+    return Bottleneck::kDiskRead;
+  if (bound == dw_max_Bps && dw_max_Bps <= mm_max_Bps)
+    return Bottleneck::kDiskWrite;
+  return Bottleneck::kNetwork;
+}
+
+BoundValidation validate_bound(double observed_max_Bps,
+                               const BoundEstimate& estimate) {
+  XFL_EXPECTS(estimate.r_max_Bps() > 0.0);
+  XFL_EXPECTS(observed_max_Bps >= 0.0);
+  BoundValidation validation;
+  validation.ratio = observed_max_Bps / estimate.r_max_Bps();
+  validation.consistent = validation.ratio >= 0.8 && validation.ratio <= 1.2;
+  validation.exceeds = validation.ratio > 1.2;
+  validation.bottleneck = estimate.bottleneck();
+  return validation;
+}
+
+}  // namespace xfl::core

@@ -1,0 +1,46 @@
+// The simple analytical model of §3: the end-to-end rate of a transfer
+// cannot exceed the slowest of the three engaged subsystems,
+//   Rmax <= min(DRmax, MMmax, DWmax)            (Eq. 1)
+// and the binding term names the bottleneck. §3.2 checks production edges
+// against this bound using historical DR/DW estimates and perfSONAR MMmax
+// measurements, calling an edge consistent when its observed maximum lies
+// in [0.8, 1.2] x the predicted Rmax.
+#pragma once
+
+#include <string>
+
+namespace xfl::core {
+
+/// Which subsystem binds Eq. 1.
+enum class Bottleneck { kDiskRead, kNetwork, kDiskWrite };
+
+/// Short label: "disk read" / "network" / "disk write".
+const char* to_string(Bottleneck bottleneck);
+
+/// The three subsystem maxima of Eq. 1, in bytes/second.
+struct BoundEstimate {
+  double dr_max_Bps = 0.0;  ///< Source disk read ceiling.
+  double mm_max_Bps = 0.0;  ///< Memory-to-memory (network) ceiling.
+  double dw_max_Bps = 0.0;  ///< Destination disk write ceiling.
+
+  /// Eq. 1 right-hand side.
+  double r_max_Bps() const;
+
+  /// The subsystem achieving the minimum.
+  Bottleneck bottleneck() const;
+};
+
+/// Result of checking an edge against Eq. 1 (§3.2's funnel).
+struct BoundValidation {
+  double ratio = 0.0;      ///< observed_max / predicted Rmax.
+  bool consistent = false; ///< ratio in [0.8, 1.2].
+  bool exceeds = false;    ///< ratio > 1.2 (bad MMmax estimate, §3.2).
+  Bottleneck bottleneck = Bottleneck::kNetwork;
+};
+
+/// Compare an observed maximum rate against a bound estimate. Requires
+/// estimate.r_max_Bps() > 0.
+BoundValidation validate_bound(double observed_max_Bps,
+                               const BoundEstimate& estimate);
+
+}  // namespace xfl::core

@@ -1,0 +1,63 @@
+#include "core/bound_survey.hpp"
+
+#include "common/contracts.hpp"
+#include "sim/probe.hpp"
+
+namespace xfl::core {
+
+std::vector<EdgeBoundReport> survey_bounds(
+    const AnalysisContext& context, const net::SiteCatalog& sites,
+    const endpoint::EndpointCatalog& endpoints,
+    const sim::SimConfig& sim_config, const BoundSurveyConfig& config) {
+  XFL_EXPECTS(config.probe_repetitions >= 1);
+  sim::SimConfig probe_config = sim_config;
+  probe_config.enable_faults = false;  // Probes measure the clean path.
+
+  const auto edges =
+      select_heavy_edges(context, config.min_transfers, 0.0, config.max_edges);
+  std::vector<EdgeBoundReport> reports;
+  reports.reserve(edges.size());
+  for (const auto& edge : edges) {
+    EdgeBoundReport report;
+    report.edge = edge;
+    report.estimate.dr_max_Bps = context.capabilities.at(edge.src).dr_max_Bps;
+    report.estimate.dw_max_Bps = context.capabilities.at(edge.dst).dw_max_Bps;
+    sim::ProbeConfig probe;
+    probe.repetitions = config.probe_repetitions;
+    report.estimate.mm_max_Bps = sim::measure_max_rate_Bps(
+        sites, endpoints, probe_config, edge.src, edge.dst,
+        sim::ProbeKind::kMemToMem, probe);
+    report.observed_max_Bps = context.log.edge_max_rate(edge);
+    report.validation = validate_bound(report.observed_max_Bps, report.estimate);
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+BoundSurveySummary summarize_survey(
+    const std::vector<EdgeBoundReport>& reports) {
+  BoundSurveySummary summary;
+  for (const auto& report : reports) {
+    if (report.validation.consistent) {
+      ++summary.consistent;
+      switch (report.validation.bottleneck) {
+        case Bottleneck::kDiskRead:
+          ++summary.read_limited;
+          break;
+        case Bottleneck::kNetwork:
+          ++summary.network_limited;
+          break;
+        case Bottleneck::kDiskWrite:
+          ++summary.write_limited;
+          break;
+      }
+    } else if (report.validation.exceeds) {
+      ++summary.exceeds;
+    } else {
+      ++summary.below;
+    }
+  }
+  return summary;
+}
+
+}  // namespace xfl::core

@@ -1,0 +1,51 @@
+// The §3.2 validation funnel as a reusable API: for each sufficiently used
+// edge, estimate the Eq. 1 bound from history (DRmax/DWmax) plus a
+// perfSONAR-style memory-to-memory probe (MMmax), compare it with the best
+// observed rate, and classify the edge as consistent / below / exceeding,
+// with the binding subsystem for the consistent ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/analytical.hpp"
+#include "core/pipeline.hpp"
+#include "sim/simulator.hpp"
+
+namespace xfl::core {
+
+/// One surveyed edge.
+struct EdgeBoundReport {
+  logs::EdgeKey edge;
+  BoundEstimate estimate;       ///< DR (history), MM (probe), DW (history).
+  double observed_max_Bps = 0.0;
+  BoundValidation validation;
+};
+
+/// Survey knobs.
+struct BoundSurveyConfig {
+  std::size_t min_transfers = 40;  ///< Edges with fewer are skipped.
+  std::size_t max_edges = 100;
+  int probe_repetitions = 3;       ///< Memory-to-memory probe runs per edge.
+};
+
+/// Run the funnel: probes run on an idle copy of the infrastructure (as
+/// perfSONAR tests do), capability estimates come from `context`.
+std::vector<EdgeBoundReport> survey_bounds(
+    const AnalysisContext& context, const net::SiteCatalog& sites,
+    const endpoint::EndpointCatalog& endpoints,
+    const sim::SimConfig& sim_config, const BoundSurveyConfig& config = {});
+
+/// Aggregate counts over a survey (the paper's funnel numbers).
+struct BoundSurveySummary {
+  std::size_t consistent = 0;
+  std::size_t below = 0;
+  std::size_t exceeds = 0;
+  std::size_t read_limited = 0;     ///< Consistent edges bound by disk read.
+  std::size_t network_limited = 0;  ///< ... by the network.
+  std::size_t write_limited = 0;    ///< ... by disk write.
+};
+
+BoundSurveySummary summarize_survey(const std::vector<EdgeBoundReport>& reports);
+
+}  // namespace xfl::core

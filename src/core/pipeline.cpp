@@ -1,0 +1,49 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+namespace xfl::core {
+
+AnalysisContext analyze_log(logs::LogStore log) {
+  AnalysisContext context;
+  context.log = std::move(log);
+  context.contention = features::compute_contention(context.log);
+  context.capabilities =
+      features::estimate_capabilities(context.log, context.contention);
+  return context;
+}
+
+std::vector<logs::EdgeKey> select_heavy_edges(const AnalysisContext& context,
+                                              std::size_t min_transfers,
+                                              double load_threshold,
+                                              std::size_t max_edges) {
+  struct Candidate {
+    logs::EdgeKey edge;
+    std::size_t qualifying = 0;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& edge : context.log.edges_by_usage()) {
+    const auto indices = context.log.edge_transfers(edge);
+    if (indices.size() < min_transfers) continue;  // Cannot qualify.
+    const double min_rate = load_threshold > 0.0
+                                ? load_threshold * context.log.edge_max_rate(edge)
+                                : 0.0;
+    std::size_t qualifying = 0;
+    for (const std::size_t i : indices)
+      if (context.log[i].rate_Bps() >= min_rate) ++qualifying;
+    if (qualifying >= min_transfers)
+      candidates.push_back({edge, qualifying});
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.qualifying > b.qualifying;
+                   });
+  if (max_edges > 0 && candidates.size() > max_edges)
+    candidates.resize(max_edges);
+  std::vector<logs::EdgeKey> edges;
+  edges.reserve(candidates.size());
+  for (const auto& candidate : candidates) edges.push_back(candidate.edge);
+  return edges;
+}
+
+}  // namespace xfl::core

@@ -1,0 +1,34 @@
+// Shared analysis context: log -> contention features -> endpoint
+// capabilities, plus the heavy-edge selection rule of §5.1 ("edges that
+// have at least 300 transfers with rate greater than 0.5 Rmax").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "features/contention.hpp"
+#include "features/endpoint_stats.hpp"
+#include "logs/log_store.hpp"
+
+namespace xfl::core {
+
+/// Everything derived once from a log and reused by every study.
+struct AnalysisContext {
+  logs::LogStore log;
+  std::vector<features::ContentionFeatures> contention;
+  std::map<endpoint::EndpointId, features::EndpointCapability> capabilities;
+};
+
+/// Run the contention sweep and capability estimation over a log.
+AnalysisContext analyze_log(logs::LogStore log);
+
+/// Edges with at least `min_transfers` transfers whose rate exceeds
+/// `load_threshold * Rmax(edge)`, ordered by qualifying-transfer count
+/// (descending), truncated to `max_edges` (0 = no limit).
+std::vector<logs::EdgeKey> select_heavy_edges(const AnalysisContext& context,
+                                              std::size_t min_transfers = 300,
+                                              double load_threshold = 0.5,
+                                              std::size_t max_edges = 30);
+
+}  // namespace xfl::core

@@ -1,0 +1,303 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "features/dataset.hpp"
+
+namespace xfl::core {
+
+TransferPredictor::TransferPredictor() : TransferPredictor(Options{}) {}
+
+TransferPredictor::TransferPredictor(Options options)
+    : options_(std::move(options)) {
+  XFL_EXPECTS(options_.gbt.valid());
+}
+
+/// Fill a model's empirical residual-ratio quantiles from training data.
+void TransferPredictor::calibrate_interval(Model& model, const ml::Matrix& x,
+                                           const std::vector<double>& y) {
+  std::vector<double> ratios;
+  ratios.reserve(y.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double predicted = std::max(0.01, model.boosted->predict(x.row(r)));
+    ratios.push_back(y[r] / predicted);
+  }
+  if (ratios.size() >= 10) {
+    model.ratio_p10 = percentile(ratios, 10.0);
+    model.ratio_p90 = percentile(ratios, 90.0);
+  }
+}
+
+void TransferPredictor::fit(const logs::LogStore& log) {
+  XFL_EXPECTS(!log.empty());
+  edge_models_.clear();
+
+  AnalysisContext context = analyze_log(log);
+  capabilities_ = context.capabilities;
+
+  features::DatasetOptions dataset_options;
+  dataset_options.include_nflt = false;
+  dataset_options.load_threshold = options_.load_threshold;
+
+  // Per-edge models.
+  std::vector<logs::EdgeKey> trainable;
+  for (const auto& edge : context.log.edges_by_usage()) {
+    if (context.log.edge_count(edge) < options_.min_edge_transfers) break;
+    trainable.push_back(edge);
+  }
+  for (const auto& edge : trainable) {
+    const auto dataset = features::build_edge_dataset(
+        context.log, context.contention, edge, dataset_options);
+    if (dataset.rows() < options_.min_edge_transfers) continue;
+    Model model;
+    model.feature_names = dataset.feature_names;
+    const auto x = model.scaler.fit_transform(dataset.x);
+    ml::GbtConfig gbt_config = options_.gbt;
+    gbt_config.seed = options_.seed;
+    model.boosted = std::make_unique<ml::GradientBoostedTrees>(gbt_config);
+    model.boosted->fit(x, dataset.y);
+    calibrate_interval(model, x, dataset.y);
+    edge_models_.emplace(edge, std::move(model));
+  }
+
+  // Global fallback model over every edge in the log.
+  const auto all_edges = context.log.edges_by_usage();
+  const auto global_dataset = features::build_global_dataset(
+      context.log, context.contention, all_edges, context.capabilities,
+      dataset_options);
+  global_model_.feature_names = global_dataset.feature_names;
+  const auto x = global_model_.scaler.fit_transform(global_dataset.x);
+  ml::GbtConfig gbt_config = options_.gbt;
+  gbt_config.seed = options_.seed + 1;
+  global_model_.boosted =
+      std::make_unique<ml::GradientBoostedTrees>(gbt_config);
+  global_model_.boosted->fit(x, global_dataset.y);
+  calibrate_interval(global_model_, x, global_dataset.y);
+
+  fitted_ = true;
+}
+
+bool TransferPredictor::has_edge_model(const logs::EdgeKey& edge) const {
+  return edge_models_.contains(edge);
+}
+
+std::vector<double> TransferPredictor::feature_vector(
+    const PlannedTransfer& transfer,
+    const features::ContentionFeatures& load, bool with_capabilities) const {
+  // Mirrors features::kFeatureNames order with Nflt removed (prediction
+  // features only; Fig. 9 order): Ksout Kdin C P Ssout Ssin Sdout Sdin
+  // Ksin Kdout Nd Nb Gsrc Gdst Nf [ROmax_src RImax_dst].
+  std::vector<double> row = {
+      to_mbps(load.k_sout),
+      to_mbps(load.k_din),
+      static_cast<double>(transfer.concurrency),
+      static_cast<double>(transfer.parallelism),
+      load.s_sout,
+      load.s_sin,
+      load.s_dout,
+      load.s_din,
+      to_mbps(load.k_sin),
+      to_mbps(load.k_dout),
+      static_cast<double>(transfer.dirs),
+      transfer.bytes,
+      load.g_src,
+      load.g_dst,
+      static_cast<double>(transfer.files),
+  };
+  if (with_capabilities) {
+    const auto* src_capability = capability(transfer.src);
+    const auto* dst_capability = capability(transfer.dst);
+    row.push_back(src_capability ? to_mbps(src_capability->ro_max_Bps) : 0.0);
+    row.push_back(dst_capability ? to_mbps(dst_capability->ri_max_Bps) : 0.0);
+  }
+  return row;
+}
+
+const TransferPredictor::Model& TransferPredictor::model_for(
+    const logs::EdgeKey& edge) const {
+  const auto it = edge_models_.find(edge);
+  return it != edge_models_.end() ? it->second : global_model_;
+}
+
+double TransferPredictor::predict_rate_mbps(
+    const PlannedTransfer& transfer,
+    const features::ContentionFeatures& expected_load) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(transfer.bytes >= 0.0 && transfer.files >= 1);
+  const logs::EdgeKey edge{transfer.src, transfer.dst};
+  const bool dedicated = has_edge_model(edge);
+  const Model& model = model_for(edge);
+  auto row = feature_vector(transfer, expected_load, !dedicated);
+
+  // Standardise with the model's training statistics.
+  XFL_EXPECTS(row.size() == model.scaler.means().size());
+  for (std::size_t c = 0; c < row.size(); ++c)
+    row[c] = (row[c] - model.scaler.means()[c]) / model.scaler.sigmas()[c];
+  const double rate = model.boosted->predict(row);
+  return std::max(rate, 0.01);  // A rate prediction is never non-positive.
+}
+
+RateInterval TransferPredictor::predict_rate_interval(
+    const PlannedTransfer& transfer,
+    const features::ContentionFeatures& expected_load) const {
+  const double expected = predict_rate_mbps(transfer, expected_load);
+  const Model& model = model_for({transfer.src, transfer.dst});
+  RateInterval interval;
+  interval.expected_mbps = expected;
+  interval.low_mbps = std::max(0.01, expected * model.ratio_p10);
+  interval.high_mbps = std::max(interval.low_mbps, expected * model.ratio_p90);
+  return interval;
+}
+
+double TransferPredictor::estimate_duration_s(
+    const PlannedTransfer& transfer,
+    const features::ContentionFeatures& expected_load) const {
+  const double rate_mbps = predict_rate_mbps(transfer, expected_load);
+  return transfer.bytes / mbps(rate_mbps);
+}
+
+std::vector<std::pair<std::string, double>> TransferPredictor::explain(
+    const logs::EdgeKey& edge) const {
+  XFL_EXPECTS(fitted_);
+  const Model& model = model_for(edge);
+  const auto importance = model.boosted->feature_importance();
+  std::vector<std::pair<std::string, double>> pairs;
+  pairs.reserve(importance.size());
+  for (std::size_t c = 0; c < importance.size(); ++c)
+    pairs.emplace_back(model.feature_names[c], importance[c]);
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return pairs;
+}
+
+namespace {
+constexpr const char* kPredictorMagic = "xfl-predictor-v1";
+
+void save_model(std::ostream& out, const char* label,
+                const TransferPredictor::PersistedModel& model) {
+  out << label << '\n';
+  out << model.feature_names.size();
+  for (const auto& name : model.feature_names) out << ' ' << name;
+  out << '\n';
+  out << model.means.size();
+  for (const double m : model.means) out << ' ' << m;
+  for (const double s : model.sigmas) out << ' ' << s;
+  out << '\n';
+  out << model.ratio_p10 << ' ' << model.ratio_p90 << '\n';
+}
+
+TransferPredictor::PersistedModel load_model(std::istream& in,
+                                             const std::string& label) {
+  std::string seen;
+  in >> seen;
+  if (seen != label)
+    throw std::runtime_error("TransferPredictor::load: expected '" + label +
+                             "', saw '" + seen + "'");
+  TransferPredictor::PersistedModel model;
+  std::size_t name_count = 0;
+  in >> name_count;
+  model.feature_names.resize(name_count);
+  for (auto& name : model.feature_names) in >> name;
+  std::size_t moment_count = 0;
+  in >> moment_count;
+  model.means.resize(moment_count);
+  model.sigmas.resize(moment_count);
+  for (auto& m : model.means) in >> m;
+  for (auto& s : model.sigmas) in >> s;
+  in >> model.ratio_p10 >> model.ratio_p90;
+  return model;
+}
+}  // namespace
+
+void TransferPredictor::save(std::ostream& out) const {
+  XFL_EXPECTS(fitted_);
+  out.precision(17);
+  out << kPredictorMagic << '\n';
+  out << options_.min_edge_transfers << ' ' << options_.load_threshold << '\n';
+
+  out << capabilities_.size() << '\n';
+  for (const auto& [endpoint, capability] : capabilities_)
+    out << endpoint << ' ' << capability.dr_max_Bps << ' '
+        << capability.dw_max_Bps << ' ' << capability.ro_max_Bps << ' '
+        << capability.ri_max_Bps << '\n';
+
+  out << edge_models_.size() << '\n';
+  for (const auto& [edge, model] : edge_models_) {
+    out << edge.src << ' ' << edge.dst << '\n';
+    PersistedModel persisted{model.feature_names, model.scaler.means(),
+                             model.scaler.sigmas(), model.ratio_p10,
+                             model.ratio_p90};
+    save_model(out, "edge-model", persisted);
+    model.boosted->save(out);
+  }
+  PersistedModel persisted{global_model_.feature_names,
+                           global_model_.scaler.means(),
+                           global_model_.scaler.sigmas(),
+                           global_model_.ratio_p10, global_model_.ratio_p90};
+  save_model(out, "global-model", persisted);
+  global_model_.boosted->save(out);
+}
+
+TransferPredictor TransferPredictor::load(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kPredictorMagic)
+    throw std::runtime_error("TransferPredictor::load: bad magic '" + magic +
+                             "'");
+  TransferPredictor predictor;
+  in >> predictor.options_.min_edge_transfers >>
+      predictor.options_.load_threshold;
+
+  std::size_t capability_count = 0;
+  in >> capability_count;
+  for (std::size_t i = 0; i < capability_count; ++i) {
+    endpoint::EndpointId endpoint = 0;
+    features::EndpointCapability capability;
+    in >> endpoint >> capability.dr_max_Bps >> capability.dw_max_Bps >>
+        capability.ro_max_Bps >> capability.ri_max_Bps;
+    predictor.capabilities_[endpoint] = capability;
+  }
+
+  std::size_t edge_count = 0;
+  in >> edge_count;
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    logs::EdgeKey edge;
+    in >> edge.src >> edge.dst;
+    const auto persisted = load_model(in, "edge-model");
+    Model model;
+    model.feature_names = persisted.feature_names;
+    model.scaler =
+        ml::StandardScaler::from_moments(persisted.means, persisted.sigmas);
+    model.ratio_p10 = persisted.ratio_p10;
+    model.ratio_p90 = persisted.ratio_p90;
+    model.boosted = std::make_unique<ml::GradientBoostedTrees>(
+        ml::GradientBoostedTrees::load(in));
+    predictor.edge_models_.emplace(edge, std::move(model));
+  }
+  const auto persisted = load_model(in, "global-model");
+  predictor.global_model_.feature_names = persisted.feature_names;
+  predictor.global_model_.scaler =
+      ml::StandardScaler::from_moments(persisted.means, persisted.sigmas);
+  predictor.global_model_.ratio_p10 = persisted.ratio_p10;
+  predictor.global_model_.ratio_p90 = persisted.ratio_p90;
+  predictor.global_model_.boosted = std::make_unique<ml::GradientBoostedTrees>(
+      ml::GradientBoostedTrees::load(in));
+  if (!in)
+    throw std::runtime_error("TransferPredictor::load: truncated model");
+  predictor.fitted_ = true;
+  return predictor;
+}
+
+const features::EndpointCapability* TransferPredictor::capability(
+    endpoint::EndpointId endpoint) const {
+  const auto it = capabilities_.find(endpoint);
+  return it == capabilities_.end() ? nullptr : &it->second;
+}
+
+}  // namespace xfl::core

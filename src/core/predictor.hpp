@@ -1,0 +1,137 @@
+// Public prediction API — the downstream-facing deliverable the paper
+// motivates: "Our predictions can be used for distributed workflow
+// scheduling and optimization."
+//
+// TransferPredictor learns from a historical log: one gradient-boosting
+// model per sufficiently used edge, plus the pooled global model of §5.4
+// (with ROmax/RImax endpoint-capability features) as a fallback for edges
+// with little or no history. Callers supply the planned transfer and the
+// competing load they expect during it (e.g. from currently running
+// transfers) and receive a rate estimate.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "ml/gbt.hpp"
+#include "ml/scaler.hpp"
+
+namespace xfl::core {
+
+/// A transfer about to be submitted.
+struct PlannedTransfer {
+  endpoint::EndpointId src = 0;
+  endpoint::EndpointId dst = 0;
+  double bytes = 0.0;
+  std::uint64_t files = 1;
+  std::uint64_t dirs = 1;
+  std::uint32_t concurrency = 4;
+  std::uint32_t parallelism = 4;
+};
+
+/// A rate prediction with an empirical uncertainty band (the 10th and
+/// 90th percentiles of the training-residual ratio applied to the point
+/// estimate). Schedulers can plan against `low_mbps` for deadlines.
+struct RateInterval {
+  double low_mbps = 0.0;
+  double expected_mbps = 0.0;
+  double high_mbps = 0.0;
+};
+
+/// Historical-log-trained transfer rate predictor.
+class TransferPredictor {
+ public:
+  struct Options {
+    /// Per-edge models are trained for edges with at least this many
+    /// transfers; others fall back to the global model.
+    std::size_t min_edge_transfers = 100;
+    /// Optional unknown-load filter applied to training data (0 = off).
+    double load_threshold = 0.0;
+    ml::GbtConfig gbt;
+    std::uint64_t seed = 1234;
+  };
+
+  /// Plain-data view of one model's non-GBT state (serialisation helper).
+  struct PersistedModel {
+    std::vector<std::string> feature_names;
+    std::vector<double> means;
+    std::vector<double> sigmas;
+    double ratio_p10 = 1.0;
+    double ratio_p90 = 1.0;
+  };
+
+  TransferPredictor();
+  explicit TransferPredictor(Options options);
+
+  /// Train from a historical log. May be called again to refit.
+  void fit(const logs::LogStore& log);
+
+  bool fitted() const { return fitted_; }
+
+  /// True when a dedicated model exists for the edge.
+  bool has_edge_model(const logs::EdgeKey& edge) const;
+
+  /// Predict the average transfer rate in MB/s. `expected_load` carries the
+  /// competing-load features the caller anticipates (default: idle).
+  /// Requires fit() first.
+  double predict_rate_mbps(
+      const PlannedTransfer& transfer,
+      const features::ContentionFeatures& expected_load = {}) const;
+
+  /// Point prediction plus an empirical 10th-90th percentile band.
+  /// Requires fit().
+  RateInterval predict_rate_interval(
+      const PlannedTransfer& transfer,
+      const features::ContentionFeatures& expected_load = {}) const;
+
+  /// Predicted wall-clock duration in seconds (bytes / predicted rate).
+  double estimate_duration_s(
+      const PlannedTransfer& transfer,
+      const features::ContentionFeatures& expected_load = {}) const;
+
+  /// Feature importances of the model serving this edge (name, weight),
+  /// most important first. Requires fit().
+  std::vector<std::pair<std::string, double>> explain(
+      const logs::EdgeKey& edge) const;
+
+  /// Historical capability estimate for an endpoint, if it has history.
+  const features::EndpointCapability* capability(
+      endpoint::EndpointId endpoint) const;
+
+  /// Persist the fitted predictor (per-edge + global models, scalers,
+  /// capabilities) to a line-oriented text stream; load() restores a
+  /// predictor that answers identically. Requires fit().
+  void save(std::ostream& out) const;
+  static TransferPredictor load(std::istream& in);
+
+ private:
+  struct Model {
+    ml::StandardScaler scaler;
+    std::unique_ptr<ml::GradientBoostedTrees> boosted;
+    std::vector<std::string> feature_names;
+    /// Empirical training-residual ratio quantiles (actual / predicted).
+    double ratio_p10 = 1.0;
+    double ratio_p90 = 1.0;
+  };
+
+  static void calibrate_interval(Model& model, const ml::Matrix& x,
+                                 const std::vector<double>& y);
+  std::vector<double> feature_vector(
+      const PlannedTransfer& transfer,
+      const features::ContentionFeatures& expected_load,
+      bool with_capabilities) const;
+  const Model& model_for(const logs::EdgeKey& edge) const;
+
+  Options options_;
+  bool fitted_ = false;
+  std::map<logs::EdgeKey, Model> edge_models_;
+  Model global_model_;
+  std::map<endpoint::EndpointId, features::EndpointCapability> capabilities_;
+};
+
+}  // namespace xfl::core

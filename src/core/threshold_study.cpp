@@ -1,0 +1,39 @@
+#include "core/threshold_study.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace xfl::core {
+
+std::vector<ThresholdSeries> run_threshold_study(
+    const AnalysisContext& context, const ThresholdStudyConfig& config,
+    ThreadPool* pool) {
+  XFL_EXPECTS(!config.thresholds.empty());
+  const double max_threshold =
+      *std::max_element(config.thresholds.begin(), config.thresholds.end());
+  const auto edges = select_heavy_edges(context, config.min_transfers_at_max,
+                                        max_threshold, config.max_edges);
+
+  std::vector<ThresholdSeries> series(edges.size());
+  auto body = [&](std::size_t i) {
+    ThresholdSeries& entry = series[i];
+    entry.edge = edges[i];
+    for (const double threshold : config.thresholds) {
+      EdgeModelConfig edge_config = config.edge_config;
+      edge_config.load_threshold = threshold;
+      const auto report = study_edge(context, edges[i], edge_config);
+      entry.samples.push_back(report.samples);
+      entry.lr_mdape.push_back(report.lr_mdape);
+      entry.xgb_mdape.push_back(report.xgb_mdape);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(edges.size(), body);
+  } else {
+    for (std::size_t i = 0; i < edges.size(); ++i) body(i);
+  }
+  return series;
+}
+
+}  // namespace xfl::core

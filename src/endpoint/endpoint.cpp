@@ -1,0 +1,69 @@
+#include "endpoint/endpoint.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace xfl::endpoint {
+
+const char* to_string(EndpointType type) {
+  return type == EndpointType::kServer ? "GCS" : "GCP";
+}
+
+EndpointId EndpointCatalog::add(EndpointSpec spec) {
+  XFL_EXPECTS(spec.valid());
+  endpoints_.push_back(std::move(spec));
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+const EndpointSpec& EndpointCatalog::operator[](EndpointId id) const {
+  XFL_EXPECTS(id < endpoints_.size());
+  return endpoints_[id];
+}
+
+bool EndpointCatalog::find(const std::string& name, EndpointId& out) const {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoints_[i].name == name) {
+      out = static_cast<EndpointId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+double cpu_efficiency(double active_processes, double knee) {
+  XFL_EXPECTS(active_processes >= 0.0);
+  XFL_EXPECTS(knee > 0.0);
+  // Quadratic penalty beyond the knee: eta = 1 / (1 + (n/knee)^2). At the
+  // knee the endpoint still delivers 50% of peak per-capacity; far beyond
+  // it aggregate throughput declines, producing Fig. 4's falling tail.
+  const double x = active_processes / knee;
+  return 1.0 / (1.0 + x * x);
+}
+
+EndpointSpec make_dtn(std::string name, net::SiteId site, double nic_gbps) {
+  EndpointSpec spec;
+  spec.name = std::move(name);
+  spec.site = site;
+  spec.type = EndpointType::kServer;
+  spec.nic_in_Bps = gbit(nic_gbps);
+  spec.nic_out_Bps = gbit(nic_gbps);
+  spec.cpu_Bps = gbit(2.0 * nic_gbps);  // CPU rarely the first bottleneck.
+  spec.disk = storage::dtn_parallel_fs();
+  return spec;
+}
+
+EndpointSpec make_personal(std::string name, net::SiteId site, double nic_gbps) {
+  EndpointSpec spec;
+  spec.name = std::move(name);
+  spec.site = site;
+  spec.type = EndpointType::kPersonal;
+  spec.nic_in_Bps = gbit(nic_gbps);
+  spec.nic_out_Bps = gbit(nic_gbps);
+  spec.cpu_Bps = gbit(1.5 * nic_gbps);
+  spec.disk = storage::personal_machine();
+  return spec;
+}
+
+}  // namespace xfl::endpoint

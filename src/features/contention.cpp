@@ -1,0 +1,116 @@
+#include "features/contention.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/contracts.hpp"
+
+namespace xfl::features {
+
+namespace {
+
+/// Overlap time O(i, k) of two records (Eq. 2's helper).
+double overlap_s(const logs::TransferRecord& a, const logs::TransferRecord& b) {
+  return std::max(0.0, std::min(a.end_s, b.end_s) -
+                           std::max(a.start_s, b.start_s));
+}
+
+/// Accumulate the contribution of competitor `other` to `self`'s features
+/// at endpoint `at`, weighted by the overlap fraction of self's duration.
+void accumulate(const logs::TransferRecord& self,
+                const logs::TransferRecord& other, endpoint::EndpointId at,
+                ContentionFeatures& features) {
+  const double weight = overlap_s(self, other) / self.duration_s();
+  if (weight <= 0.0) return;
+  const double rate = other.rate_Bps();
+  const double instances = other.effective_processes();
+  const double streams = other.effective_streams();
+
+  const bool self_src_here = self.src == at;
+  const bool self_dst_here = self.dst == at;
+  const bool other_out_here = other.src == at;
+  const bool other_in_here = other.dst == at;
+
+  if (self_src_here) {
+    // G aggregates competitors in *either* direction at the endpoint
+    // (the paper: "all transfers except k that have src_k as their source
+    // or destination"); K and S are split by flow direction.
+    features.g_src += weight * instances;
+    if (other_out_here) {
+      features.k_sout += weight * rate;
+      features.s_sout += weight * streams;
+    }
+    if (other_in_here) {
+      features.k_sin += weight * rate;
+      features.s_sin += weight * streams;
+    }
+  }
+  if (self_dst_here) {
+    features.g_dst += weight * instances;
+    if (other_out_here) {
+      features.k_dout += weight * rate;
+      features.s_dout += weight * streams;
+    }
+    if (other_in_here) {
+      features.k_din += weight * rate;
+      features.s_din += weight * streams;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log) {
+  std::vector<ContentionFeatures> features(log.size());
+  const auto& records = log.records();
+
+  // Distinct endpoints present in the log.
+  std::set<endpoint::EndpointId> endpoints;
+  for (const auto& record : records) {
+    endpoints.insert(record.src);
+    endpoints.insert(record.dst);
+  }
+
+  for (const auto endpoint_id : endpoints) {
+    const auto indices = log.endpoint_transfers(endpoint_id);
+    // Sweep in start order with an active set ordered by end time.
+    // Each overlapping pair is visited exactly once (when the later-starting
+    // member arrives) and contributes in both directions.
+    struct ActiveEntry {
+      double end_s;
+      std::size_t index;
+      bool operator<(const ActiveEntry& other) const {
+        if (end_s != other.end_s) return end_s < other.end_s;
+        return index < other.index;
+      }
+    };
+    std::set<ActiveEntry> active;
+    for (const std::size_t k : indices) {
+      const auto& self = records[k];
+      // Retire competitors that ended at or before self's start
+      // (zero overlap contributes nothing).
+      while (!active.empty() && active.begin()->end_s <= self.start_s)
+        active.erase(active.begin());
+      for (const auto& entry : active) {
+        const auto& other = records[entry.index];
+        accumulate(self, other, endpoint_id, features[k]);
+        accumulate(other, self, endpoint_id, features[entry.index]);
+      }
+      active.insert({self.end_s, k});
+    }
+  }
+  return features;
+}
+
+double relative_external_load(const logs::TransferRecord& record,
+                              const ContentionFeatures& features) {
+  const double rate = record.rate_Bps();
+  XFL_EXPECTS(rate >= 0.0);
+  const double source_side =
+      features.k_sout > 0.0 ? features.k_sout / (rate + features.k_sout) : 0.0;
+  const double destination_side =
+      features.k_din > 0.0 ? features.k_din / (rate + features.k_din) : 0.0;
+  return std::max(source_side, destination_side);
+}
+
+}  // namespace xfl::features

@@ -1,0 +1,258 @@
+#include "features/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace xfl::features {
+
+namespace {
+
+/// One raw feature row in canonical order (16 columns incl. Nflt).
+std::array<double, kFeatureCount> feature_row(
+    const logs::TransferRecord& record, const ContentionFeatures& contention) {
+  std::array<double, kFeatureCount> row{};
+  row[static_cast<std::size_t>(FeatureId::kKsout)] = to_mbps(contention.k_sout);
+  row[static_cast<std::size_t>(FeatureId::kKdin)] = to_mbps(contention.k_din);
+  row[static_cast<std::size_t>(FeatureId::kC)] = record.concurrency;
+  row[static_cast<std::size_t>(FeatureId::kP)] = record.parallelism;
+  row[static_cast<std::size_t>(FeatureId::kSsout)] = contention.s_sout;
+  row[static_cast<std::size_t>(FeatureId::kSsin)] = contention.s_sin;
+  row[static_cast<std::size_t>(FeatureId::kSdout)] = contention.s_dout;
+  row[static_cast<std::size_t>(FeatureId::kSdin)] = contention.s_din;
+  row[static_cast<std::size_t>(FeatureId::kKsin)] = to_mbps(contention.k_sin);
+  row[static_cast<std::size_t>(FeatureId::kKdout)] = to_mbps(contention.k_dout);
+  row[static_cast<std::size_t>(FeatureId::kNd)] =
+      static_cast<double>(record.dirs);
+  row[static_cast<std::size_t>(FeatureId::kNb)] = record.bytes;
+  row[static_cast<std::size_t>(FeatureId::kNflt)] =
+      static_cast<double>(record.faults);
+  row[static_cast<std::size_t>(FeatureId::kGsrc)] = contention.g_src;
+  row[static_cast<std::size_t>(FeatureId::kGdst)] = contention.g_dst;
+  row[static_cast<std::size_t>(FeatureId::kNf)] =
+      static_cast<double>(record.files);
+  return row;
+}
+
+std::vector<std::string> base_names(bool include_nflt) {
+  std::vector<std::string> names;
+  names.reserve(kFeatureCount);
+  for (std::size_t c = 0; c < kFeatureCount; ++c) {
+    if (!include_nflt && c == static_cast<std::size_t>(FeatureId::kNflt))
+      continue;
+    names.emplace_back(kFeatureNames[c]);
+  }
+  return names;
+}
+
+void push_base_row(const logs::TransferRecord& record,
+                   const ContentionFeatures& contention, bool include_nflt,
+                   std::vector<double>& scratch) {
+  const auto row = feature_row(record, contention);
+  scratch.clear();
+  for (std::size_t c = 0; c < kFeatureCount; ++c) {
+    if (!include_nflt && c == static_cast<std::size_t>(FeatureId::kNflt))
+      continue;
+    scratch.push_back(row[c]);
+  }
+}
+
+}  // namespace
+
+Dataset Dataset::select_features(const std::vector<bool>& keep) const {
+  XFL_EXPECTS(keep.size() == feature_names.size());
+  Dataset out;
+  out.x = x.select_columns(keep);
+  out.y = y;
+  out.record_indices = record_indices;
+  for (std::size_t c = 0; c < keep.size(); ++c)
+    if (keep[c]) out.feature_names.push_back(feature_names[c]);
+  return out;
+}
+
+Dataset build_edge_dataset(const logs::LogStore& log,
+                           const std::vector<ContentionFeatures>& contention,
+                           const logs::EdgeKey& edge,
+                           const DatasetOptions& options) {
+  XFL_EXPECTS(contention.size() == log.size());
+  const auto indices = log.edge_transfers(edge);
+  XFL_EXPECTS(!indices.empty());
+  const double min_rate =
+      options.load_threshold > 0.0
+          ? options.load_threshold * log.edge_max_rate(edge)
+          : 0.0;
+
+  Dataset dataset;
+  dataset.feature_names = base_names(options.include_nflt);
+  std::vector<double> scratch;
+  for (const std::size_t i : indices) {
+    const auto& record = log[i];
+    const double rate = record.rate_Bps();
+    if (rate < min_rate) continue;
+    push_base_row(record, contention[i], options.include_nflt, scratch);
+    dataset.x.push_row(scratch);
+    dataset.y.push_back(to_mbps(rate));
+    dataset.record_indices.push_back(i);
+  }
+  return dataset;
+}
+
+Dataset build_global_dataset(
+    const logs::LogStore& log,
+    const std::vector<ContentionFeatures>& contention,
+    const std::vector<logs::EdgeKey>& edges,
+    const std::map<endpoint::EndpointId, EndpointCapability>& capabilities,
+    const DatasetOptions& options) {
+  XFL_EXPECTS(contention.size() == log.size());
+  XFL_EXPECTS(!edges.empty());
+  Dataset dataset;
+  dataset.feature_names = base_names(options.include_nflt);
+  dataset.feature_names.emplace_back("ROmax_src");
+  dataset.feature_names.emplace_back("RImax_dst");
+  if (options.edge_rtt_s != nullptr)
+    dataset.feature_names.emplace_back("RTT");
+
+  std::vector<double> scratch;
+  for (const auto& edge : edges) {
+    const auto indices = log.edge_transfers(edge);
+    if (indices.empty()) continue;
+    const double min_rate =
+        options.load_threshold > 0.0
+            ? options.load_threshold * log.edge_max_rate(edge)
+            : 0.0;
+    double rtt_s = 0.0;
+    if (options.edge_rtt_s != nullptr) {
+      const auto rtt_it = options.edge_rtt_s->find(edge);
+      XFL_EXPECTS(rtt_it != options.edge_rtt_s->end());
+      rtt_s = rtt_it->second;
+    }
+    for (const std::size_t i : indices) {
+      const auto& record = log[i];
+      const double rate = record.rate_Bps();
+      if (rate < min_rate) continue;
+      push_base_row(record, contention[i], options.include_nflt, scratch);
+      const auto src_it = capabilities.find(record.src);
+      const auto dst_it = capabilities.find(record.dst);
+      XFL_EXPECTS(src_it != capabilities.end() &&
+                  dst_it != capabilities.end());
+      scratch.push_back(to_mbps(src_it->second.ro_max_Bps));
+      scratch.push_back(to_mbps(dst_it->second.ri_max_Bps));
+      if (options.edge_rtt_s != nullptr) scratch.push_back(rtt_s);
+      dataset.x.push_row(scratch);
+      dataset.y.push_back(to_mbps(rate));
+      dataset.record_indices.push_back(i);
+    }
+  }
+  return dataset;
+}
+
+std::vector<bool> variance_mask(const ml::Matrix& x, double mode_threshold) {
+  XFL_EXPECTS(mode_threshold > 0.0 && mode_threshold <= 1.0);
+  std::vector<bool> keep(x.cols(), true);
+  constexpr double kEpsilon = 1.0e-12;
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    auto column = x.column(c);
+    // Modal share: sort and find the longest run of equal values.
+    std::sort(column.begin(), column.end());
+    std::size_t mode_count = 0, run = 1;
+    for (std::size_t i = 1; i < column.size(); ++i) {
+      if (column[i] == column[i - 1]) {
+        ++run;
+      } else {
+        mode_count = std::max(mode_count, run);
+        run = 1;
+      }
+    }
+    mode_count = std::max(mode_count, run);
+    const double mode_fraction =
+        column.empty() ? 1.0
+                       : static_cast<double>(mode_count) /
+                             static_cast<double>(column.size());
+    const double sd = stddev(column);
+    const double scale = std::fabs(mean(column)) + kEpsilon;
+    keep[c] = mode_fraction < mode_threshold && sd > 0.01 * scale;
+  }
+  return keep;
+}
+
+void write_dataset_csv(const Dataset& dataset, std::ostream& out) {
+  CsvWriter writer(out);
+  CsvRow header(dataset.feature_names.begin(), dataset.feature_names.end());
+  header.push_back("rate_mbps");
+  writer.write_row(header);
+  std::vector<double> row(dataset.cols() + 1);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    for (std::size_t c = 0; c < dataset.cols(); ++c)
+      row[c] = dataset.x.at(r, c);
+    row[dataset.cols()] = dataset.y[r];
+    writer.write_row(row);
+  }
+}
+
+Dataset read_dataset_csv(std::istream& in) {
+  const auto rows = read_csv(in);
+  if (rows.empty()) throw std::runtime_error("read_dataset_csv: empty input");
+  const auto& header = rows.front();
+  if (header.size() < 2 || header.back() != "rate_mbps")
+    throw std::runtime_error(
+        "read_dataset_csv: last column must be rate_mbps");
+  Dataset dataset;
+  dataset.feature_names.assign(header.begin(), header.end() - 1);
+  std::vector<double> scratch(dataset.feature_names.size());
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != header.size())
+      throw std::runtime_error("read_dataset_csv: bad column count in row " +
+                               std::to_string(r));
+    for (std::size_t c = 0; c + 1 < row.size(); ++c)
+      scratch[c] = std::stod(row[c]);
+    dataset.x.push_row(scratch);
+    dataset.y.push_back(std::stod(row.back()));
+    dataset.record_indices.push_back(r - 1);
+  }
+  return dataset;
+}
+
+TrainTestSplit split_dataset(const Dataset& dataset, double train_fraction,
+                             std::uint64_t seed) {
+  XFL_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0);
+  XFL_EXPECTS(dataset.rows() >= 2);
+  Rng rng(seed);
+  const auto permutation = rng.permutation(dataset.rows());
+  const auto train_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(train_fraction * static_cast<double>(dataset.rows()))));
+  std::vector<std::size_t> train_rows(permutation.begin(),
+                                      permutation.begin() + train_count);
+  std::vector<std::size_t> test_rows(permutation.begin() + train_count,
+                                     permutation.end());
+  if (test_rows.empty()) {
+    test_rows.push_back(train_rows.back());
+    train_rows.pop_back();
+  }
+
+  auto subset = [&dataset](const std::vector<std::size_t>& rows) {
+    Dataset out;
+    out.feature_names = dataset.feature_names;
+    out.x = dataset.x.select_rows(rows);
+    out.y.reserve(rows.size());
+    out.record_indices.reserve(rows.size());
+    for (const std::size_t r : rows) {
+      out.y.push_back(dataset.y[r]);
+      out.record_indices.push_back(dataset.record_indices[r]);
+    }
+    return out;
+  };
+  return {subset(train_rows), subset(test_rows)};
+}
+
+}  // namespace xfl::features

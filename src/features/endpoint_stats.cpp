@@ -1,0 +1,29 @@
+#include "features/endpoint_stats.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace xfl::features {
+
+std::map<endpoint::EndpointId, EndpointCapability> estimate_capabilities(
+    const logs::LogStore& log,
+    const std::vector<ContentionFeatures>& contention) {
+  XFL_EXPECTS(contention.size() == log.size());
+  std::map<endpoint::EndpointId, EndpointCapability> capabilities;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& record = log[i];
+    const double rate = record.rate_Bps();
+    auto& source = capabilities[record.src];
+    source.dr_max_Bps = std::max(source.dr_max_Bps, rate);
+    source.ro_max_Bps =
+        std::max(source.ro_max_Bps, rate + contention[i].k_sout);
+    auto& destination = capabilities[record.dst];
+    destination.dw_max_Bps = std::max(destination.dw_max_Bps, rate);
+    destination.ri_max_Bps =
+        std::max(destination.ri_max_Bps, rate + contention[i].k_din);
+  }
+  return capabilities;
+}
+
+}  // namespace xfl::features

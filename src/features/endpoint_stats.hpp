@@ -1,0 +1,33 @@
+// Endpoint capability estimation from history.
+//
+// §3.2: with no access to remote endpoints, the paper estimates DRmax as the
+// maximum rate observed with the endpoint as source and DWmax as the maximum
+// with it as destination. §5.4 refines these for the single global model:
+// ROmax(E) = max over transfers x out of E of (R_x + Ksout(x)) and
+// RImax(E) = max over transfers x into E of (R_x + Kdin(x)) — adding back
+// the known competing Globus traffic recovers a tighter capability bound.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "features/contention.hpp"
+#include "logs/log_store.hpp"
+
+namespace xfl::features {
+
+/// Historical capability estimates for one endpoint.
+struct EndpointCapability {
+  double dr_max_Bps = 0.0;  ///< Max observed rate as source (§3.2 DRmax).
+  double dw_max_Bps = 0.0;  ///< Max observed rate as destination (DWmax).
+  double ro_max_Bps = 0.0;  ///< Max outgoing rate incl. known load (§5.4).
+  double ri_max_Bps = 0.0;  ///< Max incoming rate incl. known load (§5.4).
+};
+
+/// Estimate capabilities for every endpoint appearing in the log.
+/// `contention` must be parallel to log.records() (from compute_contention).
+std::map<endpoint::EndpointId, EndpointCapability> estimate_capabilities(
+    const logs::LogStore& log,
+    const std::vector<ContentionFeatures>& contention);
+
+}  // namespace xfl::features

@@ -1,0 +1,59 @@
+#include "features/snapshot.hpp"
+
+namespace xfl::features {
+
+namespace {
+bool in_flight(const logs::TransferRecord& record, double now_s) {
+  return record.start_s <= now_s && now_s < record.end_s;
+}
+}  // namespace
+
+ContentionFeatures snapshot_load(const logs::LogStore& log,
+                                 const logs::EdgeKey& edge, double now_s) {
+  ContentionFeatures features;
+  for (const auto i : log.endpoint_transfers(edge.src)) {
+    const auto& record = log[i];
+    if (!in_flight(record, now_s)) continue;
+    const double rate = record.rate_Bps();
+    const double instances = record.effective_processes();
+    const double streams = record.effective_streams();
+    if (record.src == edge.src) {
+      features.k_sout += rate;
+      features.s_sout += streams;
+      features.g_src += instances;
+    }
+    if (record.dst == edge.src) {
+      features.k_sin += rate;
+      features.s_sin += streams;
+      features.g_src += instances;
+    }
+  }
+  for (const auto i : log.endpoint_transfers(edge.dst)) {
+    const auto& record = log[i];
+    if (!in_flight(record, now_s)) continue;
+    const double rate = record.rate_Bps();
+    const double instances = record.effective_processes();
+    const double streams = record.effective_streams();
+    if (record.src == edge.dst) {
+      features.k_dout += rate;
+      features.s_dout += streams;
+      features.g_dst += instances;
+    }
+    if (record.dst == edge.dst) {
+      features.k_din += rate;
+      features.s_din += streams;
+      features.g_dst += instances;
+    }
+  }
+  return features;
+}
+
+std::size_t active_transfers_at(const logs::LogStore& log,
+                                endpoint::EndpointId id, double now_s) {
+  std::size_t active = 0;
+  for (const auto i : log.endpoint_transfers(id))
+    if (in_flight(log[i], now_s)) ++active;
+  return active;
+}
+
+}  // namespace xfl::features

@@ -1,0 +1,32 @@
+// Live-load snapshots: the bridge between a historical log and a
+// *prediction-time* query.
+//
+// The paper's features are computed after the fact (each transfer's
+// competitors are known once it completes). A scheduler asking "how fast
+// would a transfer starting NOW run?" instead needs the load it should
+// expect: the currently running transfers at the candidate source and
+// destination. This module derives the same K/G/S quantities from the
+// transfers active at a given instant, under the assumption that they keep
+// running at their historical average rate — exactly what a scheduler can
+// know at decision time.
+#pragma once
+
+#include "features/contention.hpp"
+#include "logs/log_store.hpp"
+
+namespace xfl::features {
+
+/// Competing-load features a transfer on `edge` submitted at time `now_s`
+/// should expect, derived from the transfers in `log` that are in flight
+/// at `now_s` (start <= now < end). Each active competitor contributes its
+/// full average rate / instance count / stream count (overlap weight 1:
+/// the candidate transfer is assumed to start inside the competitor's
+/// lifetime).
+ContentionFeatures snapshot_load(const logs::LogStore& log,
+                                 const logs::EdgeKey& edge, double now_s);
+
+/// Number of transfers in flight at `now_s` touching endpoint `id`.
+std::size_t active_transfers_at(const logs::LogStore& log,
+                                endpoint::EndpointId id, double now_s);
+
+}  // namespace xfl::features

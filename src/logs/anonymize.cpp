@@ -1,0 +1,53 @@
+#include "logs/anonymize.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xfl::logs {
+
+AnonymizedLog anonymize(const LogStore& log, std::uint64_t salt) {
+  AnonymizedLog result;
+  if (log.empty()) return result;
+
+  // Collect the distinct endpoints and shuffle their opaque ids with a
+  // salt-keyed permutation.
+  std::set<endpoint::EndpointId> distinct;
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& record : log.records()) {
+    distinct.insert(record.src);
+    distinct.insert(record.dst);
+    earliest = std::min(earliest, record.start_s);
+  }
+  std::vector<endpoint::EndpointId> originals(distinct.begin(), distinct.end());
+  Rng rng(salt);
+  const auto permutation = rng.permutation(originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i)
+    result.endpoint_mapping[originals[i]] =
+        static_cast<endpoint::EndpointId>(permutation[i]);
+  result.time_shift_s = earliest;
+
+  // Renumber transfers in start order with scrubbed endpoints and times.
+  std::vector<std::size_t> order(log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&log](std::size_t a, std::size_t b) {
+    if (log[a].start_s != log[b].start_s) return log[a].start_s < log[b].start_s;
+    return log[a].id < log[b].id;
+  });
+  std::uint64_t next_id = 1;
+  for (const std::size_t i : order) {
+    TransferRecord record = log[i];
+    record.id = next_id++;
+    record.src = result.endpoint_mapping.at(record.src);
+    record.dst = result.endpoint_mapping.at(record.dst);
+    record.start_s -= result.time_shift_s;
+    record.end_s -= result.time_shift_s;
+    result.log.append(record);
+  }
+  return result;
+}
+
+}  // namespace xfl::logs

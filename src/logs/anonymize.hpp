@@ -1,0 +1,36 @@
+// Log anonymisation. The paper's published dataset is anonymised "to
+// protect the privacy of endpoints and users": endpoint identities are
+// replaced with opaque ids and absolute timestamps are shifted. This
+// module reproduces that release step so simulated (or real) logs can be
+// shared without leaking site identities, while preserving everything the
+// models consume: durations, overlaps, sizes, tunables, and the edge
+// structure (the same endpoint always maps to the same opaque id).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "logs/log_store.hpp"
+
+namespace xfl::logs {
+
+/// Result of anonymising a log: the scrubbed store plus the (secret)
+/// mapping from original to opaque endpoint ids, kept so the data owner
+/// can de-anonymise on request.
+struct AnonymizedLog {
+  LogStore log;
+  std::map<endpoint::EndpointId, endpoint::EndpointId> endpoint_mapping;
+  double time_shift_s = 0.0;  ///< Subtracted from every timestamp.
+};
+
+/// Anonymise a log:
+///   * endpoint ids are remapped to dense opaque ids in an order keyed by
+///     `salt` (the same endpoint maps consistently; different salts give
+///     unrelated mappings),
+///   * all timestamps are shifted so the earliest start becomes 0,
+///   * transfer ids are renumbered sequentially in start order.
+/// Rates, durations, overlap structure, sizes, file counts, tunables,
+/// fault counts, and endpoint types are preserved exactly.
+AnonymizedLog anonymize(const LogStore& log, std::uint64_t salt);
+
+}  // namespace xfl::logs

@@ -1,0 +1,167 @@
+#include "logs/log_store.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+
+namespace xfl::logs {
+
+void LogStore::append(TransferRecord record) {
+  XFL_EXPECTS(record.valid());
+  const std::size_t index = records_.size();
+  by_edge_[record.edge()].push_back(index);
+  by_endpoint_[record.src].push_back(index);
+  if (record.dst != record.src) by_endpoint_[record.dst].push_back(index);
+  records_.push_back(std::move(record));
+}
+
+std::vector<EdgeKey> LogStore::edges_by_usage() const {
+  std::vector<EdgeKey> edges;
+  edges.reserve(by_edge_.size());
+  for (const auto& [edge, indices] : by_edge_) edges.push_back(edge);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [this](const EdgeKey& a, const EdgeKey& b) {
+                     return by_edge_.at(a).size() > by_edge_.at(b).size();
+                   });
+  return edges;
+}
+
+std::size_t LogStore::edge_count(const EdgeKey& edge) const {
+  auto it = by_edge_.find(edge);
+  return it == by_edge_.end() ? 0 : it->second.size();
+}
+
+namespace {
+std::vector<std::size_t> sorted_by_start(
+    const std::vector<TransferRecord>& records, std::vector<std::size_t> idx) {
+  std::sort(idx.begin(), idx.end(), [&records](std::size_t a, std::size_t b) {
+    if (records[a].start_s != records[b].start_s)
+      return records[a].start_s < records[b].start_s;
+    return a < b;
+  });
+  return idx;
+}
+}  // namespace
+
+std::vector<std::size_t> LogStore::edge_transfers(const EdgeKey& edge) const {
+  auto it = by_edge_.find(edge);
+  if (it == by_edge_.end()) return {};
+  return sorted_by_start(records_, it->second);
+}
+
+std::vector<std::size_t> LogStore::endpoint_transfers(
+    endpoint::EndpointId id) const {
+  auto it = by_endpoint_.find(id);
+  if (it == by_endpoint_.end()) return {};
+  return sorted_by_start(records_, it->second);
+}
+
+double LogStore::edge_max_rate(const EdgeKey& edge) const {
+  auto it = by_edge_.find(edge);
+  XFL_EXPECTS(it != by_edge_.end() && !it->second.empty());
+  double best = 0.0;
+  for (std::size_t i : it->second) best = std::max(best, records_[i].rate_Bps());
+  return best;
+}
+
+double LogStore::max_rate_as_source(endpoint::EndpointId id) const {
+  auto it = by_endpoint_.find(id);
+  if (it == by_endpoint_.end()) return 0.0;
+  double best = 0.0;
+  for (std::size_t i : it->second)
+    if (records_[i].src == id) best = std::max(best, records_[i].rate_Bps());
+  return best;
+}
+
+double LogStore::max_rate_as_destination(endpoint::EndpointId id) const {
+  auto it = by_endpoint_.find(id);
+  if (it == by_endpoint_.end()) return 0.0;
+  double best = 0.0;
+  for (std::size_t i : it->second)
+    if (records_[i].dst == id) best = std::max(best, records_[i].rate_Bps());
+  return best;
+}
+
+LogStore LogStore::filter(
+    const std::function<bool(const TransferRecord&)>& keep) const {
+  LogStore out;
+  for (const auto& record : records_)
+    if (keep(record)) out.append(record);
+  return out;
+}
+
+namespace {
+constexpr const char* kCsvHeader[] = {
+    "id",          "src",   "dst",   "start_s", "end_s",
+    "bytes",       "files", "dirs",  "C",       "P",
+    "faults",      "src_type",       "dst_type"};
+constexpr std::size_t kCsvColumns = std::size(kCsvHeader);
+}  // namespace
+
+void LogStore::write_csv(std::ostream& out) const {
+  CsvWriter writer(out);
+  CsvRow header(kCsvHeader, kCsvHeader + kCsvColumns);
+  writer.write_row(header);
+  char buf[64];
+  for (const auto& r : records_) {
+    CsvRow row;
+    row.reserve(kCsvColumns);
+    auto push_u = [&row, &buf](std::uint64_t v) {
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+      row.emplace_back(buf);
+    };
+    auto push_d = [&row, &buf](double v) {
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      row.emplace_back(buf);
+    };
+    push_u(r.id);
+    push_u(r.src);
+    push_u(r.dst);
+    push_d(r.start_s);
+    push_d(r.end_s);
+    push_d(r.bytes);
+    push_u(r.files);
+    push_u(r.dirs);
+    push_u(r.concurrency);
+    push_u(r.parallelism);
+    push_u(r.faults);
+    row.emplace_back(to_string(r.src_type));
+    row.emplace_back(to_string(r.dst_type));
+    writer.write_row(row);
+  }
+}
+
+LogStore LogStore::read_csv(std::istream& in) {
+  const auto rows = xfl::read_csv(in);
+  if (rows.empty()) return {};
+  LogStore store;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != kCsvColumns)
+      throw std::runtime_error("LogStore::read_csv: bad column count in row " +
+                               std::to_string(i));
+    TransferRecord r;
+    r.id = std::stoull(row[0]);
+    r.src = static_cast<endpoint::EndpointId>(std::stoul(row[1]));
+    r.dst = static_cast<endpoint::EndpointId>(std::stoul(row[2]));
+    r.start_s = std::stod(row[3]);
+    r.end_s = std::stod(row[4]);
+    r.bytes = std::stod(row[5]);
+    r.files = std::stoull(row[6]);
+    r.dirs = std::stoull(row[7]);
+    r.concurrency = static_cast<std::uint32_t>(std::stoul(row[8]));
+    r.parallelism = static_cast<std::uint32_t>(std::stoul(row[9]));
+    r.faults = static_cast<std::uint32_t>(std::stoul(row[10]));
+    r.src_type = row[11] == "GCP" ? endpoint::EndpointType::kPersonal
+                                  : endpoint::EndpointType::kServer;
+    r.dst_type = row[12] == "GCP" ? endpoint::EndpointType::kPersonal
+                                  : endpoint::EndpointType::kServer;
+    store.append(std::move(r));
+  }
+  return store;
+}
+
+}  // namespace xfl::logs

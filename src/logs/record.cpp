@@ -1,0 +1,4 @@
+#include "logs/record.hpp"
+
+// Header-only logic today; this translation unit anchors the library and is
+// the place for future out-of-line record utilities.

@@ -1,0 +1,71 @@
+// Globus-schema transfer log record. §4 of the paper: "Globus log data
+// provide, for each transfer, start time (Ts), completion time (Te), total
+// bytes transferred, number of files (Nf), number of directories (Nd),
+// values for Globus tunable parameters, source endpoint, and destination
+// endpoint", plus the number of faults (Nflt).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "endpoint/endpoint.hpp"
+
+namespace xfl::logs {
+
+/// Directed endpoint pair key. The paper calls these "edges".
+struct EdgeKey {
+  endpoint::EndpointId src = 0;
+  endpoint::EndpointId dst = 0;
+
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+  friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+};
+
+/// One completed transfer, as Globus would log it.
+struct TransferRecord {
+  std::uint64_t id = 0;
+  endpoint::EndpointId src = 0;
+  endpoint::EndpointId dst = 0;
+  double start_s = 0.0;         ///< Ts
+  double end_s = 0.0;           ///< Te
+  double bytes = 0.0;           ///< Nb
+  std::uint64_t files = 1;      ///< Nf
+  std::uint64_t dirs = 1;       ///< Nd
+  std::uint32_t concurrency = 1;  ///< C
+  std::uint32_t parallelism = 1;  ///< P
+  std::uint32_t faults = 0;     ///< Nflt
+  endpoint::EndpointType src_type = endpoint::EndpointType::kServer;
+  endpoint::EndpointType dst_type = endpoint::EndpointType::kServer;
+
+  /// Wall-clock duration (Te - Ts).
+  double duration_s() const { return end_s - start_s; }
+
+  /// Average transfer rate R = Nb / (Te - Ts) in bytes/second. Requires a
+  /// strictly positive duration.
+  double rate_Bps() const {
+    XFL_EXPECTS(end_s > start_s);
+    return bytes / (end_s - start_s);
+  }
+
+  EdgeKey edge() const { return {src, dst}; }
+
+  /// Effective GridFTP process pairs, min(C, Nf) (see gridftp.hpp).
+  std::uint32_t effective_processes() const {
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(concurrency, files));
+  }
+
+  /// Effective parallel TCP stream count, min(C, Nf) * P.
+  std::uint32_t effective_streams() const {
+    return effective_processes() * parallelism;
+  }
+
+  /// Basic sanity: positive duration, non-negative bytes, >= 1 file/dir.
+  bool valid() const {
+    return end_s > start_s && bytes >= 0.0 && files >= 1 && dirs >= 1 &&
+           concurrency >= 1 && parallelism >= 1;
+  }
+};
+
+}  // namespace xfl::logs

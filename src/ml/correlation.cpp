@@ -1,0 +1,45 @@
+#include "ml/correlation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace xfl::ml {
+
+double pearson_correlation(std::span<const double> x,
+                           std::span<const double> y) {
+  return xfl::pearson(x, y);
+}
+
+std::vector<double> average_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tie group [i, j]: everyone gets the mean of ranks i+1 .. j+1.
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_correlation(std::span<const double> x,
+                            std::span<const double> y) {
+  XFL_EXPECTS(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const auto rx = average_ranks(x);
+  const auto ry = average_ranks(y);
+  return xfl::pearson(rx, ry);
+}
+
+}  // namespace xfl::ml

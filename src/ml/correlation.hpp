@@ -1,0 +1,24 @@
+// Correlation measures for the exploratory analysis of §5.2 / Table 5:
+// Pearson's linear correlation coefficient next to the (nonlinear) maximal
+// information coefficient exposes relationships a linear model cannot use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace xfl::ml {
+
+/// Pearson product-moment correlation (re-exported from common/stats for a
+/// uniform ml:: interface). Returns 0 when either side has zero variance —
+/// matching the paper's "-" entries for uniform-valued features.
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson on average ranks; ties averaged).
+/// Requires equal sizes.
+double spearman_correlation(std::span<const double> x,
+                            std::span<const double> y);
+
+/// Average ranks of a sample (1-based, ties get the mean rank).
+std::vector<double> average_ranks(std::span<const double> values);
+
+}  // namespace xfl::ml

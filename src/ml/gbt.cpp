@@ -1,0 +1,339 @@
+#include "ml/gbt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace xfl::ml {
+
+GradientBoostedTrees::GradientBoostedTrees(GbtConfig config)
+    : config_(config) {
+  XFL_EXPECTS(config_.valid());
+}
+
+double GradientBoostedTrees::Tree::predict(
+    std::span<const double> features) const {
+  std::int32_t index = 0;
+  while (nodes[static_cast<std::size_t>(index)].feature >= 0) {
+    const Node& node = nodes[static_cast<std::size_t>(index)];
+    // <= matches the binning convention: bin b holds values in
+    // (edges[b-1], edges[b]], so "bin <= split_bin" == "value <= threshold".
+    index = features[static_cast<std::size_t>(node.feature)] <= node.threshold
+                ? node.left
+                : node.right;
+  }
+  return nodes[static_cast<std::size_t>(index)].value;
+}
+
+void GradientBoostedTrees::build_bins(const Matrix& x) {
+  bin_edges_.assign(x.cols(), {});
+  const auto max_bins = static_cast<std::size_t>(config_.max_bins);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    auto column = x.column(c);
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+    auto& edges = bin_edges_[c];
+    if (column.size() <= 1) continue;  // Constant feature: no split points.
+    if (column.size() <= max_bins) {
+      // One split candidate between each pair of adjacent distinct values.
+      edges.reserve(column.size() - 1);
+      for (std::size_t i = 0; i + 1 < column.size(); ++i)
+        edges.push_back(0.5 * (column[i] + column[i + 1]));
+    } else {
+      // Quantile sketch: evenly spaced quantiles of the distinct values.
+      edges.reserve(max_bins - 1);
+      for (std::size_t b = 1; b < max_bins; ++b) {
+        const double q = static_cast<double>(b) /
+                         static_cast<double>(max_bins) *
+                         static_cast<double>(column.size() - 1);
+        edges.push_back(column[static_cast<std::size_t>(q)]);
+      }
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+  }
+}
+
+namespace {
+/// Leaf weight under the XGBoost squared-loss objective: -G / (H + lambda).
+double leaf_value(double grad_sum, double hess_sum, double lambda) {
+  return -grad_sum / (hess_sum + lambda);
+}
+
+/// Score term G^2 / (H + lambda).
+double score(double grad_sum, double hess_sum, double lambda) {
+  return grad_sum * grad_sum / (hess_sum + lambda);
+}
+}  // namespace
+
+GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
+    const std::vector<std::vector<std::uint16_t>>& binned,
+    const std::vector<double>& grad, const std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& cols) {
+  Tree tree;
+  // Work queue of nodes to try to split: (node index, depth, rows).
+  struct Pending {
+    std::int32_t node;
+    int depth;
+    std::vector<std::size_t> rows;
+  };
+  std::vector<Pending> pending;
+
+  auto make_leaf_stats = [&](const std::vector<std::size_t>& node_rows) {
+    double grad_sum = 0.0;
+    for (std::size_t r : node_rows) grad_sum += grad[r];
+    return std::pair<double, double>(grad_sum,
+                                     static_cast<double>(node_rows.size()));
+  };
+
+  tree.nodes.push_back({});
+  {
+    const auto [g, h] = make_leaf_stats(rows);
+    tree.nodes[0].value = leaf_value(g, h, config_.lambda);
+  }
+  pending.push_back({0, 0, rows});
+
+  while (!pending.empty()) {
+    Pending task = std::move(pending.back());
+    pending.pop_back();
+    if (task.depth >= config_.max_depth) continue;
+    if (task.rows.size() < 2) continue;
+
+    const auto [parent_grad, parent_hess] = make_leaf_stats(task.rows);
+    if (parent_hess < 2.0 * config_.min_child_weight) continue;
+    const double parent_score = score(parent_grad, parent_hess, config_.lambda);
+
+    double best_gain = config_.gamma;
+    std::size_t best_col = 0;
+    std::size_t best_bin = 0;
+
+    // Histogram scan per candidate column.
+    std::vector<double> hist_grad;
+    std::vector<double> hist_count;
+    for (std::size_t c : cols) {
+      const auto& edges = bin_edges_[c];
+      if (edges.empty()) continue;
+      hist_grad.assign(edges.size() + 1, 0.0);
+      hist_count.assign(edges.size() + 1, 0.0);
+      const auto& column_bins = binned[c];
+      for (std::size_t r : task.rows) {
+        const std::uint16_t bin = column_bins[r];
+        hist_grad[bin] += grad[r];
+        hist_count[bin] += 1.0;
+      }
+      double left_grad = 0.0, left_hess = 0.0;
+      for (std::size_t b = 0; b < edges.size(); ++b) {
+        left_grad += hist_grad[b];
+        left_hess += hist_count[b];
+        const double right_grad = parent_grad - left_grad;
+        const double right_hess = parent_hess - left_hess;
+        if (left_hess < config_.min_child_weight ||
+            right_hess < config_.min_child_weight)
+          continue;
+        const double gain =
+            0.5 * (score(left_grad, left_hess, config_.lambda) +
+                   score(right_grad, right_hess, config_.lambda) -
+                   parent_score);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_col = c;
+          best_bin = b;
+        }
+      }
+    }
+    if (best_gain <= config_.gamma) continue;  // No profitable split.
+
+    // Materialise the split.
+    const double threshold = bin_edges_[best_col][best_bin];
+    std::vector<std::size_t> left_rows, right_rows;
+    left_rows.reserve(task.rows.size());
+    right_rows.reserve(task.rows.size());
+    const auto& column_bins = binned[best_col];
+    for (std::size_t r : task.rows) {
+      if (column_bins[r] <= best_bin)
+        left_rows.push_back(r);
+      else
+        right_rows.push_back(r);
+    }
+    XFL_ENSURES(!left_rows.empty() && !right_rows.empty());
+
+    const auto left_index = static_cast<std::int32_t>(tree.nodes.size());
+    tree.nodes.push_back({});
+    const auto right_index = static_cast<std::int32_t>(tree.nodes.size());
+    tree.nodes.push_back({});
+    {
+      const auto [g, h] = make_leaf_stats(left_rows);
+      tree.nodes[static_cast<std::size_t>(left_index)].value =
+          leaf_value(g, h, config_.lambda);
+    }
+    {
+      const auto [g, h] = make_leaf_stats(right_rows);
+      tree.nodes[static_cast<std::size_t>(right_index)].value =
+          leaf_value(g, h, config_.lambda);
+    }
+    Node& parent = tree.nodes[static_cast<std::size_t>(task.node)];
+    parent.feature = static_cast<std::int32_t>(best_col);
+    parent.threshold = threshold;
+    parent.left = left_index;
+    parent.right = right_index;
+    importance_gain_[best_col] += best_gain;
+
+    pending.push_back({left_index, task.depth + 1, std::move(left_rows)});
+    pending.push_back({right_index, task.depth + 1, std::move(right_rows)});
+  }
+  return tree;
+}
+
+void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
+  XFL_EXPECTS(x.rows() == y.size());
+  XFL_EXPECTS(x.rows() >= 2 && x.cols() >= 1);
+  const std::size_t n = x.rows();
+  feature_count_ = x.cols();
+  trees_.clear();
+  importance_gain_.assign(feature_count_, 0.0);
+
+  build_bins(x);
+
+  // Pre-bin every value: bin b means value in (edges[b-1], edges[b]];
+  // value < edges[0] -> bin 0; value >= edges.back() -> last bin. Stored
+  // column-major for cache-friendly histogram accumulation.
+  std::vector<std::vector<std::uint16_t>> binned(feature_count_);
+  for (std::size_t c = 0; c < feature_count_; ++c) {
+    binned[c].resize(n, 0);
+    const auto& edges = bin_edges_[c];
+    if (edges.empty()) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double value = x.at(r, c);
+      const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+      binned[c][r] =
+          static_cast<std::uint16_t>(std::distance(edges.begin(), it));
+    }
+  }
+
+  base_score_ = mean(y);
+  std::vector<double> predictions(n, base_score_);
+  std::vector<double> grad(n, 0.0);
+
+  Rng rng(config_.seed);
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+  std::vector<std::size_t> all_cols(feature_count_);
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+
+  for (int t = 0; t < config_.trees; ++t) {
+    // Squared loss: g_i = prediction - y_i, h_i = 1 (folded into counts).
+    for (std::size_t i = 0; i < n; ++i) grad[i] = predictions[i] - y[i];
+
+    std::vector<std::size_t> rows;
+    if (config_.subsample < 1.0) {
+      rows.reserve(static_cast<std::size_t>(
+          static_cast<double>(n) * config_.subsample) + 1);
+      for (std::size_t i = 0; i < n; ++i)
+        if (rng.bernoulli(config_.subsample)) rows.push_back(i);
+      if (rows.size() < 2) rows = all_rows;
+    } else {
+      rows = all_rows;
+    }
+
+    std::vector<std::size_t> cols;
+    if (config_.colsample < 1.0 && feature_count_ > 1) {
+      for (std::size_t c = 0; c < feature_count_; ++c)
+        if (rng.bernoulli(config_.colsample)) cols.push_back(c);
+      if (cols.empty()) cols = all_cols;
+    } else {
+      cols = all_cols;
+    }
+
+    Tree tree = grow_tree(binned, grad, rows, cols);
+    // Update predictions over *all* rows with shrinkage.
+    for (std::size_t i = 0; i < n; ++i)
+      predictions[i] += config_.learning_rate * tree.predict(x.row(i));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostedTrees::predict(std::span<const double> features) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(features.size() == feature_count_);
+  double value = base_score_;
+  for (const auto& tree : trees_)
+    value += config_.learning_rate * tree.predict(features);
+  return value;
+}
+
+std::vector<double> GradientBoostedTrees::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+namespace {
+constexpr const char* kModelMagic = "xfl-gbt-v1";
+}  // namespace
+
+void GradientBoostedTrees::save(std::ostream& out) const {
+  XFL_EXPECTS(fitted_);
+  out.precision(17);
+  out << kModelMagic << '\n';
+  out << feature_count_ << ' ' << config_.learning_rate << ' ';
+  out << base_score_ << '\n';
+  out << importance_gain_.size();
+  for (const double gain : importance_gain_) out << ' ' << gain;
+  out << '\n';
+  out << trees_.size() << '\n';
+  for (const auto& tree : trees_) {
+    out << tree.nodes.size() << '\n';
+    for (const auto& node : tree.nodes)
+      out << node.feature << ' ' << node.threshold << ' ' << node.value << ' '
+          << node.left << ' ' << node.right << '\n';
+  }
+}
+
+GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kModelMagic)
+    throw std::runtime_error("GradientBoostedTrees::load: bad magic '" +
+                             magic + "'");
+  GradientBoostedTrees model;
+  std::size_t importance_count = 0, tree_count = 0;
+  in >> model.feature_count_ >> model.config_.learning_rate >>
+      model.base_score_ >> importance_count;
+  model.importance_gain_.resize(importance_count);
+  for (auto& gain : model.importance_gain_) in >> gain;
+  in >> tree_count;
+  model.trees_.resize(tree_count);
+  for (auto& tree : model.trees_) {
+    std::size_t node_count = 0;
+    in >> node_count;
+    tree.nodes.resize(node_count);
+    for (auto& node : tree.nodes)
+      in >> node.feature >> node.threshold >> node.value >> node.left >>
+          node.right;
+  }
+  if (!in)
+    throw std::runtime_error(
+        "GradientBoostedTrees::load: truncated or malformed model");
+  model.fitted_ = true;
+  return model;
+}
+
+std::vector<double> GradientBoostedTrees::feature_importance() const {
+  XFL_EXPECTS(fitted_);
+  std::vector<double> importance = importance_gain_;
+  const double max_gain =
+      *std::max_element(importance.begin(), importance.end());
+  if (max_gain > 0.0)
+    for (double& value : importance) value /= max_gain;
+  return importance;
+}
+
+}  // namespace xfl::ml

@@ -1,0 +1,107 @@
+// Gradient-boosted regression trees in the style of XGBoost (Chen &
+// Guestrin), the nonlinear model of §5.2 of the paper.
+//
+// Implementation notes:
+//   * Second-order (gradient/hessian) boosting of the squared-error
+//     objective with L2 leaf regularisation `lambda`, split penalty
+//     `gamma`, and `min_child_weight` — the exact XGBoost split gain
+//       0.5 * [GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l)] - gamma.
+//   * Histogram (quantile-binned) split finding — the "approximate tree
+//     learning algorithm" the paper credits for XGBoost's efficiency.
+//   * Shrinkage (learning_rate), row subsampling, and per-tree column
+//     subsampling.
+//   * Gain-based feature importance, the quantity Fig. 12 visualises:
+//     "the more an independent variable is used to make the main splits
+//     within the tree, the higher its relative importance."
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace xfl::ml {
+
+/// Training hyperparameters.
+struct GbtConfig {
+  int trees = 200;
+  double learning_rate = 0.08;
+  int max_depth = 4;
+  double min_child_weight = 5.0;  ///< Minimum hessian sum per leaf.
+  double lambda = 1.0;            ///< L2 regularisation on leaf values.
+  double gamma = 0.0;             ///< Minimum gain to split.
+  double subsample = 0.8;         ///< Row fraction per tree.
+  double colsample = 0.9;         ///< Column fraction per tree.
+  int max_bins = 64;              ///< Histogram bins per feature.
+  std::uint64_t seed = 7;
+
+  bool valid() const {
+    return trees >= 1 && learning_rate > 0.0 && max_depth >= 1 &&
+           min_child_weight >= 0.0 && lambda >= 0.0 && gamma >= 0.0 &&
+           subsample > 0.0 && subsample <= 1.0 && colsample > 0.0 &&
+           colsample <= 1.0 && max_bins >= 2;
+  }
+};
+
+/// Gradient-boosted regression tree ensemble.
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(GbtConfig config = {});
+
+  /// Fit on (x, y). Requires x.rows() == y.size() >= 2 and x.cols() >= 1.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// Predict one sample (width must match the fitted data).
+  double predict(std::span<const double> features) const;
+
+  /// Predict many samples.
+  std::vector<double> predict(const Matrix& x) const;
+
+  /// Total split gain attributed to each feature, normalised so the
+  /// maximum is 1 (all zeros if no splits were made). Requires fit().
+  std::vector<double> feature_importance() const;
+
+  bool fitted() const { return fitted_; }
+  const GbtConfig& config() const { return config_; }
+
+  /// Serialise the fitted ensemble to a line-oriented text format
+  /// (version header, base score, learning rate, per-tree node lists).
+  /// Requires fit(). load() restores a model that predicts identically;
+  /// training-only state (bin edges, gain importances) round-trips too.
+  void save(std::ostream& out) const;
+  static GradientBoostedTrees load(std::istream& in);
+
+ private:
+  struct Node {
+    // Internal nodes: feature + threshold (go left when value <= threshold).
+    // Leaves: feature == -1 and `value` is the leaf weight.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double predict(std::span<const double> features) const;
+  };
+
+  void build_bins(const Matrix& x);
+  Tree grow_tree(const std::vector<std::vector<std::uint16_t>>& binned,
+                 const std::vector<double>& grad,
+                 const std::vector<std::size_t>& rows,
+                 const std::vector<std::size_t>& cols);
+
+  GbtConfig config_;
+  bool fitted_ = false;
+  double base_score_ = 0.0;
+  std::size_t feature_count_ = 0;
+  std::vector<Tree> trees_;
+  /// Per-feature ascending bin upper edges (thresholds for raw values).
+  std::vector<std::vector<double>> bin_edges_;
+  std::vector<double> importance_gain_;
+};
+
+}  // namespace xfl::ml

@@ -1,0 +1,52 @@
+#include "ml/linreg.hpp"
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace xfl::ml {
+
+void LinearRegression::fit(const Matrix& x, std::span<const double> y) {
+  XFL_EXPECTS(x.rows() == y.size());
+  XFL_EXPECTS(x.rows() >= x.cols() + 1);
+  // Augment with an intercept column.
+  Matrix design(x.rows(), x.cols() + 1);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    design.at(r, 0) = 1.0;
+    for (std::size_t c = 0; c < x.cols(); ++c) design.at(r, c + 1) = x.at(r, c);
+  }
+  const auto solution = solve_least_squares(design, y);
+  intercept_ = solution[0];
+  coef_.assign(solution.begin() + 1, solution.end());
+  fitted_ = true;
+}
+
+double LinearRegression::predict(std::span<const double> features) const {
+  XFL_EXPECTS(fitted());
+  XFL_EXPECTS(features.size() == coef_.size());
+  double value = intercept_;
+  for (std::size_t c = 0; c < coef_.size(); ++c)
+    value += coef_[c] * features[c];
+  return value;
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  return out;
+}
+
+double LinearRegression::r_squared(const Matrix& x,
+                                   std::span<const double> y) const {
+  XFL_EXPECTS(x.rows() == y.size() && x.rows() >= 1);
+  const double y_mean = mean(y);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double err = y[r] - predict(x.row(r));
+    ss_res += err * err;
+    ss_tot += (y[r] - y_mean) * (y[r] - y_mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace xfl::ml

@@ -1,0 +1,42 @@
+// Ordinary least-squares linear regression (Eq. 3/4 of the paper):
+//   R_i = b0 + b1 x_i1 + ... + bm x_im,
+// with coefficients minimising the residual sum of squares. When fitted on
+// standardised inputs, each coefficient is the unique effect of a one-sigma
+// change in its feature — the quantity Fig. 9 visualises per edge.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/matrix.hpp"
+
+namespace xfl::ml {
+
+/// OLS linear regression with intercept.
+class LinearRegression {
+ public:
+  /// Fit to (x, y). Requires x.rows() == y.size() >= x.cols() + 1.
+  void fit(const Matrix& x, std::span<const double> y);
+
+  /// Predict one sample (size must equal the fitted width).
+  double predict(std::span<const double> features) const;
+
+  /// Predict many samples.
+  std::vector<double> predict(const Matrix& x) const;
+
+  /// Fitted slope per feature. Requires fit() first.
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  bool fitted() const { return !coef_.empty() || fitted_; }
+
+  /// Coefficient of determination on a dataset. Returns 1 for perfect fit;
+  /// can be negative for a model worse than the mean.
+  double r_squared(const Matrix& x, std::span<const double> y) const;
+
+ private:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace xfl::ml

@@ -1,0 +1,121 @@
+#include "ml/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl::ml {
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  XFL_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  XFL_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  XFL_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  XFL_EXPECTS(r < rows_);
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  XFL_EXPECTS(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  XFL_EXPECTS(values.size() == cols_ && cols_ > 0);
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::select_columns(const std::vector<bool>& keep) const {
+  XFL_EXPECTS(keep.size() == cols_);
+  const std::size_t kept =
+      static_cast<std::size_t>(std::count(keep.begin(), keep.end(), true));
+  Matrix out(rows_, kept);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    std::size_t oc = 0;
+    for (std::size_t c = 0; c < cols_; ++c)
+      if (keep[c]) out.at(r, oc++) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    XFL_EXPECTS(indices[i] < rows_);
+    const auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+std::vector<double> solve_least_squares(const Matrix& a,
+                                        std::span<const double> b) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  XFL_EXPECTS(n >= m && m >= 1);
+  XFL_EXPECTS(b.size() == n);
+
+  // Work on copies; Householder QR reduces `work` to upper triangular while
+  // applying the same reflections to rhs.
+  Matrix work = a;
+  std::vector<double> rhs(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < m; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < n; ++i) norm += work.at(i, k) * work.at(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) continue;  // Zero column: leave it; ridge handles later.
+    const double alpha = work.at(k, k) >= 0.0 ? -norm : norm;
+    std::vector<double> v(n - k, 0.0);
+    v[0] = work.at(k, k) - alpha;
+    for (std::size_t i = k + 1; i < n; ++i) v[i - k] = work.at(i, k);
+    double vnorm_sq = 0.0;
+    for (double value : v) vnorm_sq += value * value;
+    if (vnorm_sq == 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to remaining columns and rhs.
+    for (std::size_t c = k; c < m; ++c) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < n; ++i) dot += v[i - k] * work.at(i, c);
+      const double scale = 2.0 * dot / vnorm_sq;
+      for (std::size_t i = k; i < n; ++i) work.at(i, c) -= scale * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < n; ++i) dot += v[i - k] * rhs[i];
+    const double scale = 2.0 * dot / vnorm_sq;
+    for (std::size_t i = k; i < n; ++i) rhs[i] -= scale * v[i - k];
+  }
+
+  // Back substitution with a tiny ridge on (near-)zero pivots.
+  std::vector<double> x(m, 0.0);
+  constexpr double kPivotFloor = 1.0e-10;
+  for (std::size_t kk = m; kk > 0; --kk) {
+    const std::size_t k = kk - 1;
+    double sum = rhs[k];
+    for (std::size_t c = k + 1; c < m; ++c) sum -= work.at(k, c) * x[c];
+    double pivot = work.at(k, k);
+    if (std::fabs(pivot) < kPivotFloor)
+      pivot = pivot >= 0.0 ? kPivotFloor : -kPivotFloor;
+    x[k] = sum / pivot;
+  }
+  return x;
+}
+
+}  // namespace xfl::ml

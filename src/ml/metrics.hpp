@@ -1,0 +1,36 @@
+// Regression error metrics. The paper's headline metric is MdAPE — the
+// median absolute percentage error — plus percentile errors (95th in the
+// LMT study) and per-edge error distributions (Fig. 10 violins).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace xfl::ml {
+
+/// Absolute percentage errors |y - yhat| / |y| * 100 per sample. Samples
+/// with y == 0 are skipped (rate is strictly positive in practice).
+/// Requires equal sizes.
+std::vector<double> absolute_percentage_errors(std::span<const double> y,
+                                               std::span<const double> yhat);
+
+/// Median absolute percentage error, in percent. Requires >= 1 usable sample.
+double mdape(std::span<const double> y, std::span<const double> yhat);
+
+/// Mean absolute percentage error, in percent.
+double mape(std::span<const double> y, std::span<const double> yhat);
+
+/// p-th percentile of the absolute percentage error, in percent.
+double percentile_ape(std::span<const double> y, std::span<const double> yhat,
+                      double p);
+
+/// Root mean squared error.
+double rmse(std::span<const double> y, std::span<const double> yhat);
+
+/// Distribution summary of the absolute percentage errors (Fig. 10 rows).
+xfl::DistributionSummary ape_summary(std::span<const double> y,
+                                     std::span<const double> yhat);
+
+}  // namespace xfl::ml

@@ -1,0 +1,118 @@
+#include "ml/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl::ml {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  XFL_EXPECTS(!start.empty());
+  XFL_EXPECTS(options.max_iterations >= 1);
+  const std::size_t dims = start.size();
+
+  // Standard coefficients: reflection 1, expansion 2, contraction 0.5,
+  // shrink 0.5.
+  constexpr double kAlpha = 1.0, kGamma = 2.0, kRho = 0.5, kSigma = 0.5;
+
+  std::vector<std::vector<double>> simplex(dims + 1, start);
+  for (std::size_t d = 0; d < dims; ++d) {
+    double step = options.initial_step * std::fabs(start[d]);
+    if (step == 0.0) step = options.initial_step;
+    simplex[d + 1][d] += step;
+  }
+  std::vector<double> values(dims + 1);
+  for (std::size_t i = 0; i <= dims; ++i) values[i] = objective(simplex[i]);
+
+  NelderMeadResult result;
+  int iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    // Order the simplex by objective value.
+    std::vector<std::size_t> order(dims + 1);
+    for (std::size_t i = 0; i <= dims; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+      return values[a] < values[b];
+    });
+    const std::size_t best = order.front();
+    const std::size_t worst = order.back();
+    const std::size_t second_worst = order[dims - 1];
+
+    // Converge only when BOTH the f-spread and the simplex diameter are
+    // small: an f-only test stalls on symmetric straddles (two vertices on
+    // opposite slopes of the optimum with equal objective values).
+    double diameter = 0.0;
+    for (std::size_t i = 0; i <= dims; ++i)
+      for (std::size_t d = 0; d < dims; ++d)
+        diameter = std::max(
+            diameter, std::fabs(simplex[i][d] - simplex[best][d]) /
+                          (1.0 + std::fabs(simplex[best][d])));
+    if (std::fabs(values[worst] - values[best]) <= options.tolerance &&
+        diameter <= std::sqrt(options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all points but the worst.
+    std::vector<double> centroid(dims, 0.0);
+    for (std::size_t i = 0; i <= dims; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < dims; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& coordinate : centroid)
+      coordinate /= static_cast<double>(dims);
+
+    auto blend = [&](double factor) {
+      std::vector<double> point(dims);
+      for (std::size_t d = 0; d < dims; ++d)
+        point[d] = centroid[d] + factor * (simplex[worst][d] - centroid[d]);
+      return point;
+    };
+
+    const auto reflected = blend(-kAlpha);
+    const double reflected_value = objective(reflected);
+    if (reflected_value < values[best]) {
+      const auto expanded = blend(-kGamma);
+      const double expanded_value = objective(expanded);
+      if (expanded_value < reflected_value) {
+        simplex[worst] = expanded;
+        values[worst] = expanded_value;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = reflected_value;
+      }
+      continue;
+    }
+    if (reflected_value < values[second_worst]) {
+      simplex[worst] = reflected;
+      values[worst] = reflected_value;
+      continue;
+    }
+    const auto contracted = blend(kRho);
+    const double contracted_value = objective(contracted);
+    if (contracted_value < values[worst]) {
+      simplex[worst] = contracted;
+      values[worst] = contracted_value;
+      continue;
+    }
+    // Shrink towards the best vertex.
+    for (std::size_t i = 0; i <= dims; ++i) {
+      if (i == best) continue;
+      for (std::size_t d = 0; d < dims; ++d)
+        simplex[i][d] =
+            simplex[best][d] + kSigma * (simplex[i][d] - simplex[best][d]);
+      values[i] = objective(simplex[i]);
+    }
+  }
+
+  const std::size_t best = static_cast<std::size_t>(std::distance(
+      values.begin(), std::min_element(values.begin(), values.end())));
+  result.x = simplex[best];
+  result.fx = values[best];
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace xfl::ml

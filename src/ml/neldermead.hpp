@@ -1,0 +1,31 @@
+// Derivative-free simplex minimisation (Nelder & Mead). Used to fit the
+// Weibull curve of Fig. 4; general enough for other small fitting problems.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace xfl::ml {
+
+/// Options for the simplex search.
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double tolerance = 1.0e-10;  ///< Stop when simplex f-spread is below this.
+  double initial_step = 0.1;   ///< Relative perturbation building the simplex.
+};
+
+/// Result of a minimisation.
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise `objective` starting at `start`. Requires a non-empty start and
+/// a callable objective; returns the best point found.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace xfl::ml

@@ -1,0 +1,77 @@
+#include "ml/weibull.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "ml/neldermead.hpp"
+
+namespace xfl::ml {
+
+double WeibullCurve::operator()(double x) const {
+  XFL_EXPECTS(x >= 0.0);
+  if (x == 0.0) return shape > 1.0 ? 0.0 : amplitude * shape / scale;
+  const double z = x / scale;
+  return amplitude * (shape / scale) * std::pow(z, shape - 1.0) *
+         std::exp(-std::pow(z, shape));
+}
+
+double WeibullCurve::mode() const {
+  if (shape <= 1.0) return 0.0;
+  return scale * std::pow((shape - 1.0) / shape, 1.0 / shape);
+}
+
+double weibull_sse(const WeibullCurve& curve, std::span<const double> x,
+                   std::span<const double> y) {
+  XFL_EXPECTS(x.size() == y.size());
+  double sse = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double err = curve(x[i]) - y[i];
+    sse += err * err;
+  }
+  return sse;
+}
+
+WeibullCurve fit_weibull_curve(std::span<const double> x,
+                               std::span<const double> y) {
+  XFL_EXPECTS(x.size() == y.size());
+  XFL_EXPECTS(x.size() >= 3);
+  const double x_max = std::max(max_value(x), 1.0e-12);
+  const double y_max = std::max(max_value(y), 1.0e-12);
+
+  // Optimise in normalised log-parameter space to keep the search scale-free
+  // and the positivity constraints implicit.
+  auto decode = [&](const std::vector<double>& p) {
+    WeibullCurve curve;
+    curve.amplitude = std::exp(p[0]) * y_max * x_max;
+    curve.shape = std::exp(p[1]);
+    curve.scale = std::exp(p[2]) * x_max;
+    return curve;
+  };
+  auto objective = [&](const std::vector<double>& p) {
+    const WeibullCurve curve = decode(p);
+    if (!std::isfinite(curve.amplitude) || !std::isfinite(curve.shape) ||
+        !std::isfinite(curve.scale) || curve.shape > 50.0)
+      return 1.0e300;
+    return weibull_sse(curve, x, y) / (y_max * y_max);
+  };
+
+  // Multi-start over a few plausible shapes/scales; keep the best.
+  NelderMeadResult best;
+  best.fx = 1.0e300;
+  for (const double shape0 : {1.2, 1.8, 3.0}) {
+    for (const double scale0 : {0.3, 0.7}) {
+      std::vector<double> start = {std::log(0.5), std::log(shape0),
+                                   std::log(scale0)};
+      NelderMeadOptions options;
+      options.max_iterations = 4000;
+      options.initial_step = 0.4;
+      const auto result = nelder_mead(objective, start, options);
+      if (result.fx < best.fx) best = result;
+    }
+  }
+  return decode(best.x);
+}
+
+}  // namespace xfl::ml

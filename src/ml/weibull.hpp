@@ -1,0 +1,36 @@
+// Weibull-curve fitting for Fig. 4: "Aggregate incoming transfer rate vs
+// total concurrency ... with Weibull curve fitted". The fitted form is a
+// scaled Weibull density
+//   f(x) = A * (k/l) * (x/l)^(k-1) * exp(-(x/l)^k),
+// which rises to a mode and then declines — the observed shape of aggregate
+// throughput versus total GridFTP instance count.
+#pragma once
+
+#include <span>
+
+namespace xfl::ml {
+
+/// Parameters of the scaled Weibull curve.
+struct WeibullCurve {
+  double amplitude = 1.0;  ///< A (scale of the y axis).
+  double shape = 1.5;      ///< k (> 0).
+  double scale = 1.0;      ///< l (> 0).
+
+  /// Evaluate the curve at x >= 0.
+  double operator()(double x) const;
+
+  /// Location of the maximum: l * ((k-1)/k)^(1/k) for k > 1, else 0.
+  double mode() const;
+};
+
+/// Least-squares fit of the scaled Weibull curve to (x, y) samples with
+/// x >= 0. Requires at least 3 samples and equal sizes. Robust to the
+/// scaling of x and y (internally normalised before Nelder-Mead).
+WeibullCurve fit_weibull_curve(std::span<const double> x,
+                               std::span<const double> y);
+
+/// Sum of squared residuals of a curve on a sample set.
+double weibull_sse(const WeibullCurve& curve, std::span<const double> x,
+                   std::span<const double> y);
+
+}  // namespace xfl::ml

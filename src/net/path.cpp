@@ -1,0 +1,19 @@
+#include "net/path.hpp"
+
+#include "common/contracts.hpp"
+#include "common/geo.hpp"
+
+namespace xfl::net {
+
+WanPath derive_path(const SiteCatalog& sites, SiteId src, SiteId dst,
+                    const PathDefaults& defaults) {
+  const double km = sites.distance_km(src, dst);
+  WanPath path;
+  path.rtt_s = rtt_lower_bound_s(km) + defaults.queueing_rtt_s;
+  path.capacity_Bps = defaults.capacity_Bps;
+  path.loss_rate = defaults.base_loss + defaults.loss_per_1000km * (km / 1000.0);
+  XFL_ENSURES(path.rtt_s > 0.0 && path.loss_rate < 1.0);
+  return path;
+}
+
+}  // namespace xfl::net

@@ -1,0 +1,41 @@
+// Wide-area path model between two sites: round-trip time derived from the
+// great-circle distance, a bottleneck capacity (the narrowest backbone or
+// border link), and a residual packet-loss rate. The simulator treats each
+// directed site pair as one shared "WAN" resource with these parameters.
+#pragma once
+
+#include <cstdint>
+
+#include "net/site.hpp"
+#include "net/tcp_model.hpp"
+
+namespace xfl::net {
+
+/// Parameters of one directed wide-area path.
+struct WanPath {
+  double rtt_s = 0.05;             ///< Round-trip time (seconds).
+  double capacity_Bps = 1.25e9;    ///< Bottleneck link capacity (10 Gb/s default).
+  double loss_rate = 1.0e-6;       ///< Residual segment-loss probability.
+};
+
+/// Defaults used when deriving paths from geometry.
+struct PathDefaults {
+  /// 10 Gb/s R&E backbone share less ~6% TCP/IP framing overhead: a clean
+  /// memory-to-memory GridFTP run peaks near 9.4 Gb/s (Table 1's MM column).
+  double capacity_Bps = 1.175e9;
+  double base_loss = 5.0e-7;       ///< Loss floor on clean paths.
+  /// Loss grows with path length (more hops); calibrated so that a
+  /// ~7,000 km intercontinental path yields MM ~8.9-9.0 Gb/s with 16
+  /// parallel streams, as the paper measured for the CERN edges.
+  double loss_per_1000km = 1.2e-7;
+  double queueing_rtt_s = 0.002;   ///< Stack + queueing additive RTT.
+};
+
+/// Derive a WanPath between two sites from catalogue geometry: RTT is the
+/// propagation lower bound plus a queueing term; loss grows mildly with
+/// distance (intercontinental paths traverse more devices — the paper's
+/// Fig. 6 shows a clear intra- vs intercontinental split).
+WanPath derive_path(const SiteCatalog& sites, SiteId src, SiteId dst,
+                    const PathDefaults& defaults = {});
+
+}  // namespace xfl::net

@@ -1,0 +1,54 @@
+#include "net/site.hpp"
+
+#include "common/contracts.hpp"
+
+namespace xfl::net {
+
+SiteId SiteCatalog::add(Site site) {
+  sites_.push_back(std::move(site));
+  return static_cast<SiteId>(sites_.size() - 1);
+}
+
+const Site& SiteCatalog::operator[](SiteId id) const {
+  XFL_EXPECTS(id < sites_.size());
+  return sites_[id];
+}
+
+bool SiteCatalog::find(const std::string& name, SiteId& out) const {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == name) {
+      out = static_cast<SiteId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+double SiteCatalog::distance_km(SiteId a, SiteId b) const {
+  XFL_EXPECTS(a < sites_.size() && b < sites_.size());
+  return great_circle_km(sites_[a].location, sites_[b].location);
+}
+
+SiteCatalog SiteCatalog::with_known_facilities() {
+  SiteCatalog catalog;
+  // ESnet testbed sites (Table 1).
+  catalog.add({"ANL", {41.708, -87.983}});       // Argonne, IL
+  catalog.add({"BNL", {40.873, -72.872}});       // Brookhaven, NY
+  catalog.add({"CERN", {46.234, 6.053}});        // Geneva, CH
+  catalog.add({"LBL", {37.876, -122.251}});      // Berkeley, CA
+  // Production facilities from Figs. 4 and 8.
+  catalog.add({"NERSC", {37.876, -122.253}});    // Berkeley, CA
+  catalog.add({"ALCF", {41.708, -87.981}});      // Argonne, IL
+  catalog.add({"TACC", {30.390, -97.726}});      // Austin, TX
+  catalog.add({"SDSC", {32.884, -117.239}});     // San Diego, CA
+  catalog.add({"JLAB", {37.098, -76.482}});      // Newport News, VA
+  catalog.add({"UCAR", {40.031, -105.244}});     // Boulder, CO
+  catalog.add({"Colorado", {40.007, -105.266}}); // Boulder, CO
+  catalog.add({"ORNL", {35.931, -84.310}});      // Oak Ridge, TN
+  catalog.add({"PNNL", {46.345, -119.279}});     // Richland, WA
+  catalog.add({"FNAL", {41.840, -88.257}});      // Batavia, IL
+  catalog.add({"NCSA", {40.115, -88.224}});      // Urbana, IL
+  return catalog;
+}
+
+}  // namespace xfl::net

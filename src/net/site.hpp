@@ -1,0 +1,52 @@
+// Site catalogue. A "site" is a physical location hosting one or more
+// endpoints (the paper groups endpoints by location in §3.2: 2,496 edges
+// collapse to 469 site pairs). Real coordinates are included for the
+// facilities named in the paper so that great-circle edge lengths (Table 3,
+// Fig. 6) are realistic; synthetic sites can be added for scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geo.hpp"
+
+namespace xfl::net {
+
+using SiteId = std::uint32_t;
+
+/// A physical location hosting endpoints.
+struct Site {
+  std::string name;
+  GeoPoint location;
+};
+
+/// An append-only catalogue of sites with name lookup.
+class SiteCatalog {
+ public:
+  /// Add a site; returns its id. Duplicate names are allowed but lookup
+  /// returns the first match.
+  SiteId add(Site site);
+
+  const Site& operator[](SiteId id) const;
+  std::size_t size() const { return sites_.size(); }
+
+  /// Find a site id by exact name; returns true and sets `out` on success.
+  bool find(const std::string& name, SiteId& out) const;
+
+  /// Great-circle distance between two catalogued sites, in km.
+  double distance_km(SiteId a, SiteId b) const;
+
+  /// Catalogue preloaded with the facilities named in the paper: the four
+  /// ESnet testbed sites (ANL, BNL, LBL, CERN) and the production sites
+  /// from Figs. 4 and 8 (NERSC, TACC, SDSC, JLAB, UCAR, Colorado, ALCF).
+  static SiteCatalog with_known_facilities();
+
+ private:
+  std::vector<Site> sites_;
+};
+
+/// Names of the four ESnet testbed sites, in the order used by Table 1.
+inline constexpr const char* kEsnetSites[4] = {"ANL", "BNL", "CERN", "LBL"};
+
+}  // namespace xfl::net

@@ -1,0 +1,45 @@
+#include "net/tcp_model.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl::net {
+
+namespace {
+// Effective ceiling used when the loss rate is exactly zero (clean path):
+// large enough never to bind before NIC/link capacity does.
+constexpr double kUnboundedBps = 1.0e12;
+// Streams at which diminishing returns halve the marginal benefit.
+constexpr double kStreamHalfPoint = 64.0;
+}  // namespace
+
+double mathis_throughput_Bps(const TcpConfig& cfg, double rtt_s, double loss_rate) {
+  XFL_EXPECTS(rtt_s > 0.0);
+  XFL_EXPECTS(loss_rate >= 0.0 && loss_rate < 1.0);
+  if (loss_rate == 0.0) return kUnboundedBps;
+  return cfg.mss_bytes / (rtt_s * std::sqrt(2.0 * loss_rate / 3.0));
+}
+
+double window_throughput_Bps(const TcpConfig& cfg, double rtt_s) {
+  XFL_EXPECTS(rtt_s > 0.0);
+  return cfg.max_window_bytes / rtt_s;
+}
+
+double single_stream_ceiling_Bps(const TcpConfig& cfg, double rtt_s,
+                                 double loss_rate) {
+  const double loss_bound = mathis_throughput_Bps(cfg, rtt_s, loss_rate);
+  const double window_bound = window_throughput_Bps(cfg, rtt_s);
+  return loss_bound < window_bound ? loss_bound : window_bound;
+}
+
+double parallel_stream_ceiling_Bps(const TcpConfig& cfg, std::uint32_t streams,
+                                   double rtt_s, double loss_rate) {
+  XFL_EXPECTS(streams >= 1);
+  const double per_stream = single_stream_ceiling_Bps(cfg, rtt_s, loss_rate);
+  const double n = static_cast<double>(streams);
+  const double n_eff = n / (1.0 + n / kStreamHalfPoint);
+  return per_stream * n_eff;
+}
+
+}  // namespace xfl::net

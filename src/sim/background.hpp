@@ -1,0 +1,52 @@
+// Non-Globus background load. The paper's central "unknown" (§4.3.2) is
+// competing activity that Globus logs cannot see: other transfer tools,
+// local analysis jobs hammering the filesystem, and unrelated WAN traffic.
+// We model each such activity as an on/off Markov process that, while on,
+// injects a constant-demand flow onto one simulated component. The
+// simulator knows these flows (it must, to allocate rates), but the
+// *transfer log* never records them — exactly the information asymmetry
+// the paper studies. Only the LMT monitor scenario (§5.5.2) observes them.
+#pragma once
+
+#include <cstdint>
+
+#include "endpoint/endpoint.hpp"
+#include "net/site.hpp"
+
+namespace xfl::sim {
+
+/// Which component of the system a background process loads.
+enum class Component : std::uint8_t {
+  kDiskRead,   ///< Endpoint storage, read side (e.g. local analysis jobs).
+  kDiskWrite,  ///< Endpoint storage, write side.
+  kNicIn,      ///< Endpoint NIC, incoming (e.g. non-Globus downloads).
+  kNicOut,     ///< Endpoint NIC, outgoing.
+  kWan,        ///< A directed wide-area path (cross traffic).
+};
+
+/// Static description of one background-load process.
+struct BackgroundSpec {
+  Component component = Component::kDiskRead;
+  /// Target endpoint for the four endpoint components (ignored for kWan).
+  endpoint::EndpointId endpoint = 0;
+  /// Target directed site pair for kWan (ignored otherwise).
+  net::SiteId wan_src = 0;
+  net::SiteId wan_dst = 0;
+  /// Demand while on, drawn uniformly from [demand_lo, demand_hi] at each
+  /// on-transition.
+  double demand_lo_Bps = 5.0e7;
+  double demand_hi_Bps = 2.0e8;
+  /// Mean sojourn times of the on/off Markov chain.
+  double mean_on_s = 600.0;
+  double mean_off_s = 1800.0;
+  /// Share weight of the background flow on its resource (a non-Globus
+  /// transfer tool typically opens several streams).
+  double weight = 4.0;
+
+  bool valid() const {
+    return demand_lo_Bps >= 0.0 && demand_hi_Bps >= demand_lo_Bps &&
+           mean_on_s > 0.0 && mean_off_s > 0.0 && weight > 0.0;
+  }
+};
+
+}  // namespace xfl::sim

@@ -1,0 +1,59 @@
+#include "sim/probe.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace xfl::sim {
+
+double measure_max_rate_Bps(const net::SiteCatalog& sites,
+                            const endpoint::EndpointCatalog& endpoints,
+                            const SimConfig& sim_config,
+                            endpoint::EndpointId src, endpoint::EndpointId dst,
+                            ProbeKind kind, const ProbeConfig& probe) {
+  XFL_EXPECTS(probe.repetitions >= 1);
+  XFL_EXPECTS(probe.bytes > 0.0);
+  Simulator simulator(sites, endpoints, sim_config);
+  // Repetitions run strictly back to back: space submissions by a gap no
+  // transfer can outlast (1 MB/s worst case plus generous slack).
+  const double gap_s = probe.bytes / 1.0e6 + 3600.0;
+  for (int rep = 0; rep < probe.repetitions; ++rep) {
+    TransferRequest req;
+    req.id = static_cast<std::uint64_t>(rep) + 1;
+    req.src = src;
+    req.dst = dst;
+    req.submit_s = static_cast<double>(rep) * gap_s;
+    req.bytes = probe.bytes;
+    req.files = probe.files;
+    req.dirs = 1;
+    req.params = probe.params;
+    req.use_src_disk =
+        kind == ProbeKind::kDiskToDisk || kind == ProbeKind::kDiskToNull;
+    req.use_dst_disk =
+        kind == ProbeKind::kDiskToDisk || kind == ProbeKind::kZeroToDisk;
+    simulator.submit(req);
+  }
+  const SimResult result = simulator.run();
+  double best = 0.0;
+  for (const auto& record : result.log.records())
+    best = std::max(best, record.rate_Bps());
+  return best;
+}
+
+SubsystemMaxima measure_subsystem_maxima(
+    const net::SiteCatalog& sites, const endpoint::EndpointCatalog& endpoints,
+    const SimConfig& sim_config, endpoint::EndpointId src,
+    endpoint::EndpointId dst, const ProbeConfig& probe) {
+  SubsystemMaxima maxima;
+  maxima.r_max = measure_max_rate_Bps(sites, endpoints, sim_config, src, dst,
+                                      ProbeKind::kDiskToDisk, probe);
+  maxima.dw_max = measure_max_rate_Bps(sites, endpoints, sim_config, src, dst,
+                                       ProbeKind::kZeroToDisk, probe);
+  maxima.dr_max = measure_max_rate_Bps(sites, endpoints, sim_config, src, dst,
+                                       ProbeKind::kDiskToNull, probe);
+  maxima.mm_max = measure_max_rate_Bps(sites, endpoints, sim_config, src, dst,
+                                       ProbeKind::kMemToMem, probe);
+  return maxima;
+}
+
+}  // namespace xfl::sim

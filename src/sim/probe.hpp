@@ -1,0 +1,62 @@
+// Probe services: the controlled measurements of §3 of the paper.
+//
+// Table 1 derives four quantities per directed testbed edge by running
+// transfers that bypass one or both disks:
+//   * DRmax — disk to /dev/null (source disk + network, no dest disk),
+//   * DWmax — /dev/zero to disk (network + dest disk, no source disk),
+//   * MMmax — /dev/zero to /dev/null (memory-to-memory; also what a
+//              perfSONAR/iperf3 probe measures in §3.2),
+//   * Rmax  — ordinary disk-to-disk transfer.
+// Each experiment is repeated and the maximum is kept, mirroring the paper
+// ("at least five repetitions ... selected the maximum observed values").
+#pragma once
+
+#include <cstdint>
+
+#include "endpoint/endpoint.hpp"
+#include "endpoint/gridftp.hpp"
+#include "net/site.hpp"
+#include "sim/simulator.hpp"
+
+namespace xfl::sim {
+
+/// Which subsystem combination a probe exercises.
+enum class ProbeKind : std::uint8_t {
+  kDiskToDisk,  ///< Rmax: full end-to-end path.
+  kZeroToDisk,  ///< DWmax: source disk bypassed.
+  kDiskToNull,  ///< DRmax: destination disk bypassed.
+  kMemToMem,    ///< MMmax: both disks bypassed (perfSONAR stand-in).
+};
+
+/// Probe parameters.
+struct ProbeConfig {
+  double bytes = 1.0e11;  ///< 100 GB per repetition (dwarfs startup cost).
+  std::uint64_t files = 8;
+  int repetitions = 5;
+  endpoint::GridFtpParams params{
+      .concurrency = 4, .parallelism = 4, .integrity_check = false};
+};
+
+/// Run `repetitions` back-to-back probe transfers of the given kind on an
+/// otherwise idle system and return the maximum observed rate (bytes/s).
+double measure_max_rate_Bps(const net::SiteCatalog& sites,
+                            const endpoint::EndpointCatalog& endpoints,
+                            const SimConfig& sim_config,
+                            endpoint::EndpointId src, endpoint::EndpointId dst,
+                            ProbeKind kind, const ProbeConfig& probe = {});
+
+/// All four Table 1 quantities for one directed edge, in bytes/second.
+struct SubsystemMaxima {
+  double r_max = 0.0;   ///< Disk-to-disk.
+  double dw_max = 0.0;  ///< Destination disk write.
+  double dr_max = 0.0;  ///< Source disk read.
+  double mm_max = 0.0;  ///< Memory-to-memory.
+};
+
+/// Measure all four maxima (4 * repetitions transfers).
+SubsystemMaxima measure_subsystem_maxima(
+    const net::SiteCatalog& sites, const endpoint::EndpointCatalog& endpoints,
+    const SimConfig& sim_config, endpoint::EndpointId src,
+    endpoint::EndpointId dst, const ProbeConfig& probe = {});
+
+}  // namespace xfl::sim

@@ -1,0 +1,33 @@
+// Transfer request submitted to the simulator: what a Globus user asks for.
+#pragma once
+
+#include <cstdint>
+
+#include "endpoint/endpoint.hpp"
+#include "endpoint/gridftp.hpp"
+
+namespace xfl::sim {
+
+/// One requested disk-to-disk (or probe) transfer.
+struct TransferRequest {
+  std::uint64_t id = 0;
+  endpoint::EndpointId src = 0;
+  endpoint::EndpointId dst = 0;
+  double submit_s = 0.0;      ///< Arrival time in simulation seconds.
+  double bytes = 0.0;         ///< Total payload.
+  std::uint64_t files = 1;
+  std::uint64_t dirs = 1;
+  endpoint::GridFtpParams params;
+  /// Probe switches (§3.1 experiments): /dev/zero as source skips the
+  /// source disk; /dev/null as destination skips the destination disk;
+  /// both false gives a memory-to-memory (iperf-like) probe.
+  bool use_src_disk = true;
+  bool use_dst_disk = true;
+
+  bool valid() const {
+    return bytes >= 0.0 && files >= 1 && dirs >= 1 && params.valid() &&
+           src != dst;
+  }
+};
+
+}  // namespace xfl::sim

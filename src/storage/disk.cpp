@@ -1,0 +1,45 @@
+#include "storage/disk.hpp"
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace xfl::storage {
+
+double file_overhead_efficiency_Bps(double granted_Bps, double mean_file_bytes,
+                                    double overhead_s) {
+  XFL_EXPECTS(granted_Bps >= 0.0);
+  XFL_EXPECTS(mean_file_bytes > 0.0);
+  XFL_EXPECTS(overhead_s >= 0.0);
+  if (granted_Bps == 0.0) return 0.0;
+  return granted_Bps * mean_file_bytes /
+         (mean_file_bytes + granted_Bps * overhead_s);
+}
+
+DiskSpec dtn_parallel_fs() {
+  DiskSpec spec;
+  spec.read_Bps = gbit(9.3);
+  spec.write_Bps = gbit(7.8);
+  spec.per_file_overhead_s = 0.03;
+  spec.per_dir_overhead_s = 0.15;
+  return spec;
+}
+
+DiskSpec midrange_server() {
+  DiskSpec spec;
+  spec.read_Bps = gbit(3.0);
+  spec.write_Bps = gbit(2.0);
+  spec.per_file_overhead_s = 0.05;
+  spec.per_dir_overhead_s = 0.2;
+  return spec;
+}
+
+DiskSpec personal_machine() {
+  DiskSpec spec;
+  spec.read_Bps = gbit(0.8);
+  spec.write_Bps = gbit(0.5);
+  spec.per_file_overhead_s = 0.08;
+  spec.per_dir_overhead_s = 0.3;
+  return spec;
+}
+
+}  // namespace xfl::storage

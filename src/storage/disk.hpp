@@ -1,0 +1,40 @@
+// Storage-system model for a data transfer node. The paper's Eq. 1 bound
+// needs only the maximum sequential read/write rates; the feature analysis
+// (Fig. 5) additionally needs per-file and per-directory costs — a transfer
+// of many small files pays a metadata/open/close price per file and lock
+// contention per directory on parallel filesystems (§4.2).
+#pragma once
+
+namespace xfl::storage {
+
+/// Static description of an endpoint's storage system.
+struct DiskSpec {
+  double read_Bps = 1.0e9;        ///< Max aggregate sequential read rate.
+  double write_Bps = 8.0e8;       ///< Max aggregate sequential write rate.
+  double per_file_overhead_s = 0.05;  ///< Open/close/metadata cost per file.
+  double per_dir_overhead_s = 0.2;    ///< Directory create/lock cost.
+
+  /// Validate invariants (positive rates, non-negative overheads).
+  bool valid() const {
+    return read_Bps > 0.0 && write_Bps > 0.0 && per_file_overhead_s >= 0.0 &&
+           per_dir_overhead_s >= 0.0;
+  }
+};
+
+/// Effective throughput of one worker streaming files of mean size
+/// `mean_file_bytes` when the storage+network path grants it `granted_Bps`:
+/// each file costs `per_file_overhead_s` of dead time, so the worker
+/// achieves granted * s / (s + granted * t_o). This is the fixed-point
+/// efficiency described in DESIGN.md §5.2.
+/// Preconditions: granted_Bps >= 0, mean_file_bytes > 0, overhead_s >= 0.
+double file_overhead_efficiency_Bps(double granted_Bps, double mean_file_bytes,
+                                    double overhead_s);
+
+/// Pre-made specs roughly matching classes of deployments seen in the log
+/// study: high-end parallel-filesystem DTNs, mid-range servers, and Globus
+/// Connect Personal laptops/workstations.
+DiskSpec dtn_parallel_fs();   ///< ~9.3 Gb/s read, ~7.8 Gb/s write (ESnet DTN class).
+DiskSpec midrange_server();   ///< ~3 Gb/s read, ~2 Gb/s write.
+DiskSpec personal_machine();  ///< ~0.8 Gb/s read, ~0.5 Gb/s write.
+
+}  // namespace xfl::storage

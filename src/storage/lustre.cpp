@@ -1,0 +1,57 @@
+#include "storage/lustre.hpp"
+
+#include <algorithm>
+
+namespace xfl::storage {
+
+void LmtLog::append(LmtSample sample) {
+  XFL_EXPECTS(sample.ost_read_Bps.size() == ost_count_);
+  XFL_EXPECTS(sample.ost_write_Bps.size() == ost_count_);
+  XFL_EXPECTS(sample.oss_cpu_load.size() == oss_count_);
+  XFL_EXPECTS(samples_.empty() || samples_.back().time_s <= sample.time_s);
+  samples_.push_back(std::move(sample));
+}
+
+template <typename Extract>
+double LmtLog::mean_over(double t0, double t1, Extract&& extract) const {
+  XFL_EXPECTS(t0 <= t1);
+  double sum = 0.0;
+  std::size_t count = 0;
+  // Samples are time-ordered; binary search the window start.
+  auto first = std::lower_bound(
+      samples_.begin(), samples_.end(), t0,
+      [](const LmtSample& s, double t) { return s.time_s < t; });
+  for (auto it = first; it != samples_.end() && it->time_s <= t1; ++it) {
+    sum += extract(*it);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double LmtLog::mean_ost_read(std::uint32_t ost, double t0, double t1) const {
+  XFL_EXPECTS(ost < ost_count_);
+  return mean_over(t0, t1,
+                   [ost](const LmtSample& s) { return s.ost_read_Bps[ost]; });
+}
+
+double LmtLog::mean_ost_write(std::uint32_t ost, double t0, double t1) const {
+  XFL_EXPECTS(ost < ost_count_);
+  return mean_over(t0, t1,
+                   [ost](const LmtSample& s) { return s.ost_write_Bps[ost]; });
+}
+
+double LmtLog::mean_oss_cpu(std::uint32_t oss, double t0, double t1) const {
+  XFL_EXPECTS(oss < oss_count_);
+  return mean_over(t0, t1,
+                   [oss](const LmtSample& s) { return s.oss_cpu_load[oss]; });
+}
+
+LustreSpec nersc_like_lustre(std::uint32_t osts, std::uint32_t oss) {
+  XFL_EXPECTS(osts >= 1 && oss >= 1);
+  LustreSpec spec;
+  spec.osts.assign(osts, OstSpec{});
+  spec.oss_count = oss;
+  return spec;
+}
+
+}  // namespace xfl::storage

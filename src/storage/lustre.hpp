@@ -1,0 +1,86 @@
+// Lustre-style parallel filesystem model with LMT-style monitoring.
+//
+// §5.5.2 of the paper runs controlled transfers between two Lustre
+// filesystems at NERSC while the Lustre Monitoring Tool samples, every five
+// seconds, (a) disk I/O load on each object storage target (OST) and
+// (b) CPU load on each object storage server (OSS). Those four series —
+// source OSS CPU, destination OSS CPU, source OST read load, destination
+// OST write load — become extra model features and collapse the prediction
+// error. This module provides the corresponding simulated system: a set of
+// OSTs behind OSS servers, an assignment of transfers to OSTs, and a
+// sampling monitor that exposes the *true* injected load (Globus and
+// non-Globus alike) exactly as LMT would.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace xfl::storage {
+
+/// One object storage target.
+struct OstSpec {
+  double read_Bps = 5.0e8;
+  double write_Bps = 4.0e8;
+};
+
+/// Static description of a Lustre filesystem: `osts` spread evenly over
+/// `oss_count` object storage servers.
+struct LustreSpec {
+  std::vector<OstSpec> osts;
+  std::uint32_t oss_count = 1;
+
+  bool valid() const { return !osts.empty() && oss_count >= 1; }
+
+  /// OSS index serving a given OST (round-robin layout).
+  std::uint32_t oss_of(std::uint32_t ost_index) const {
+    XFL_EXPECTS(ost_index < osts.size());
+    return ost_index % oss_count;
+  }
+};
+
+/// One LMT sample: instantaneous load on every OST and OSS at a timestamp.
+struct LmtSample {
+  double time_s = 0.0;
+  std::vector<double> ost_read_Bps;   ///< Per-OST read load.
+  std::vector<double> ost_write_Bps;  ///< Per-OST write load.
+  std::vector<double> oss_cpu_load;   ///< Per-OSS CPU load in [0, ~1+].
+};
+
+/// Time-ordered LMT sample log for one filesystem, with interval queries.
+class LmtLog {
+ public:
+  explicit LmtLog(std::size_t ost_count, std::size_t oss_count)
+      : ost_count_(ost_count), oss_count_(oss_count) {}
+
+  std::size_t ost_count() const { return ost_count_; }
+  std::size_t oss_count() const { return oss_count_; }
+  std::size_t size() const { return samples_.size(); }
+  const LmtSample& operator[](std::size_t i) const { return samples_[i]; }
+
+  /// Append a sample; samples must arrive in non-decreasing time order and
+  /// match the configured OST/OSS counts.
+  void append(LmtSample sample);
+
+  /// Mean of a per-OST read series over [t0, t1] for one OST. Returns 0 if
+  /// no samples fall in the window.
+  double mean_ost_read(std::uint32_t ost, double t0, double t1) const;
+  double mean_ost_write(std::uint32_t ost, double t0, double t1) const;
+  double mean_oss_cpu(std::uint32_t oss, double t0, double t1) const;
+
+ private:
+  template <typename Extract>
+  double mean_over(double t0, double t1, Extract&& extract) const;
+
+  std::size_t ost_count_;
+  std::size_t oss_count_;
+  std::vector<LmtSample> samples_;
+};
+
+/// The NERSC-like configuration used by the §5.5.2 scenario: two mid-size
+/// Lustre filesystems (one "Edison-shared", one "DTN") with several OSTs.
+LustreSpec nersc_like_lustre(std::uint32_t osts = 8, std::uint32_t oss = 4);
+
+}  // namespace xfl::storage

@@ -1,0 +1,67 @@
+#include "core/analytical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace xfl::core {
+namespace {
+
+TEST(Analytical, RmaxIsMinOfThree) {
+  const BoundEstimate estimate{gbit(9.3), gbit(9.4), gbit(7.8)};
+  EXPECT_DOUBLE_EQ(estimate.r_max_Bps(), gbit(7.8));
+}
+
+TEST(Analytical, BottleneckClassification) {
+  EXPECT_EQ((BoundEstimate{1.0, 2.0, 3.0}).bottleneck(), Bottleneck::kDiskRead);
+  EXPECT_EQ((BoundEstimate{3.0, 1.0, 2.0}).bottleneck(), Bottleneck::kNetwork);
+  EXPECT_EQ((BoundEstimate{3.0, 2.0, 1.0}).bottleneck(), Bottleneck::kDiskWrite);
+}
+
+TEST(Analytical, BottleneckTieFavoursDeterministicOrder) {
+  // Ties pick disk read first, then disk write, then network.
+  EXPECT_EQ((BoundEstimate{1.0, 1.0, 1.0}).bottleneck(), Bottleneck::kDiskRead);
+  EXPECT_EQ((BoundEstimate{2.0, 1.0, 1.0}).bottleneck(), Bottleneck::kDiskWrite);
+}
+
+TEST(Analytical, ToStringLabels) {
+  EXPECT_STREQ(to_string(Bottleneck::kDiskRead), "disk read");
+  EXPECT_STREQ(to_string(Bottleneck::kNetwork), "network");
+  EXPECT_STREQ(to_string(Bottleneck::kDiskWrite), "disk write");
+}
+
+TEST(Analytical, ValidationWindow) {
+  const BoundEstimate estimate{100.0, 200.0, 300.0};  // Rmax = 100.
+  // §3.2: consistent means observed in [0.8, 1.2] x Rmax.
+  EXPECT_TRUE(validate_bound(100.0, estimate).consistent);
+  EXPECT_TRUE(validate_bound(80.0, estimate).consistent);
+  EXPECT_TRUE(validate_bound(120.0, estimate).consistent);
+  EXPECT_FALSE(validate_bound(79.0, estimate).consistent);
+  EXPECT_FALSE(validate_bound(121.0, estimate).consistent);
+}
+
+TEST(Analytical, ExceedsFlagsBadEstimate) {
+  // §3.2 found edges whose Globus rate beat the perfSONAR MMmax because
+  // the probe host had a smaller NIC; those are flagged, not "consistent".
+  const BoundEstimate estimate{100.0, 50.0, 100.0};
+  const auto validation = validate_bound(90.0, estimate);
+  EXPECT_TRUE(validation.exceeds);
+  EXPECT_FALSE(validation.consistent);
+  EXPECT_EQ(validation.bottleneck, Bottleneck::kNetwork);
+}
+
+TEST(Analytical, RatioReported) {
+  const BoundEstimate estimate{100.0, 200.0, 400.0};
+  EXPECT_DOUBLE_EQ(validate_bound(50.0, estimate).ratio, 0.5);
+}
+
+TEST(Analytical, ContractChecks) {
+  const BoundEstimate zero{0.0, 1.0, 1.0};
+  EXPECT_THROW(validate_bound(1.0, zero), xfl::ContractViolation);
+  const BoundEstimate ok{1.0, 1.0, 1.0};
+  EXPECT_THROW(validate_bound(-1.0, ok), xfl::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xfl::core

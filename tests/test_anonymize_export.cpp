@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "features/contention.hpp"
+#include "features/dataset.hpp"
+#include "logs/anonymize.hpp"
+
+namespace xfl {
+namespace {
+
+logs::LogStore sample_log() {
+  logs::LogStore log;
+  Rng rng(3);
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    logs::TransferRecord r;
+    r.id = i * 7;  // Non-sequential ids.
+    r.src = static_cast<endpoint::EndpointId>(10 + rng.uniform_int(0, 3));
+    r.dst = static_cast<endpoint::EndpointId>(20 + rng.uniform_int(0, 3));
+    r.start_s = 1.0e6 + rng.uniform(0.0, 5000.0);
+    r.end_s = r.start_s + rng.uniform(5.0, 300.0);
+    r.bytes = rng.uniform(1e8, 1e11);
+    r.files = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+    r.dirs = 1;
+    r.concurrency = 4;
+    r.parallelism = 2;
+    r.faults = i % 5 == 0 ? 2 : 0;
+    log.append(r);
+  }
+  return log;
+}
+
+TEST(Anonymize, TimesShiftedToZeroOrigin) {
+  const auto original = sample_log();
+  const auto anonymized = logs::anonymize(original, 99);
+  double earliest = 1e30;
+  for (const auto& r : anonymized.log.records())
+    earliest = std::min(earliest, r.start_s);
+  EXPECT_DOUBLE_EQ(earliest, 0.0);
+  EXPECT_GT(anonymized.time_shift_s, 0.0);
+}
+
+TEST(Anonymize, DurationsRatesAndPayloadPreserved) {
+  const auto original = sample_log();
+  const auto anonymized = logs::anonymize(original, 99);
+  ASSERT_EQ(anonymized.log.size(), original.size());
+  // Anonymised records are re-ordered by start time; compare multisets of
+  // (duration, bytes, files, faults).
+  auto signature = [](const logs::LogStore& log) {
+    std::multiset<std::tuple<double, double, std::uint64_t, std::uint32_t>> s;
+    for (const auto& r : log.records())
+      s.insert({r.duration_s(), r.bytes, r.files, r.faults});
+    return s;
+  };
+  EXPECT_EQ(signature(original), signature(anonymized.log));
+}
+
+TEST(Anonymize, EndpointMappingConsistentAndDense) {
+  const auto original = sample_log();
+  const auto anonymized = logs::anonymize(original, 5);
+  // All mapped ids are dense in [0, n_endpoints).
+  std::set<endpoint::EndpointId> mapped;
+  for (const auto& [from, to] : anonymized.endpoint_mapping) mapped.insert(to);
+  EXPECT_EQ(mapped.size(), anonymized.endpoint_mapping.size());
+  EXPECT_EQ(*mapped.rbegin(),
+            static_cast<endpoint::EndpointId>(mapped.size() - 1));
+  // The same original endpoint always maps to the same opaque id.
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& scrubbed = anonymized.log;
+    (void)scrubbed;
+  }
+}
+
+TEST(Anonymize, EdgeStructurePreserved) {
+  const auto original = sample_log();
+  const auto anonymized = logs::anonymize(original, 7);
+  // Per-edge transfer counts survive the remap (edges keep their sizes).
+  std::multiset<std::size_t> before, after;
+  for (const auto& edge : original.edges_by_usage())
+    before.insert(original.edge_count(edge));
+  for (const auto& edge : anonymized.log.edges_by_usage())
+    after.insert(anonymized.log.edge_count(edge));
+  EXPECT_EQ(before, after);
+}
+
+TEST(Anonymize, DifferentSaltsDifferentMappings) {
+  const auto original = sample_log();
+  const auto a = logs::anonymize(original, 1);
+  const auto b = logs::anonymize(original, 2);
+  EXPECT_NE(a.endpoint_mapping, b.endpoint_mapping);
+  // Same salt: identical output (release reproducibility).
+  const auto a2 = logs::anonymize(original, 1);
+  EXPECT_EQ(a.endpoint_mapping, a2.endpoint_mapping);
+}
+
+TEST(Anonymize, IdsRenumberedSequentially) {
+  const auto anonymized = logs::anonymize(sample_log(), 11);
+  std::uint64_t expected = 1;
+  for (const auto& r : anonymized.log.records()) EXPECT_EQ(r.id, expected++);
+}
+
+TEST(Anonymize, EmptyLog) {
+  logs::LogStore empty;
+  const auto anonymized = logs::anonymize(empty, 1);
+  EXPECT_TRUE(anonymized.log.empty());
+  EXPECT_TRUE(anonymized.endpoint_mapping.empty());
+}
+
+TEST(Anonymize, ContentionFeaturesInvariant) {
+  // The features the models consume must be identical before and after
+  // anonymisation (overlap structure is untouched).
+  const auto original = sample_log();
+  const auto anonymized = logs::anonymize(original, 123);
+  const auto before = features::compute_contention(original);
+  const auto after = features::compute_contention(anonymized.log);
+  // Compare as multisets of rounded feature tuples (order changed).
+  auto signature = [](const std::vector<features::ContentionFeatures>& f) {
+    std::multiset<std::tuple<long, long, long, long>> s;
+    for (const auto& c : f)
+      s.insert({std::lround(c.k_sout), std::lround(c.k_din),
+                std::lround(c.g_src * 1000), std::lround(c.s_dout * 1000)});
+    return s;
+  };
+  EXPECT_EQ(signature(before), signature(after));
+}
+
+TEST(DatasetCsv, RoundTripPreservesEverything) {
+  const auto log = sample_log();
+  const auto contention = features::compute_contention(log);
+  features::DatasetOptions options;
+  options.load_threshold = 0.0;
+  const auto edge = log.edges_by_usage().front();
+  const auto dataset = features::build_edge_dataset(log, contention, edge, options);
+
+  std::stringstream buffer;
+  features::write_dataset_csv(dataset, buffer);
+  const auto loaded = features::read_dataset_csv(buffer);
+
+  ASSERT_EQ(loaded.rows(), dataset.rows());
+  ASSERT_EQ(loaded.cols(), dataset.cols());
+  EXPECT_EQ(loaded.feature_names, dataset.feature_names);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(loaded.y[r], dataset.y[r]);
+    for (std::size_t c = 0; c < dataset.cols(); ++c)
+      EXPECT_DOUBLE_EQ(loaded.x.at(r, c), dataset.x.at(r, c));
+  }
+}
+
+TEST(DatasetCsv, RejectsMalformedInput) {
+  std::stringstream empty("");
+  EXPECT_THROW(features::read_dataset_csv(empty), std::runtime_error);
+  std::stringstream bad_header("a,b\n1,2\n");
+  EXPECT_THROW(features::read_dataset_csv(bad_header), std::runtime_error);
+  std::stringstream ragged("a,rate_mbps\n1\n");
+  EXPECT_THROW(features::read_dataset_csv(ragged), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xfl

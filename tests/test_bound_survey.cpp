@@ -1,0 +1,102 @@
+#include "core/bound_survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::core {
+namespace {
+
+const AnalysisContext& testbed_context() {
+  static const AnalysisContext context = [] {
+    sim::EsnetConfig config;
+    config.transfers = 1500;
+    config.duration_s = 3.0 * 86400.0;
+    config.seed = 41;
+    return analyze_log(sim::make_esnet_testbed(config).run().log);
+  }();
+  return context;
+}
+
+const sim::Scenario& testbed() {
+  static const sim::Scenario scenario = [] {
+    sim::EsnetConfig config;
+    config.transfers = 0;
+    return sim::make_esnet_testbed(config);
+  }();
+  return scenario;
+}
+
+TEST(BoundSurvey, SurveysAllQualifyingEdges) {
+  const auto& context = testbed_context();
+  BoundSurveyConfig config;
+  config.min_transfers = 50;
+  const auto reports = survey_bounds(context, testbed().sites,
+                                     testbed().endpoints,
+                                     testbed().sim_config, config);
+  EXPECT_EQ(reports.size(), 12u);  // All directed testbed pairs qualify.
+  for (const auto& report : reports) {
+    EXPECT_GT(report.estimate.dr_max_Bps, 0.0);
+    EXPECT_GT(report.estimate.dw_max_Bps, 0.0);
+    EXPECT_GT(report.estimate.mm_max_Bps, gbit(5.0));  // Probe ran.
+    EXPECT_GT(report.observed_max_Bps, 0.0);
+  }
+}
+
+TEST(BoundSurvey, CleanTestbedEdgesConsistent) {
+  // No chronic unknown load on the testbed: every edge's best transfer
+  // comes close to its subsystem bound.
+  const auto& context = testbed_context();
+  const auto reports = survey_bounds(context, testbed().sites,
+                                     testbed().endpoints,
+                                     testbed().sim_config);
+  const auto summary = summarize_survey(reports);
+  EXPECT_EQ(summary.consistent, reports.size());
+  EXPECT_EQ(summary.below, 0u);
+  EXPECT_EQ(summary.exceeds, 0u);
+  // Counts are a partition of the consistent set.
+  EXPECT_EQ(summary.read_limited + summary.network_limited +
+                summary.write_limited,
+            summary.consistent);
+}
+
+TEST(BoundSurvey, MaxEdgesTruncates) {
+  const auto& context = testbed_context();
+  BoundSurveyConfig config;
+  config.max_edges = 5;
+  const auto reports = survey_bounds(context, testbed().sites,
+                                     testbed().endpoints,
+                                     testbed().sim_config, config);
+  EXPECT_EQ(reports.size(), 5u);
+}
+
+TEST(BoundSurvey, SummaryOfManualReports) {
+  std::vector<EdgeBoundReport> reports(3);
+  reports[0].estimate = {2.0, 3.0, 4.0};
+  reports[0].observed_max_Bps = 2.0;  // ratio 1.0, read-limited.
+  reports[0].validation = validate_bound(2.0, reports[0].estimate);
+  reports[1].estimate = {4.0, 3.0, 5.0};
+  reports[1].observed_max_Bps = 1.0;  // ratio 0.33 -> below.
+  reports[1].validation = validate_bound(1.0, reports[1].estimate);
+  reports[2].estimate = {4.0, 3.0, 5.0};
+  reports[2].observed_max_Bps = 4.5;  // ratio 1.5 -> exceeds.
+  reports[2].validation = validate_bound(4.5, reports[2].estimate);
+  const auto summary = summarize_survey(reports);
+  EXPECT_EQ(summary.consistent, 1u);
+  EXPECT_EQ(summary.read_limited, 1u);
+  EXPECT_EQ(summary.below, 1u);
+  EXPECT_EQ(summary.exceeds, 1u);
+}
+
+TEST(BoundSurvey, ContractChecks) {
+  const auto& context = testbed_context();
+  BoundSurveyConfig config;
+  config.probe_repetitions = 0;
+  EXPECT_THROW(survey_bounds(context, testbed().sites, testbed().endpoints,
+                             testbed().sim_config, config),
+               xfl::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xfl::core

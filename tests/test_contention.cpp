@@ -1,0 +1,234 @@
+#include "features/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace xfl::features {
+namespace {
+
+logs::TransferRecord make_record(std::uint64_t id, endpoint::EndpointId src,
+                                 endpoint::EndpointId dst, double start,
+                                 double end, double bytes,
+                                 std::uint32_t c = 4, std::uint32_t p = 2,
+                                 std::uint64_t files = 100) {
+  logs::TransferRecord r;
+  r.id = id;
+  r.src = src;
+  r.dst = dst;
+  r.start_s = start;
+  r.end_s = end;
+  r.bytes = bytes;
+  r.files = files;
+  r.dirs = 1;
+  r.concurrency = c;
+  r.parallelism = p;
+  return r;
+}
+
+TEST(Contention, LoneTransferHasZeroLoad) {
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));
+  const auto features = compute_contention(log);
+  ASSERT_EQ(features.size(), 1u);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].k_din, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].g_src, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].s_dout, 0.0);
+}
+
+TEST(Contention, DisjointTransfersDoNotInteract) {
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));
+  log.append(make_record(2, 0, 1, 10.0, 20.0, 1000.0));  // Touching, no overlap.
+  log.append(make_record(3, 0, 1, 30.0, 40.0, 1000.0));
+  for (const auto& f : compute_contention(log)) {
+    EXPECT_DOUBLE_EQ(f.k_sout, 0.0);
+    EXPECT_DOUBLE_EQ(f.g_src, 0.0);
+  }
+}
+
+TEST(Contention, FullOverlapSameEdgeExactValues) {
+  // Two identical-window transfers on edge 0->1. For each, the other is a
+  // source-outgoing and destination-incoming competitor with weight 1.
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0, 4, 2, 100));  // 100 B/s
+  log.append(make_record(2, 0, 1, 0.0, 10.0, 2000.0, 8, 3, 5));    // 200 B/s
+  const auto features = compute_contention(log);
+
+  // Transfer 1 sees transfer 2: rate 200, procs min(8,5)=5, streams 15.
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 200.0);
+  EXPECT_DOUBLE_EQ(features[0].k_din, 200.0);
+  EXPECT_DOUBLE_EQ(features[0].k_sin, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].k_dout, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].g_src, 5.0);
+  EXPECT_DOUBLE_EQ(features[0].g_dst, 5.0);
+  EXPECT_DOUBLE_EQ(features[0].s_sout, 15.0);
+  EXPECT_DOUBLE_EQ(features[0].s_din, 15.0);
+
+  // Transfer 2 sees transfer 1: rate 100, procs min(4,100)=4, streams 8.
+  EXPECT_DOUBLE_EQ(features[1].k_sout, 100.0);
+  EXPECT_DOUBLE_EQ(features[1].k_din, 100.0);
+  EXPECT_DOUBLE_EQ(features[1].g_src, 4.0);
+  EXPECT_DOUBLE_EQ(features[1].s_sout, 8.0);
+}
+
+TEST(Contention, PartialOverlapScalesByFraction) {
+  // Transfer 1 spans [0, 10]; transfer 2 spans [5, 25] at 50 B/s.
+  // Overlap = 5 s. For transfer 1 the weight is 5/10; for transfer 2, 5/20.
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));   // 100 B/s
+  log.append(make_record(2, 0, 1, 5.0, 25.0, 1000.0));   // 50 B/s
+  const auto features = compute_contention(log);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 0.5 * 50.0);
+  EXPECT_DOUBLE_EQ(features[1].k_sout, 0.25 * 100.0);
+}
+
+TEST(Contention, OppositeDirectionLandsInKsinAndKdout) {
+  // k: 0 -> 1. Competitor: 1 -> 0 (incoming at k's source, outgoing at
+  // k's destination).
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));           // k
+  log.append(make_record(2, 1, 0, 0.0, 10.0, 3000.0, 2, 4, 10)); // 300 B/s
+  const auto features = compute_contention(log);
+  EXPECT_DOUBLE_EQ(features[0].k_sin, 300.0);
+  EXPECT_DOUBLE_EQ(features[0].k_dout, 300.0);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].k_din, 0.0);
+  // G counts both directions (src side and dst side each see procs=2).
+  EXPECT_DOUBLE_EQ(features[0].g_src, 2.0);
+  EXPECT_DOUBLE_EQ(features[0].g_dst, 2.0);
+  EXPECT_DOUBLE_EQ(features[0].s_sin, 8.0);
+  EXPECT_DOUBLE_EQ(features[0].s_dout, 8.0);
+}
+
+TEST(Contention, UnrelatedEndpointsDoNotContribute) {
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));
+  log.append(make_record(2, 2, 3, 0.0, 10.0, 9000.0));
+  const auto features = compute_contention(log);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].k_sin, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].g_src, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].g_dst, 0.0);
+}
+
+TEST(Contention, SharedSourceOnly) {
+  // k: 0 -> 1. Competitor: 0 -> 2 (shares only the source, outgoing).
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));
+  log.append(make_record(2, 0, 2, 0.0, 10.0, 5000.0));  // 500 B/s
+  const auto features = compute_contention(log);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 500.0);
+  EXPECT_DOUBLE_EQ(features[0].k_din, 0.0);
+  EXPECT_DOUBLE_EQ(features[0].g_src, 4.0);
+  EXPECT_DOUBLE_EQ(features[0].g_dst, 0.0);
+}
+
+TEST(Contention, ThreeWayOverlapSumsContributions) {
+  logs::LogStore log;
+  log.append(make_record(1, 0, 1, 0.0, 10.0, 1000.0));  // k, 100 B/s
+  log.append(make_record(2, 0, 2, 0.0, 10.0, 2000.0));  // 200 B/s out of 0
+  log.append(make_record(3, 0, 3, 0.0, 10.0, 3000.0));  // 300 B/s out of 0
+  const auto features = compute_contention(log);
+  EXPECT_DOUBLE_EQ(features[0].k_sout, 500.0);
+  EXPECT_DOUBLE_EQ(features[0].g_src, 8.0);
+}
+
+TEST(Contention, RelativeExternalLoadFormula) {
+  logs::TransferRecord record = make_record(1, 0, 1, 0.0, 10.0, 1000.0);
+  ContentionFeatures features;
+  features.k_sout = 300.0;  // R = 100 -> 300/(100+300) = 0.75
+  features.k_din = 100.0;   // -> 100/200 = 0.5
+  EXPECT_DOUBLE_EQ(relative_external_load(record, features), 0.75);
+  features.k_sout = 0.0;
+  EXPECT_DOUBLE_EQ(relative_external_load(record, features), 0.5);
+  features.k_din = 0.0;
+  EXPECT_DOUBLE_EQ(relative_external_load(record, features), 0.0);
+}
+
+TEST(Contention, RelativeExternalLoadBelowOne) {
+  logs::TransferRecord record = make_record(1, 0, 1, 0.0, 10.0, 1.0);
+  ContentionFeatures features;
+  features.k_sout = 1.0e12;
+  const double load = relative_external_load(record, features);
+  EXPECT_GT(load, 0.99);
+  EXPECT_LT(load, 1.0);
+}
+
+// Property: brute-force O(n^2) reference agrees with the sweep on random
+// logs across seeds.
+class ContentionRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionRandom, MatchesBruteForce) {
+  Rng rng(GetParam());
+  logs::LogStore log;
+  const std::size_t n = 120;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto src = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 4));
+    auto dst = src;
+    while (dst == src)
+      dst = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 4));
+    const double start = rng.uniform(0.0, 1000.0);
+    log.append(make_record(i + 1, src, dst, start,
+                           start + rng.uniform(1.0, 100.0),
+                           rng.uniform(10.0, 1.0e6),
+                           static_cast<std::uint32_t>(rng.uniform_int(1, 16)),
+                           static_cast<std::uint32_t>(rng.uniform_int(1, 8)),
+                           static_cast<std::uint64_t>(rng.uniform_int(1, 50))));
+  }
+  const auto fast = compute_contention(log);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto& self = log[k];
+    ContentionFeatures expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == k) continue;
+      const auto& other = log[i];
+      const double overlap =
+          std::max(0.0, std::min(self.end_s, other.end_s) -
+                            std::max(self.start_s, other.start_s));
+      if (overlap <= 0.0) continue;
+      const double w = overlap / self.duration_s();
+      const double rate = other.rate_Bps();
+      const double procs = other.effective_processes();
+      const double streams = other.effective_streams();
+      if (other.src == self.src) {
+        expected.k_sout += w * rate;
+        expected.s_sout += w * streams;
+        expected.g_src += w * procs;
+      }
+      if (other.dst == self.src) {
+        expected.k_sin += w * rate;
+        expected.s_sin += w * streams;
+        expected.g_src += w * procs;
+      }
+      if (other.src == self.dst) {
+        expected.k_dout += w * rate;
+        expected.s_dout += w * streams;
+        expected.g_dst += w * procs;
+      }
+      if (other.dst == self.dst) {
+        expected.k_din += w * rate;
+        expected.s_din += w * streams;
+        expected.g_dst += w * procs;
+      }
+    }
+    EXPECT_NEAR(fast[k].k_sout, expected.k_sout, 1e-6) << k;
+    EXPECT_NEAR(fast[k].k_sin, expected.k_sin, 1e-6) << k;
+    EXPECT_NEAR(fast[k].k_dout, expected.k_dout, 1e-6) << k;
+    EXPECT_NEAR(fast[k].k_din, expected.k_din, 1e-6) << k;
+    EXPECT_NEAR(fast[k].g_src, expected.g_src, 1e-9) << k;
+    EXPECT_NEAR(fast[k].g_dst, expected.g_dst, 1e-9) << k;
+    EXPECT_NEAR(fast[k].s_sout, expected.s_sout, 1e-9) << k;
+    EXPECT_NEAR(fast[k].s_sin, expected.s_sin, 1e-9) << k;
+    EXPECT_NEAR(fast[k].s_dout, expected.s_dout, 1e-9) << k;
+    EXPECT_NEAR(fast[k].s_din, expected.s_din, 1e-9) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionRandom,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 99ULL, 2024ULL));
+
+}  // namespace
+}  // namespace xfl::features

@@ -1,0 +1,95 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace xfl {
+namespace {
+
+std::vector<CsvRow> parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_csv(in);
+}
+
+TEST(Csv, ParsesSimpleRows) {
+  const auto rows = parse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(Csv, HandlesMissingTrailingNewline) {
+  const auto rows = parse("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2"}));
+}
+
+TEST(Csv, HandlesQuotedCommasAndNewlines) {
+  const auto rows = parse("\"a,b\",\"line1\nline2\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "line1\nline2");
+}
+
+TEST(Csv, HandlesEscapedQuotes) {
+  const auto rows = parse("\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(Csv, ToleratesCrlf) {
+  const auto rows = parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(Csv, EmptyFieldsPreserved) {
+  const auto rows = parse("a,,c\n,,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"", "", ""}));
+}
+
+TEST(Csv, ThrowsOnUnterminatedQuote) {
+  EXPECT_THROW(parse("\"oops\n"), std::runtime_error);
+}
+
+TEST(Csv, EscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+}
+
+TEST(Csv, EscapeQuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WriterRoundTrips) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const CsvRow original = {"plain", "a,b", "say \"hi\"", "two\nlines", ""};
+  writer.write_row(original);
+  const auto rows = parse(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], original);
+}
+
+TEST(Csv, WriterRoundTripsDoublesExactly) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<double> values = {1.0 / 3.0, 1e-300, 2.5e17, -0.0};
+  writer.write_row(values);
+  const auto rows = parse(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    EXPECT_DOUBLE_EQ(std::stod(rows[0][i]), values[i]);
+}
+
+TEST(Csv, ReadFileThrowsForMissingPath) {
+  EXPECT_THROW(read_csv_file("/nonexistent/path/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xfl

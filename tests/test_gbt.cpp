@@ -1,0 +1,232 @@
+#include "ml/gbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "ml/linreg.hpp"
+#include "ml/metrics.hpp"
+
+namespace xfl::ml {
+namespace {
+
+/// Deterministic synthetic regression datasets.
+struct Synthetic {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Synthetic make_step(std::size_t n, std::uint64_t seed) {
+  // Ten distinct x values (fewer than the histogram bin budget, so the
+  // 0.5 boundary is exactly representable as a split candidate).
+  Rng rng(seed);
+  Synthetic data;
+  data.x = Matrix(n, 1);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(rng.uniform_int(0, 9)) / 10.0;
+    data.x.at(i, 0) = v;
+    data.y[i] = v < 0.5 ? 1.0 : 5.0;
+  }
+  return data;
+}
+
+Synthetic make_nonlinear(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Rng rng(seed);
+  Synthetic data;
+  data.x = Matrix(n, 3);
+  data.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-2.0, 2.0);
+    const double b = rng.uniform(-2.0, 2.0);
+    const double c = rng.uniform(-2.0, 2.0);
+    data.x.at(i, 0) = a;
+    data.x.at(i, 1) = b;
+    data.x.at(i, 2) = c;
+    data.y[i] = a * a + 3.0 * std::sin(b) + 0.5 * c + rng.normal(0.0, noise);
+  }
+  return data;
+}
+
+TEST(Gbt, FitsStepFunctionExactly) {
+  const auto data = make_step(400, 1);
+  GbtConfig config;
+  config.trees = 60;
+  config.learning_rate = 0.3;
+  config.subsample = 1.0;
+  config.colsample = 1.0;
+  GradientBoostedTrees model(config);
+  model.fit(data.x, data.y);
+  for (std::size_t i = 0; i < data.y.size(); ++i)
+    EXPECT_NEAR(model.predict(data.x.row(i)), data.y[i], 0.2);
+}
+
+TEST(Gbt, TrainingErrorDecreasesWithMoreTrees) {
+  const auto data = make_nonlinear(600, 2);
+  double previous_rmse = 1e18;
+  for (const int trees : {5, 40, 200}) {
+    GbtConfig config;
+    config.trees = trees;
+    GradientBoostedTrees model(config);
+    model.fit(data.x, data.y);
+    const auto predictions = model.predict(data.x);
+    const double error = rmse(data.y, predictions);
+    EXPECT_LT(error, previous_rmse);
+    previous_rmse = error;
+  }
+}
+
+TEST(Gbt, BeatsLinearModelOnNonlinearTarget) {
+  const auto train = make_nonlinear(1500, 3, 0.05);
+  const auto test = make_nonlinear(400, 4, 0.05);
+
+  GradientBoostedTrees boosted;
+  boosted.fit(train.x, train.y);
+  LinearRegression linear;
+  linear.fit(train.x, train.y);
+
+  const double boosted_rmse = rmse(test.y, boosted.predict(test.x));
+  const double linear_rmse = rmse(test.y, linear.predict(test.x));
+  EXPECT_LT(boosted_rmse, 0.6 * linear_rmse);
+}
+
+TEST(Gbt, GeneralisesOnHeldOut) {
+  const auto train = make_nonlinear(2000, 5, 0.1);
+  const auto test = make_nonlinear(500, 6, 0.1);
+  GradientBoostedTrees model;
+  model.fit(train.x, train.y);
+  // Target spread is ~4; a useful model is far below that.
+  EXPECT_LT(rmse(test.y, model.predict(test.x)), 0.8);
+}
+
+TEST(Gbt, ConstantTargetPredictsConstant) {
+  Matrix x(50, 2);
+  Rng rng(7);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x.at(i, 0) = rng.uniform();
+    x.at(i, 1) = rng.uniform();
+  }
+  const std::vector<double> y(50, 3.5);
+  GradientBoostedTrees model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.predict(x.row(0)), 3.5, 1e-9);
+}
+
+TEST(Gbt, ConstantFeaturesHandled) {
+  Matrix x(100, 2);
+  std::vector<double> y(100);
+  Rng rng(8);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = 1.0;  // Constant column (like C/P per edge).
+    x.at(i, 1) = rng.uniform();
+    y[i] = 2.0 * x.at(i, 1);
+  }
+  GradientBoostedTrees model;
+  model.fit(x, y);
+  const auto importance = model.feature_importance();
+  EXPECT_DOUBLE_EQ(importance[0], 0.0);  // Constant feature never splits.
+  EXPECT_DOUBLE_EQ(importance[1], 1.0);
+  EXPECT_NEAR(model.predict(x.row(3)), y[3], 0.3);
+}
+
+TEST(Gbt, ImportanceIdentifiesInformativeFeature) {
+  Rng rng(9);
+  Matrix x(800, 4);
+  std::vector<double> y(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) x.at(i, c) = rng.normal();
+    y[i] = 10.0 * x.at(i, 2);  // Only feature 2 matters.
+  }
+  GradientBoostedTrees model;
+  model.fit(x, y);
+  const auto importance = model.feature_importance();
+  EXPECT_DOUBLE_EQ(importance[2], 1.0);
+  for (const std::size_t c : {0u, 1u, 3u})
+    EXPECT_LT(importance[c], 0.05) << "feature " << c;
+}
+
+TEST(Gbt, DeterministicGivenSeed) {
+  const auto data = make_nonlinear(300, 10);
+  GbtConfig config;
+  config.seed = 77;
+  GradientBoostedTrees a(config), b(config);
+  a.fit(data.x, data.y);
+  b.fit(data.x, data.y);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(a.predict(data.x.row(i)), b.predict(data.x.row(i)));
+}
+
+TEST(Gbt, PredictBeforeFitRejected) {
+  GradientBoostedTrees model;
+  const std::vector<double> features = {1.0};
+  EXPECT_THROW(model.predict(features), xfl::ContractViolation);
+}
+
+TEST(Gbt, InvalidConfigRejected) {
+  GbtConfig config;
+  config.trees = 0;
+  EXPECT_THROW(GradientBoostedTrees{config}, xfl::ContractViolation);
+  config = {};
+  config.learning_rate = -0.1;
+  EXPECT_THROW(GradientBoostedTrees{config}, xfl::ContractViolation);
+}
+
+TEST(Gbt, WidthMismatchRejectedAtPredict) {
+  const auto data = make_step(100, 11);
+  GradientBoostedTrees model;
+  model.fit(data.x, data.y);
+  const std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(model.predict(wrong), xfl::ContractViolation);
+}
+
+TEST(Gbt, SaveLoadRoundTripPredictsIdentically) {
+  const auto data = make_nonlinear(500, 20, 0.05);
+  GradientBoostedTrees model;
+  model.fit(data.x, data.y);
+  std::stringstream buffer;
+  model.save(buffer);
+  const auto loaded = GradientBoostedTrees::load(buffer);
+  ASSERT_TRUE(loaded.fitted());
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(loaded.predict(data.x.row(i)), model.predict(data.x.row(i)));
+  // Importances survive too.
+  EXPECT_EQ(loaded.feature_importance(), model.feature_importance());
+}
+
+TEST(Gbt, SaveRequiresFit) {
+  GradientBoostedTrees model;
+  std::stringstream buffer;
+  EXPECT_THROW(model.save(buffer), xfl::ContractViolation);
+}
+
+TEST(Gbt, LoadRejectsGarbage) {
+  std::stringstream bad("not-a-model 1 2 3");
+  EXPECT_THROW(GradientBoostedTrees::load(bad), std::runtime_error);
+  std::stringstream truncated("xfl-gbt-v1\n3 0.08 1.5\n3 0 0 0\n5\n");
+  EXPECT_THROW(GradientBoostedTrees::load(truncated), std::runtime_error);
+}
+
+// Hyperparameter sweep: fits remain sane across depths and subsampling.
+class GbtSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GbtSweep, ReasonableFitAcrossHyperparameters) {
+  const auto [depth, subsample] = GetParam();
+  const auto train = make_nonlinear(800, 12, 0.05);
+  const auto test = make_nonlinear(200, 13, 0.05);
+  GbtConfig config;
+  config.max_depth = depth;
+  config.subsample = subsample;
+  GradientBoostedTrees model(config);
+  model.fit(train.x, train.y);
+  EXPECT_LT(rmse(test.y, model.predict(test.x)), 1.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GbtSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 6),
+                                            ::testing::Values(0.6, 1.0)));
+
+}  // namespace
+}  // namespace xfl::ml

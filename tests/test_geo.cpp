@@ -1,0 +1,89 @@
+#include "common/geo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace xfl {
+namespace {
+
+TEST(Geo, ZeroDistanceForSamePoint) {
+  const GeoPoint p{41.7, -87.9};
+  EXPECT_DOUBLE_EQ(great_circle_km(p, p), 0.0);
+}
+
+TEST(Geo, Symmetric) {
+  const GeoPoint a{41.708, -87.983};  // ANL
+  const GeoPoint b{46.234, 6.053};    // CERN
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(Geo, KnownDistanceChicagoGeneva) {
+  // ANL (Chicago area) to CERN (Geneva) is ~7,000 km great circle.
+  const GeoPoint anl{41.708, -87.983};
+  const GeoPoint cern{46.234, 6.053};
+  const double km = great_circle_km(anl, cern);
+  EXPECT_GT(km, 6500.0);
+  EXPECT_LT(km, 7500.0);
+}
+
+TEST(Geo, KnownDistanceArgonneBerkeley) {
+  // ANL to LBL is ~3,000 km.
+  const GeoPoint anl{41.708, -87.983};
+  const GeoPoint lbl{37.876, -122.251};
+  const double km = great_circle_km(anl, lbl);
+  EXPECT_GT(km, 2700.0);
+  EXPECT_LT(km, 3300.0);
+}
+
+TEST(Geo, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(great_circle_km(a, b), 3.14159265 * 6371.0, 30.0);
+}
+
+TEST(Geo, RejectsOutOfRangeCoordinates) {
+  const GeoPoint good{0.0, 0.0};
+  EXPECT_THROW(great_circle_km({95.0, 0.0}, good), ContractViolation);
+  EXPECT_THROW(great_circle_km(good, {0.0, 200.0}), ContractViolation);
+}
+
+TEST(Geo, RttLowerBoundIncreasesWithDistance) {
+  EXPECT_LT(rtt_lower_bound_s(100.0), rtt_lower_bound_s(5000.0));
+}
+
+TEST(Geo, RttHasFloorForZeroDistance) {
+  EXPECT_GT(rtt_lower_bound_s(0.0), 0.0);
+}
+
+TEST(Geo, RttTransatlanticPlausible) {
+  // ~7,000 km -> RTT around 100 ms with path stretch.
+  const double rtt = rtt_lower_bound_s(7000.0);
+  EXPECT_GT(rtt, 0.07);
+  EXPECT_LT(rtt, 0.16);
+}
+
+TEST(Geo, RttRejectsNegativeDistance) {
+  EXPECT_THROW(rtt_lower_bound_s(-1.0), ContractViolation);
+}
+
+// Triangle inequality over a grid of points.
+class GeoTriangle
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GeoTriangle, TriangleInequality) {
+  const auto [lat, lon] = GetParam();
+  const GeoPoint a{lat, lon};
+  const GeoPoint b{10.0, 20.0};
+  const GeoPoint c{-30.0, 100.0};
+  EXPECT_LE(great_circle_km(a, c),
+            great_circle_km(a, b) + great_circle_km(b, c) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeoTriangle,
+    ::testing::Combine(::testing::Values(-60.0, 0.0, 45.0, 89.0),
+                       ::testing::Values(-170.0, -45.0, 0.0, 120.0)));
+
+}  // namespace
+}  // namespace xfl

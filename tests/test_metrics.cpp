@@ -1,0 +1,83 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace xfl::ml {
+namespace {
+
+TEST(Metrics, ApeBasics) {
+  const std::vector<double> y = {100.0, 200.0};
+  const std::vector<double> yhat = {110.0, 150.0};
+  const auto errors = absolute_percentage_errors(y, yhat);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(errors[0], 10.0);
+  EXPECT_DOUBLE_EQ(errors[1], 25.0);
+}
+
+TEST(Metrics, ApeSkipsZeroTargets) {
+  const std::vector<double> y = {0.0, 100.0};
+  const std::vector<double> yhat = {5.0, 100.0};
+  EXPECT_EQ(absolute_percentage_errors(y, yhat).size(), 1u);
+}
+
+TEST(Metrics, MdapeIsMedian) {
+  const std::vector<double> y = {100.0, 100.0, 100.0};
+  const std::vector<double> yhat = {101.0, 110.0, 150.0};
+  EXPECT_DOUBLE_EQ(mdape(y, yhat), 10.0);
+}
+
+TEST(Metrics, MapeIsMean) {
+  const std::vector<double> y = {100.0, 100.0};
+  const std::vector<double> yhat = {110.0, 130.0};
+  EXPECT_DOUBLE_EQ(mape(y, yhat), 20.0);
+}
+
+TEST(Metrics, PercentileApe) {
+  std::vector<double> y(100, 100.0);
+  std::vector<double> yhat(100);
+  for (std::size_t i = 0; i < 100; ++i)
+    yhat[i] = 100.0 + static_cast<double>(i);  // errors 0..99%.
+  EXPECT_NEAR(percentile_ape(y, yhat, 95.0), 94.05, 0.01);
+}
+
+TEST(Metrics, PerfectPredictionZeroError) {
+  const std::vector<double> y = {5.0, 10.0, 20.0};
+  EXPECT_DOUBLE_EQ(mdape(y, y), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+}
+
+TEST(Metrics, RmseKnownValue) {
+  const std::vector<double> y = {0.0, 0.0};
+  const std::vector<double> yhat = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rmse(y, yhat), std::sqrt(12.5));
+}
+
+TEST(Metrics, SummaryQuantilesOrdered) {
+  std::vector<double> y(200, 100.0);
+  std::vector<double> yhat(200);
+  for (std::size_t i = 0; i < 200; ++i)
+    yhat[i] = 100.0 + static_cast<double>(i % 50);
+  const auto summary = ape_summary(y, yhat);
+  EXPECT_LE(summary.p5, summary.p50);
+  EXPECT_LE(summary.p50, summary.p95);
+  EXPECT_EQ(summary.count, 200u);
+}
+
+TEST(Metrics, SizeMismatchRejected) {
+  const std::vector<double> y = {1.0, 2.0};
+  const std::vector<double> yhat = {1.0};
+  EXPECT_THROW(absolute_percentage_errors(y, yhat), xfl::ContractViolation);
+}
+
+TEST(Metrics, AllZeroTargetsRejected) {
+  const std::vector<double> y = {0.0};
+  const std::vector<double> yhat = {1.0};
+  EXPECT_THROW(mdape(y, yhat), xfl::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xfl::ml

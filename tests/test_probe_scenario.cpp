@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/probe.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::sim {
+namespace {
+
+SimConfig quiet_config() {
+  SimConfig config;
+  config.enable_faults = false;
+  config.seed = 3;
+  return config;
+}
+
+class EsnetProbe : public ::testing::Test {
+ protected:
+  EsnetProbe() {
+    EsnetConfig config;
+    config.transfers = 0;  // Idle testbed for probing.
+    scenario_ = make_esnet_testbed(config);
+  }
+  Scenario scenario_;
+};
+
+TEST_F(EsnetProbe, SubsystemOrderingMatchesTable1) {
+  // ANL -> BNL: the paper's Table 1 shows DR ~9.3, DW ~7.8, MM ~9.4 Gb/s,
+  // with R == min == DW. Check the ordering and rough magnitudes.
+  const auto maxima = measure_subsystem_maxima(
+      scenario_.sites, scenario_.endpoints, quiet_config(), 0, 1);
+  EXPECT_GT(maxima.dr_max, maxima.dw_max);  // Reads faster than writes.
+  EXPECT_GT(maxima.mm_max, maxima.dw_max);  // Network above disk write.
+  // Eq. 1 holds: R <= min(DR, MM, DW) with some slack for startup costs.
+  const double bound =
+      std::min({maxima.dr_max, maxima.mm_max, maxima.dw_max});
+  EXPECT_LE(maxima.r_max, bound * 1.0001);
+  EXPECT_GT(maxima.r_max, 0.9 * bound);
+  EXPECT_NEAR(to_gbit(maxima.dw_max), 7.8, 0.8);
+  EXPECT_NEAR(to_gbit(maxima.dr_max), 9.3, 0.9);
+}
+
+TEST_F(EsnetProbe, IntercontinentalNetworkSlower) {
+  // CERN paths lose more and have ~5x the RTT: MMmax(ANL->CERN) must fall
+  // below MMmax(ANL->BNL), mirroring Table 1 (9.41 vs 8.99 Gb/s).
+  const double mm_domestic = measure_max_rate_Bps(
+      scenario_.sites, scenario_.endpoints, quiet_config(), 0, 1,
+      ProbeKind::kMemToMem);
+  // Endpoint index 2 is CERN (kEsnetSites order: ANL BNL CERN LBL).
+  const double mm_cern = measure_max_rate_Bps(
+      scenario_.sites, scenario_.endpoints, quiet_config(), 0, 2,
+      ProbeKind::kMemToMem);
+  EXPECT_LT(mm_cern, mm_domestic);
+  EXPECT_GT(mm_cern, 0.5 * mm_domestic);  // Not catastrophically slower.
+}
+
+TEST_F(EsnetProbe, RepetitionsTakeMaximum) {
+  ProbeConfig one_rep;
+  one_rep.repetitions = 1;
+  ProbeConfig five_reps;
+  five_reps.repetitions = 5;
+  const double one = measure_max_rate_Bps(scenario_.sites, scenario_.endpoints,
+                                          quiet_config(), 0, 1,
+                                          ProbeKind::kDiskToDisk, one_rep);
+  const double five = measure_max_rate_Bps(
+      scenario_.sites, scenario_.endpoints, quiet_config(), 0, 1,
+      ProbeKind::kDiskToDisk, five_reps);
+  EXPECT_GE(five, one * 0.999);  // Max over reps can only help.
+}
+
+TEST(Scenario, EsnetBuildsFourEndpoints) {
+  const auto scenario = make_esnet_testbed({});
+  EXPECT_EQ(scenario.endpoints.size(), 4u);
+  EXPECT_EQ(scenario.sites.size(), 4u);
+  EXPECT_EQ(scenario.heavy_edges.size(), 12u);  // All directed pairs.
+  EXPECT_FALSE(scenario.workload.empty());
+}
+
+TEST(Scenario, EsnetWorkloadRunsToCompletion) {
+  EsnetConfig config;
+  config.transfers = 200;
+  config.duration_s = 86400.0;
+  const auto scenario = make_esnet_testbed(config);
+  const auto result = scenario.run();
+  EXPECT_EQ(result.log.size(), scenario.workload.size());
+}
+
+TEST(Scenario, ProductionHasThirtyHeavyEdgesAndTypes) {
+  ProductionConfig config;
+  config.duration_s = 0.5 * 86400.0;  // Tiny slice for test speed.
+  config.session_arrivals_per_s = 0.002;
+  const auto scenario = make_production(config);
+  EXPECT_EQ(scenario.heavy_edges.size(), 30u);
+  // Both endpoint types must exist (Table 4 mix).
+  bool saw_server = false, saw_personal = false;
+  for (std::size_t i = 0; i < scenario.endpoints.size(); ++i) {
+    const auto& spec =
+        scenario.endpoints[static_cast<endpoint::EndpointId>(i)];
+    saw_server |= spec.type == endpoint::EndpointType::kServer;
+    saw_personal |= spec.type == endpoint::EndpointType::kPersonal;
+  }
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_personal);
+  EXPECT_FALSE(scenario.backgrounds.empty());
+}
+
+TEST(Scenario, ProductionHeavyEdgesDistinct) {
+  ProductionConfig config;
+  config.duration_s = 0.1 * 86400.0;
+  config.session_arrivals_per_s = 0.001;
+  const auto scenario = make_production(config);
+  for (std::size_t i = 0; i < scenario.heavy_edges.size(); ++i)
+    for (std::size_t j = i + 1; j < scenario.heavy_edges.size(); ++j)
+      EXPECT_FALSE(scenario.heavy_edges[i] == scenario.heavy_edges[j]);
+}
+
+TEST(Scenario, LmtScenarioShapeMatchesPaper) {
+  LmtConfig config;
+  config.test_transfers = 40;  // Small for test speed.
+  const auto scenario = make_nersc_lmt(config);
+  // Two monitored test OSTs plus two sibling OSTs carrying striped load.
+  EXPECT_EQ(scenario.endpoints.size(), 4u);
+  EXPECT_EQ(scenario.monitored_endpoints.size(), 2u);
+  EXPECT_DOUBLE_EQ(scenario.sample_interval_s, 5.0);
+
+  // Test transfers have uniform characteristics (§5.5.2).
+  std::size_t tests = 0;
+  for (const auto& req : scenario.workload) {
+    if (req.id >= kLmtLoadFirstId) continue;
+    ++tests;
+    EXPECT_DOUBLE_EQ(req.bytes, 2.4e10);
+    EXPECT_EQ(req.files, 96u);
+    EXPECT_EQ(req.dirs, 1u);
+  }
+  EXPECT_EQ(tests, 40u);
+}
+
+TEST(Scenario, LmtRunProducesSamplesAndLog) {
+  LmtConfig config;
+  config.test_transfers = 30;
+  config.test_interarrival_s = 60.0;
+  const auto scenario = make_nersc_lmt(config);
+  const auto result = scenario.run();
+  EXPECT_GE(result.log.size(), 30u);
+  ASSERT_EQ(result.samples.size(), 2u);
+  for (const auto& [endpoint, samples] : result.samples) {
+    EXPECT_GT(samples.size(), 100u) << "endpoint " << endpoint;
+  }
+}
+
+}  // namespace
+}  // namespace xfl::sim

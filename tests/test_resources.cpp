@@ -1,0 +1,178 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace xfl::sim {
+namespace {
+
+TEST(ResourcePool, AddAndQuery) {
+  ResourcePool pool;
+  const auto id = pool.add("disk", 100.0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_DOUBLE_EQ(pool.capacity(id), 100.0);
+  EXPECT_EQ(pool.name(id), "disk");
+  pool.set_capacity(id, 50.0);
+  EXPECT_DOUBLE_EQ(pool.capacity(id), 50.0);
+}
+
+TEST(ResourcePool, ContractChecks) {
+  ResourcePool pool;
+  EXPECT_THROW(pool.capacity(0), xfl::ContractViolation);
+  EXPECT_THROW(pool.add("x", -1.0), xfl::ContractViolation);
+}
+
+TEST(MaxMin, EmptyFlows) {
+  ResourcePool pool;
+  pool.add("r", 10.0);
+  EXPECT_TRUE(maxmin_allocate(pool, {}).empty());
+}
+
+TEST(MaxMin, LoneFlowGetsMinOfCapAndResources) {
+  ResourcePool pool;
+  const auto r1 = pool.add("a", 100.0);
+  const auto r2 = pool.add("b", 60.0);
+  FlowSpec flow;
+  flow.usage = {{r1, 1.0, 1.0}, {r2, 1.0, 1.0}};
+  flow.cap_Bps = 1000.0;
+  EXPECT_DOUBLE_EQ(maxmin_allocate(pool, {flow})[0], 60.0);
+  flow.cap_Bps = 25.0;
+  EXPECT_DOUBLE_EQ(maxmin_allocate(pool, {flow})[0], 25.0);
+}
+
+TEST(MaxMin, EqualFlowsShareEqually) {
+  ResourcePool pool;
+  const auto r = pool.add("link", 90.0);
+  FlowSpec flow;
+  flow.usage = {{r, 1.0, 1.0}};
+  const auto rates = maxmin_allocate(pool, {flow, flow, flow});
+  for (const double rate : rates) EXPECT_DOUBLE_EQ(rate, 30.0);
+}
+
+TEST(MaxMin, WeightsSplitProportionally) {
+  ResourcePool pool;
+  const auto r = pool.add("link", 90.0);
+  FlowSpec light, heavy;
+  light.usage = {{r, 1.0, 1.0}};
+  heavy.usage = {{r, 2.0, 1.0}};
+  const auto rates = maxmin_allocate(pool, {light, heavy});
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+  EXPECT_DOUBLE_EQ(rates[1], 60.0);
+}
+
+TEST(MaxMin, CappedFlowReleasesCapacity) {
+  ResourcePool pool;
+  const auto r = pool.add("link", 100.0);
+  FlowSpec capped, open;
+  capped.usage = {{r, 1.0, 1.0}};
+  capped.cap_Bps = 10.0;
+  open.usage = {{r, 1.0, 1.0}};
+  const auto rates = maxmin_allocate(pool, {capped, open});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 90.0);  // Max-min: unused share is reassigned.
+}
+
+TEST(MaxMin, MultiBottleneckClassicExample) {
+  // Classic 3-flow example: flows A (link1), B (link1+link2), C (link2).
+  // link1 cap 10, link2 cap 20 -> A=B=5 on link1; C gets 15 on link2.
+  ResourcePool pool;
+  const auto l1 = pool.add("l1", 10.0);
+  const auto l2 = pool.add("l2", 20.0);
+  FlowSpec a, b, c;
+  a.usage = {{l1, 1.0, 1.0}};
+  b.usage = {{l1, 1.0, 1.0}, {l2, 1.0, 1.0}};
+  c.usage = {{l2, 1.0, 1.0}};
+  const auto rates = maxmin_allocate(pool, {a, b, c});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rates[2], 15.0);
+}
+
+TEST(MaxMin, ConsumptionFactorScalesShareAndUse) {
+  // A flow whose bytes cost 2x on the resource gets half the rate, and
+  // feasibility accounts for the doubled consumption.
+  ResourcePool pool;
+  const auto cpu = pool.add("cpu", 100.0);
+  FlowSpec expensive;
+  expensive.usage = {{cpu, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(maxmin_allocate(pool, {expensive})[0], 50.0);
+}
+
+TEST(MaxMin, ZeroCapacityResourceStarvesFlow) {
+  ResourcePool pool;
+  const auto dead = pool.add("dead", 0.0);
+  FlowSpec flow;
+  flow.usage = {{dead, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(maxmin_allocate(pool, {flow})[0], 0.0);
+}
+
+TEST(MaxMin, FlowWithoutResourcesGetsCap) {
+  ResourcePool pool;
+  FlowSpec flow;
+  flow.cap_Bps = 42.0;
+  EXPECT_DOUBLE_EQ(maxmin_allocate(pool, {flow})[0], 42.0);
+}
+
+TEST(MaxMin, RejectsBadUsage) {
+  ResourcePool pool;
+  pool.add("r", 10.0);
+  FlowSpec bad_weight;
+  bad_weight.usage = {{0, 0.0, 1.0}};
+  EXPECT_THROW(maxmin_allocate(pool, {bad_weight}), xfl::ContractViolation);
+  FlowSpec bad_resource;
+  bad_resource.usage = {{5, 1.0, 1.0}};
+  EXPECT_THROW(maxmin_allocate(pool, {bad_resource}), xfl::ContractViolation);
+}
+
+// Property: for random instances, allocations are feasible (no resource
+// oversubscribed), respect caps, and are non-negative; no flow with a
+// positive cap and positive-capacity resources is starved.
+class MaxMinRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxMinRandom, FeasibleAndPositive) {
+  Rng rng(GetParam());
+  ResourcePool pool;
+  const std::size_t resource_count = 8;
+  for (std::size_t r = 0; r < resource_count; ++r)
+    pool.add("r" + std::to_string(r), rng.uniform(10.0, 1000.0));
+
+  std::vector<FlowSpec> flows(30);
+  for (auto& flow : flows) {
+    const auto uses = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t u = 0; u < uses; ++u) {
+      ResourceUsage use;
+      use.resource = static_cast<ResourceId>(
+          rng.uniform_int(0, resource_count - 1));
+      use.weight = rng.uniform(0.5, 16.0);
+      use.consumption_factor = rng.uniform(1.0, 2.0);
+      flow.usage.push_back(use);
+    }
+    flow.cap_Bps = rng.uniform(1.0, 2000.0);
+  }
+
+  const auto rates = maxmin_allocate(pool, flows);
+  ASSERT_EQ(rates.size(), flows.size());
+
+  std::vector<double> load(pool.size(), 0.0);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_GE(rates[f], 0.0);
+    EXPECT_LE(rates[f], flows[f].cap_Bps * (1.0 + 1e-9));
+    EXPECT_GT(rates[f], 0.0);  // All capacities positive here.
+    for (const auto& use : flows[f].usage)
+      load[use.resource] += rates[f] * use.consumption_factor;
+  }
+  for (std::size_t r = 0; r < pool.size(); ++r)
+    EXPECT_LE(load[r], pool.capacity(static_cast<ResourceId>(r)) * (1.0 + 1e-9))
+        << "resource " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxMinRandom,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 5ULL, 8ULL, 13ULL,
+                                           21ULL, 34ULL, 55ULL, 89ULL));
+
+}  // namespace
+}  // namespace xfl::sim

@@ -1,0 +1,180 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace xfl {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(11);
+  std::vector<double> draws(200000);
+  for (auto& d : draws) d = rng.normal();
+  EXPECT_NEAR(mean(draws), 0.0, 0.01);
+  EXPECT_NEAR(stddev(draws), 1.0, 0.01);
+}
+
+TEST(Rng, NormalWithParametersScales) {
+  Rng rng(11);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = rng.normal(10.0, 2.5);
+  EXPECT_NEAR(mean(draws), 10.0, 0.05);
+  EXPECT_NEAR(stddev(draws), 2.5, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng(13);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = rng.lognormal(3.0, 1.0);
+  EXPECT_NEAR(median(draws), std::exp(3.0), std::exp(3.0) * 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(17);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = rng.exponential(0.25);
+  EXPECT_NEAR(mean(draws), 4.0, 0.1);
+  EXPECT_TRUE(std::all_of(draws.begin(), draws.end(),
+                          [](double v) { return v >= 0.0; }));
+}
+
+TEST(Rng, PoissonMeanMatchesSmallAndLarge) {
+  Rng rng(19);
+  for (const double lambda : {0.5, 8.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, ParetoRespectsScaleFloor) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(29);
+  std::vector<double> draws(100000);
+  for (auto& d : draws) d = rng.weibull(1.0, 3.0);
+  EXPECT_NEAR(mean(draws), 3.0, 0.1);  // Weibull(k=1, l) has mean l.
+}
+
+TEST(Rng, ZipfPrefersLowRanks) {
+  Rng rng(31);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const auto rank = rng.zipf(10, 1.0);
+    ASSERT_GE(rank, 1);
+    ASSERT_LE(rank, 10);
+    ++counts[static_cast<std::size_t>(rank)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[5]);
+  EXPECT_GT(counts[5], 0);
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+  Rng rng(37);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(41);
+  const auto perm = rng.permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const auto i : perm) {
+    ASSERT_LT(i, 100u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+// Property sweep: distribution draws stay within documented supports for
+// a range of seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, SupportsRespected) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.exponential(2.0), 0.0);
+    EXPECT_GE(rng.poisson(3.0), 0);
+    EXPECT_GE(rng.weibull(2.0, 1.0), 0.0);
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace xfl

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "net/path.hpp"
+#include "net/site.hpp"
+
+namespace xfl::net {
+namespace {
+
+TEST(SiteCatalog, AddAndLookup) {
+  SiteCatalog catalog;
+  const auto id = catalog.add({"X", {10.0, 20.0}});
+  EXPECT_EQ(catalog[id].name, "X");
+  SiteId found = 99;
+  EXPECT_TRUE(catalog.find("X", found));
+  EXPECT_EQ(found, id);
+  EXPECT_FALSE(catalog.find("Y", found));
+}
+
+TEST(SiteCatalog, KnownFacilitiesContainPaperSites) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId id = 0;
+  for (const char* name : {"ANL", "BNL", "CERN", "LBL", "NERSC", "TACC",
+                           "SDSC", "JLAB", "UCAR", "Colorado", "ALCF"}) {
+    EXPECT_TRUE(catalog.find(name, id)) << name;
+  }
+}
+
+TEST(SiteCatalog, DistanceSymmetricAndPlausible) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId anl = 0, cern = 0;
+  ASSERT_TRUE(catalog.find("ANL", anl));
+  ASSERT_TRUE(catalog.find("CERN", cern));
+  EXPECT_DOUBLE_EQ(catalog.distance_km(anl, cern),
+                   catalog.distance_km(cern, anl));
+  EXPECT_GT(catalog.distance_km(anl, cern), 6000.0);
+}
+
+TEST(SiteCatalog, OutOfRangeIdThrows) {
+  SiteCatalog catalog;
+  EXPECT_THROW(catalog[0], xfl::ContractViolation);
+}
+
+TEST(DerivePath, RttGrowsWithDistance) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId anl = 0, bnl = 0, cern = 0;
+  ASSERT_TRUE(catalog.find("ANL", anl));
+  ASSERT_TRUE(catalog.find("BNL", bnl));
+  ASSERT_TRUE(catalog.find("CERN", cern));
+  const auto near = derive_path(catalog, anl, bnl);
+  const auto far = derive_path(catalog, anl, cern);
+  EXPECT_LT(near.rtt_s, far.rtt_s);
+  EXPECT_LT(near.loss_rate, far.loss_rate);
+}
+
+TEST(DerivePath, IntercontinentalRttPlausible) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId anl = 0, cern = 0;
+  ASSERT_TRUE(catalog.find("ANL", anl));
+  ASSERT_TRUE(catalog.find("CERN", cern));
+  const auto path = derive_path(catalog, anl, cern);
+  EXPECT_GT(path.rtt_s, 0.08);
+  EXPECT_LT(path.rtt_s, 0.2);
+}
+
+TEST(DerivePath, SameSiteStillValid) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId anl = 0;
+  ASSERT_TRUE(catalog.find("ANL", anl));
+  const auto path = derive_path(catalog, anl, anl);
+  EXPECT_GT(path.rtt_s, 0.0);
+  EXPECT_GT(path.capacity_Bps, 0.0);
+  EXPECT_LT(path.loss_rate, 1.0);
+}
+
+TEST(DerivePath, DefaultsApplied) {
+  const auto catalog = SiteCatalog::with_known_facilities();
+  SiteId anl = 0, lbl = 0;
+  ASSERT_TRUE(catalog.find("ANL", anl));
+  ASSERT_TRUE(catalog.find("LBL", lbl));
+  PathDefaults defaults;
+  defaults.capacity_Bps = 42.0;
+  const auto path = derive_path(catalog, anl, lbl, defaults);
+  EXPECT_DOUBLE_EQ(path.capacity_Bps, 42.0);
+}
+
+}  // namespace
+}  // namespace xfl::net

@@ -1,0 +1,161 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace xfl {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);  // Classic textbook sample.
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> v(10, 3.14);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Stats, PercentileSingleValue) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 13.0), 7.0);
+}
+
+TEST(Stats, PercentileRejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), ContractViolation);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(percentile(v, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(v, 101.0), ContractViolation);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(v), 2.5);
+}
+
+TEST(Stats, PercentilesBatchMatchesSingles) {
+  Rng rng(5);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = rng.uniform();
+  const std::vector<double> ps = {5.0, 25.0, 50.0, 90.0};
+  const auto batch = percentiles(v, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 9.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  std::vector<double> neg = y;
+  for (auto& v : neg) v = -v;
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.02);
+}
+
+TEST(Stats, SummarizeOrdersQuantiles) {
+  Rng rng(15);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = rng.normal();
+  const auto s = summarize(v);
+  EXPECT_LT(s.p5, s.p25);
+  EXPECT_LT(s.p25, s.p50);
+  EXPECT_LT(s.p50, s.p75);
+  EXPECT_LT(s.p75, s.p95);
+  EXPECT_EQ(s.count, v.size());
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(21);
+  std::vector<double> v(10000);
+  RunningStats running;
+  for (auto& x : v) {
+    x = rng.normal(5.0, 2.0);
+    running.add(x);
+  }
+  EXPECT_NEAR(running.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(running.variance(), variance(v), 1e-6);
+  EXPECT_DOUBLE_EQ(running.min(), min_value(v));
+  EXPECT_DOUBLE_EQ(running.max(), max_value(v));
+  EXPECT_EQ(running.count(), v.size());
+}
+
+TEST(Stats, RunningStatsFewSamples) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+// Percentiles of sorted data must be monotone in p for any sample.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> v(500);
+  for (auto& x : v) x = rng.lognormal(0.0, 2.0);
+  double previous = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double value = percentile(v, p);
+    EXPECT_GE(value, previous);
+    previous = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL, 5ULL));
+
+}  // namespace
+}  // namespace xfl

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "storage/disk.hpp"
+#include "storage/lustre.hpp"
+
+namespace xfl::storage {
+namespace {
+
+TEST(Disk, PresetSpecsValid) {
+  EXPECT_TRUE(dtn_parallel_fs().valid());
+  EXPECT_TRUE(midrange_server().valid());
+  EXPECT_TRUE(personal_machine().valid());
+}
+
+TEST(Disk, PresetsOrderedByClass) {
+  EXPECT_GT(dtn_parallel_fs().read_Bps, midrange_server().read_Bps);
+  EXPECT_GT(midrange_server().read_Bps, personal_machine().read_Bps);
+}
+
+TEST(Disk, DtnMatchesEsnetTestbedClass) {
+  // Table 1 DTNs read at ~9.3 Gb/s and write at ~7.8 Gb/s.
+  const auto spec = dtn_parallel_fs();
+  EXPECT_NEAR(to_gbit(spec.read_Bps), 9.3, 0.01);
+  EXPECT_NEAR(to_gbit(spec.write_Bps), 7.8, 0.01);
+}
+
+TEST(Disk, EfficiencyZeroGrantIsZero) {
+  EXPECT_DOUBLE_EQ(file_overhead_efficiency_Bps(0.0, 1e9, 0.1), 0.0);
+}
+
+TEST(Disk, EfficiencyNoOverheadIsIdentity) {
+  EXPECT_DOUBLE_EQ(file_overhead_efficiency_Bps(5e8, 1e9, 0.0), 5e8);
+}
+
+TEST(Disk, EfficiencyAlwaysBelowGrant) {
+  for (const double grant : {1e6, 1e8, 1e9}) {
+    const double eff = file_overhead_efficiency_Bps(grant, 1e8, 0.05);
+    EXPECT_LT(eff, grant);
+    EXPECT_GT(eff, 0.0);
+  }
+}
+
+TEST(Disk, EfficiencyHurtsSmallFilesMore) {
+  // Same grant, smaller files -> lower effective throughput (Fig. 5).
+  const double big = file_overhead_efficiency_Bps(5e8, 1e10, 0.05);
+  const double small = file_overhead_efficiency_Bps(5e8, 1e6, 0.05);
+  EXPECT_GT(big, small);
+}
+
+TEST(Disk, EfficiencySaturatesAtFileRate) {
+  // As the grant grows, throughput approaches s / t_o.
+  const double s = 1e8, t_o = 0.1;
+  const double eff = file_overhead_efficiency_Bps(1e15, s, t_o);
+  EXPECT_NEAR(eff, s / t_o, s / t_o * 0.001);
+}
+
+TEST(Disk, EfficiencyMonotoneInGrant) {
+  double previous = 0.0;
+  for (double grant = 1e6; grant <= 1e12; grant *= 10.0) {
+    const double eff = file_overhead_efficiency_Bps(grant, 1e9, 0.05);
+    EXPECT_GE(eff, previous);
+    previous = eff;
+  }
+}
+
+TEST(Disk, EfficiencyContractChecks) {
+  EXPECT_THROW(file_overhead_efficiency_Bps(-1.0, 1e9, 0.1),
+               xfl::ContractViolation);
+  EXPECT_THROW(file_overhead_efficiency_Bps(1.0, 0.0, 0.1),
+               xfl::ContractViolation);
+  EXPECT_THROW(file_overhead_efficiency_Bps(1.0, 1e9, -0.1),
+               xfl::ContractViolation);
+}
+
+TEST(Lustre, SpecLayoutRoundRobin) {
+  const auto spec = nersc_like_lustre(8, 4);
+  EXPECT_TRUE(spec.valid());
+  EXPECT_EQ(spec.oss_of(0), 0u);
+  EXPECT_EQ(spec.oss_of(3), 3u);
+  EXPECT_EQ(spec.oss_of(4), 0u);
+  EXPECT_EQ(spec.oss_of(7), 3u);
+}
+
+TEST(Lustre, OssOfOutOfRangeThrows) {
+  const auto spec = nersc_like_lustre(4, 2);
+  EXPECT_THROW(spec.oss_of(4), xfl::ContractViolation);
+}
+
+LmtSample make_sample(double t, double read, double write, double cpu) {
+  LmtSample s;
+  s.time_s = t;
+  s.ost_read_Bps = {read, read / 2.0};
+  s.ost_write_Bps = {write, write / 2.0};
+  s.oss_cpu_load = {cpu};
+  return s;
+}
+
+TEST(LmtLog, AppendAndQuery) {
+  LmtLog log(2, 1);
+  log.append(make_sample(0.0, 100.0, 50.0, 0.5));
+  log.append(make_sample(5.0, 200.0, 150.0, 0.7));
+  log.append(make_sample(10.0, 300.0, 250.0, 0.9));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_DOUBLE_EQ(log.mean_ost_read(0, 0.0, 10.0), 200.0);
+  EXPECT_DOUBLE_EQ(log.mean_ost_read(1, 0.0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(log.mean_ost_write(0, 4.0, 11.0), 200.0);
+  EXPECT_DOUBLE_EQ(log.mean_oss_cpu(0, 0.0, 4.9), 0.5);
+}
+
+TEST(LmtLog, EmptyWindowMeansZero) {
+  LmtLog log(1, 1);
+  LmtSample s;
+  s.time_s = 100.0;
+  s.ost_read_Bps = {1.0};
+  s.ost_write_Bps = {1.0};
+  s.oss_cpu_load = {1.0};
+  log.append(s);
+  EXPECT_DOUBLE_EQ(log.mean_ost_read(0, 0.0, 50.0), 0.0);
+}
+
+TEST(LmtLog, RejectsOutOfOrderAndBadShape) {
+  LmtLog log(2, 1);
+  log.append(make_sample(10.0, 1.0, 1.0, 0.1));
+  EXPECT_THROW(log.append(make_sample(5.0, 1.0, 1.0, 0.1)),
+               xfl::ContractViolation);
+  LmtSample bad;
+  bad.time_s = 20.0;
+  bad.ost_read_Bps = {1.0};  // Wrong width (needs 2).
+  bad.ost_write_Bps = {1.0, 1.0};
+  bad.oss_cpu_load = {0.1};
+  EXPECT_THROW(log.append(bad), xfl::ContractViolation);
+}
+
+TEST(LmtLog, QueryIndexBounds) {
+  LmtLog log(1, 1);
+  EXPECT_THROW(log.mean_ost_read(1, 0.0, 1.0), xfl::ContractViolation);
+  EXPECT_THROW(log.mean_oss_cpu(2, 0.0, 1.0), xfl::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xfl::storage

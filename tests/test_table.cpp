@@ -1,0 +1,64 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xfl {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrintedFirst) {
+  TextTable table;
+  table.set_title("My Table");
+  table.set_header({"a"});
+  table.add_row({"x"});
+  const auto text = table.to_string();
+  EXPECT_EQ(text.rfind("My Table", 0), 0u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table;
+  table.set_header({"col", "v"});
+  table.add_row({"longer-cell", "1"});
+  table.add_row({"s", "2"});
+  const auto text = table.to_string();
+  // Both data rows must place the second column at the same offset.
+  const auto line_start = text.find("longer-cell");
+  ASSERT_NE(line_start, std::string::npos);
+  const auto row1 = text.substr(line_start, text.find('\n', line_start) - line_start);
+  const auto short_start = text.find("\ns") + 1;
+  const auto row2 = text.substr(short_start, text.find('\n', short_start) - short_start);
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, RowsWiderThanHeaderSupported) {
+  TextTable table;
+  table.set_header({"a"});
+  table.add_row({"1", "2", "3"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("3"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersNothingFatal) {
+  TextTable table;
+  EXPECT_EQ(table.to_string(), "");
+}
+
+}  // namespace
+}  // namespace xfl

@@ -1,0 +1,97 @@
+#include "net/tcp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+
+namespace xfl::net {
+namespace {
+
+TEST(TcpModel, MathisDecreasesWithLoss) {
+  const TcpConfig cfg;
+  const double low = mathis_throughput_Bps(cfg, 0.05, 1e-6);
+  const double high = mathis_throughput_Bps(cfg, 0.05, 1e-4);
+  EXPECT_GT(low, high);
+}
+
+TEST(TcpModel, MathisDecreasesWithRtt) {
+  const TcpConfig cfg;
+  EXPECT_GT(mathis_throughput_Bps(cfg, 0.01, 1e-6),
+            mathis_throughput_Bps(cfg, 0.1, 1e-6));
+}
+
+TEST(TcpModel, MathisZeroLossIsEffectivelyUnbounded) {
+  const TcpConfig cfg;
+  EXPECT_GT(mathis_throughput_Bps(cfg, 0.05, 0.0), gbit(1000.0));
+}
+
+TEST(TcpModel, MathisMatchesClosedForm) {
+  const TcpConfig cfg{.mss_bytes = 1460.0};
+  // MSS/(RTT*sqrt(2p/3)) with p=6e-4 -> sqrt term = 0.02.
+  const double expected = 1460.0 / (0.1 * 0.02);
+  EXPECT_NEAR(mathis_throughput_Bps(cfg, 0.1, 6e-4), expected, expected * 1e-9);
+}
+
+TEST(TcpModel, WindowBoundIsWindowOverRtt) {
+  const TcpConfig cfg{.max_window_bytes = 4.0e6};
+  EXPECT_DOUBLE_EQ(window_throughput_Bps(cfg, 0.05), 8.0e7);
+}
+
+TEST(TcpModel, SingleStreamTakesMinOfBounds) {
+  TcpConfig cfg;
+  cfg.max_window_bytes = 1.0e6;
+  // Window bound 1e6/0.1=1e7; with tiny loss Mathis is huge -> window binds.
+  EXPECT_DOUBLE_EQ(single_stream_ceiling_Bps(cfg, 0.1, 1e-9),
+                   window_throughput_Bps(cfg, 0.1));
+  // With heavy loss Mathis binds.
+  const double lossy = single_stream_ceiling_Bps(cfg, 0.1, 0.01);
+  EXPECT_DOUBLE_EQ(lossy, mathis_throughput_Bps(cfg, 0.1, 0.01));
+}
+
+TEST(TcpModel, ParallelStreamsMonotoneNondecreasing) {
+  const TcpConfig cfg;
+  double previous = 0.0;
+  for (std::uint32_t n = 1; n <= 128; n *= 2) {
+    const double ceiling = parallel_stream_ceiling_Bps(cfg, n, 0.08, 2e-6);
+    EXPECT_GE(ceiling, previous);
+    previous = ceiling;
+  }
+}
+
+TEST(TcpModel, ParallelStreamsSublinear) {
+  const TcpConfig cfg;
+  const double one = parallel_stream_ceiling_Bps(cfg, 1, 0.08, 2e-6);
+  const double sixteen = parallel_stream_ceiling_Bps(cfg, 16, 0.08, 2e-6);
+  EXPECT_LT(sixteen, 16.0 * one);   // Diminishing returns.
+  EXPECT_GT(sixteen, 8.0 * one);    // But still strongly increasing.
+}
+
+TEST(TcpModel, ContractViolations) {
+  const TcpConfig cfg;
+  EXPECT_THROW(mathis_throughput_Bps(cfg, 0.0, 1e-6), xfl::ContractViolation);
+  EXPECT_THROW(mathis_throughput_Bps(cfg, 0.1, 1.0), xfl::ContractViolation);
+  EXPECT_THROW(parallel_stream_ceiling_Bps(cfg, 0, 0.1, 1e-6),
+               xfl::ContractViolation);
+}
+
+// Property sweep: ceiling positive and finite over a parameter grid.
+class TcpGrid : public ::testing::TestWithParam<
+                    std::tuple<std::uint32_t, double, double>> {};
+
+TEST_P(TcpGrid, CeilingPositiveFinite) {
+  const auto [streams, rtt, loss] = GetParam();
+  const TcpConfig cfg;
+  const double ceiling = parallel_stream_ceiling_Bps(cfg, streams, rtt, loss);
+  EXPECT_GT(ceiling, 0.0);
+  EXPECT_LT(ceiling, 1.0e15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, TcpGrid,
+    ::testing::Combine(::testing::Values(1u, 4u, 16u, 64u, 256u),
+                       ::testing::Values(0.001, 0.02, 0.107, 0.3),
+                       ::testing::Values(0.0, 1e-7, 1e-5, 1e-3)));
+
+}  // namespace
+}  // namespace xfl::net

@@ -1,0 +1,77 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace xfl {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SingleThreadWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(10000, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 10000u);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(50,
+                        [](std::size_t i) {
+                          if (i == 17) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.parallel_for(4, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ThreadPool, SequentialCallsWork) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(100, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xfl

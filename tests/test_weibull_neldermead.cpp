@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "ml/neldermead.hpp"
+#include "ml/weibull.hpp"
+
+namespace xfl::ml {
+namespace {
+
+TEST(NelderMead, MinimisesQuadratic) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& p) {
+        return (p[0] - 3.0) * (p[0] - 3.0) + (p[1] + 1.0) * (p[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-4);
+}
+
+TEST(NelderMead, MinimisesRosenbrock) {
+  NelderMeadOptions options;
+  options.max_iterations = 20000;
+  options.tolerance = 1e-14;
+  const auto result = nelder_mead(
+      [](const std::vector<double>& p) {
+        const double a = 1.0 - p[0];
+        const double b = p[1] - p[0] * p[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& p) { return std::cosh(p[0] - 2.0); },
+      {10.0});
+  EXPECT_NEAR(result.x[0], 2.0, 1e-4);
+}
+
+TEST(NelderMead, ZeroStartingPointStillMoves) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& p) { return (p[0] - 1.0) * (p[0] - 1.0); },
+      {0.0});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, ReportsIterationsAndValue) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& p) { return p[0] * p[0]; }, {5.0});
+  EXPECT_GT(result.iterations, 0);
+  EXPECT_NEAR(result.fx, 0.0, 1e-8);
+}
+
+TEST(NelderMead, ContractChecks) {
+  EXPECT_THROW(
+      nelder_mead([](const std::vector<double>&) { return 0.0; }, {}),
+      xfl::ContractViolation);
+}
+
+TEST(Weibull, EvaluateKnownShape) {
+  // k=2, l=1, A=1: f(x) = 2 x exp(-x^2); f(1) = 2/e.
+  const WeibullCurve curve{1.0, 2.0, 1.0};
+  EXPECT_NEAR(curve(1.0), 2.0 / std::exp(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(curve(0.0), 0.0);  // k > 1 starts at zero.
+}
+
+TEST(Weibull, ModeFormula) {
+  const WeibullCurve curve{1.0, 2.0, 3.0};
+  // mode = l * ((k-1)/k)^(1/k) = 3 * sqrt(0.5).
+  EXPECT_NEAR(curve.mode(), 3.0 * std::sqrt(0.5), 1e-12);
+  const WeibullCurve decreasing{1.0, 0.8, 1.0};
+  EXPECT_DOUBLE_EQ(decreasing.mode(), 0.0);
+}
+
+TEST(Weibull, RejectsNegativeInput) {
+  const WeibullCurve curve{1.0, 2.0, 1.0};
+  EXPECT_THROW(curve(-1.0), xfl::ContractViolation);
+}
+
+TEST(Weibull, FitRecoversCleanCurve) {
+  const WeibullCurve truth{50.0, 2.2, 40.0};
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 120.0; v += 1.0) {
+    x.push_back(v);
+    y.push_back(truth(v));
+  }
+  const auto fitted = fit_weibull_curve(x, y);
+  // The fitted curve must reproduce the data (parameters can trade off).
+  EXPECT_LT(weibull_sse(fitted, x, y) / weibull_sse(WeibullCurve{}, x, y),
+            1e-4);
+  EXPECT_NEAR(fitted.mode(), truth.mode(), 2.0);
+}
+
+TEST(Weibull, FitHandlesNoisyRiseAndFall) {
+  Rng rng(21);
+  const WeibullCurve truth{900.0, 1.8, 60.0};
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 200.0; v += 1.0) {
+    x.push_back(v);
+    y.push_back(std::max(0.0, truth(v) + rng.normal(0.0, 0.5)));
+  }
+  const auto fitted = fit_weibull_curve(x, y);
+  EXPECT_NEAR(fitted.mode(), truth.mode(), 12.0);
+  // Shape must rise then fall: value at the mode above both tails.
+  const double at_mode = fitted(fitted.mode());
+  EXPECT_GT(at_mode, fitted(1.0));
+  EXPECT_GT(at_mode, fitted(200.0));
+}
+
+TEST(Weibull, FitScaleInvariant) {
+  // Same curve expressed in different units should fit equally well.
+  const WeibullCurve truth{2.0e8, 2.0, 30.0};  // y in bytes/s.
+  std::vector<double> x, y;
+  for (double v = 1.0; v <= 100.0; v += 2.0) {
+    x.push_back(v);
+    y.push_back(truth(v));
+  }
+  const auto fitted = fit_weibull_curve(x, y);
+  double max_y = 0.0;
+  for (const double v : y) max_y = std::max(max_y, v);
+  EXPECT_LT(weibull_sse(fitted, x, y), 1e-4 * max_y * max_y * x.size());
+}
+
+TEST(Weibull, FitContractChecks) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(fit_weibull_curve(tiny, tiny), xfl::ContractViolation);
+}
+
+}  // namespace
+}  // namespace xfl::ml

@@ -1,0 +1,339 @@
+// xferlearn - command-line front end for the library.
+//
+//   xferlearn simulate --scenario esnet|production|lmt [--seed N]
+//                      [--out log.csv] [--anonymize]
+//   xferlearn analyze  --log log.csv [--threshold 0.5]
+//   xferlearn evaluate --log log.csv [--max-edges 30] [--min-transfers 300]
+//   xferlearn train    --log log.csv --model-out model.txt
+//                      [--min-edge-transfers 100]
+//   xferlearn predict  (--log log.csv | --model model.txt)
+//                      --src ID --dst ID --bytes BYTES
+//                      [--files N] [--dirs N] [--concurrency C]
+//                      [--parallelism P]
+//   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
+//
+// Every subcommand works on the Globus-schema CSV produced by `simulate`
+// or exported from a real transfer service.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+#include "core/edge_model.hpp"
+#include "core/pipeline.hpp"
+#include "core/predictor.hpp"
+#include "features/dataset.hpp"
+#include "logs/anonymize.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace xfl;
+
+/// Minimal --flag value parser: returns the value after `name`, if present.
+class ArgList {
+ public:
+  ArgList(int argc, char** argv) {
+    for (int i = 0; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::optional<std::string> value(const std::string& name) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i)
+      if (args_[i] == name) return args_[i + 1];
+    return std::nullopt;
+  }
+
+  bool flag(const std::string& name) const {
+    for (const auto& arg : args_)
+      if (arg == name) return true;
+    return false;
+  }
+
+  std::string value_or(const std::string& name, const std::string& fallback) const {
+    return value(name).value_or(fallback);
+  }
+
+  double number_or(const std::string& name, double fallback) const {
+    const auto v = value(name);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xferlearn <simulate|analyze|train|evaluate|predict|"
+               "export-dataset> [options]\n"
+               "run `xferlearn <command>` with no options for details in "
+               "the header of tools/xferlearn.cpp\n");
+  return 2;
+}
+
+logs::LogStore load_log(const ArgList& args) {
+  const auto path = args.value("--log");
+  if (!path) {
+    std::fprintf(stderr, "error: --log <file.csv> is required\n");
+    std::exit(2);
+  }
+  std::ifstream in(*path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path->c_str());
+    std::exit(1);
+  }
+  auto log = logs::LogStore::read_csv(in);
+  std::printf("loaded %zu transfers from %s\n", log.size(), path->c_str());
+  return log;
+}
+
+int cmd_simulate(const ArgList& args) {
+  const std::string which = args.value_or("--scenario", "esnet");
+  const auto seed = static_cast<std::uint64_t>(args.number_or("--seed", 0.0));
+
+  sim::Scenario scenario;
+  if (which == "esnet") {
+    sim::EsnetConfig config;
+    if (seed != 0) config.seed = seed;
+    config.transfers = static_cast<std::size_t>(
+        args.number_or("--transfers", 2000.0));
+    scenario = sim::make_esnet_testbed(config);
+  } else if (which == "production") {
+    sim::ProductionConfig config;
+    if (seed != 0) config.seed = seed;
+    scenario = sim::make_production(config);
+  } else if (which == "lmt") {
+    sim::LmtConfig config;
+    if (seed != 0) config.seed = seed;
+    scenario = sim::make_nersc_lmt(config);
+  } else {
+    std::fprintf(stderr, "error: unknown scenario '%s'\n", which.c_str());
+    return 2;
+  }
+
+  std::printf("simulating %zu transfers (%s)...\n", scenario.workload.size(),
+              which.c_str());
+  auto result = scenario.run();
+  logs::LogStore output = std::move(result.log);
+  if (args.flag("--anonymize"))
+    output = logs::anonymize(output, seed == 0 ? 0x5eedULL : seed).log;
+
+  const std::string out_path = args.value_or("--out", "transfer_log.csv");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  output.write_csv(out);
+  std::printf("wrote %zu transfers to %s%s\n", output.size(), out_path.c_str(),
+              args.flag("--anonymize") ? " (anonymised)" : "");
+  return 0;
+}
+
+int cmd_analyze(const ArgList& args) {
+  const auto log = load_log(args);
+  const double threshold = args.number_or("--threshold", 0.5);
+  const auto context = core::analyze_log(log);
+
+  TextTable table;
+  table.set_title("edges by usage (top 20):");
+  table.set_header({"src", "dst", "transfers", "Rmax (MB/s)",
+                    "above T*Rmax", "retention %"});
+  const auto edges = context.log.edges_by_usage();
+  for (std::size_t e = 0; e < edges.size() && e < 20; ++e) {
+    const auto indices = context.log.edge_transfers(edges[e]);
+    const double rmax = context.log.edge_max_rate(edges[e]);
+    std::size_t qualifying = 0;
+    for (const auto i : indices)
+      if (context.log[i].rate_Bps() >= threshold * rmax) ++qualifying;
+    table.add_row({std::to_string(edges[e].src), std::to_string(edges[e].dst),
+                   std::to_string(indices.size()),
+                   TextTable::num(to_mbps(rmax), 1),
+                   std::to_string(qualifying),
+                   TextTable::num(100.0 * static_cast<double>(qualifying) /
+                                      static_cast<double>(indices.size()),
+                                  1)});
+  }
+  table.print(stdout);
+
+  TextTable capability_table;
+  capability_table.set_title("\nendpoint capability estimates (MB/s):");
+  capability_table.set_header({"endpoint", "DRmax", "DWmax", "ROmax", "RImax"});
+  for (const auto& [endpoint, capability] : context.capabilities) {
+    capability_table.add_row({std::to_string(endpoint),
+                              TextTable::num(to_mbps(capability.dr_max_Bps), 1),
+                              TextTable::num(to_mbps(capability.dw_max_Bps), 1),
+                              TextTable::num(to_mbps(capability.ro_max_Bps), 1),
+                              TextTable::num(to_mbps(capability.ri_max_Bps), 1)});
+  }
+  capability_table.print(stdout);
+  return 0;
+}
+
+int cmd_evaluate(const ArgList& args) {
+  const auto log = load_log(args);
+  const auto context = core::analyze_log(log);
+  const auto max_edges =
+      static_cast<std::size_t>(args.number_or("--max-edges", 30.0));
+  const auto min_transfers =
+      static_cast<std::size_t>(args.number_or("--min-transfers", 300.0));
+  const auto edges =
+      core::select_heavy_edges(context, min_transfers, 0.5, max_edges);
+  if (edges.empty()) {
+    std::fprintf(stderr,
+                 "no edges with >= %zu transfers above 0.5*Rmax; lower "
+                 "--min-transfers\n",
+                 min_transfers);
+    return 1;
+  }
+  ThreadPool pool;
+  const auto reports = core::study_edges(context, edges, {}, &pool);
+  TextTable table;
+  table.set_header({"edge", "samples", "LR MdAPE %", "XGB MdAPE %"});
+  for (const auto& report : reports)
+    table.add_row({std::to_string(report.edge.src) + "->" +
+                       std::to_string(report.edge.dst),
+                   std::to_string(report.samples),
+                   TextTable::num(report.lr_mdape, 1),
+                   TextTable::num(report.xgb_mdape, 1)});
+  table.print(stdout);
+  return 0;
+}
+
+int cmd_train(const ArgList& args) {
+  const auto log = load_log(args);
+  const auto out_path = args.value("--model-out");
+  if (!out_path) {
+    std::fprintf(stderr, "error: --model-out <file> is required\n");
+    return 2;
+  }
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = static_cast<std::size_t>(
+      args.number_or("--min-edge-transfers", 100.0));
+  core::TransferPredictor predictor(options);
+  predictor.fit(log);
+  std::ofstream out(*out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  predictor.save(out);
+  std::printf("trained predictor saved to %s\n", out_path->c_str());
+  return 0;
+}
+
+int cmd_predict(const ArgList& args) {
+  core::PlannedTransfer planned;
+  const auto src = args.value("--src");
+  const auto dst = args.value("--dst");
+  const auto bytes = args.value("--bytes");
+  if (!src || !dst || !bytes) {
+    std::fprintf(stderr, "error: --src, --dst and --bytes are required\n");
+    return 2;
+  }
+  planned.src = static_cast<endpoint::EndpointId>(std::stoul(*src));
+  planned.dst = static_cast<endpoint::EndpointId>(std::stoul(*dst));
+  planned.bytes = std::stod(*bytes);
+  planned.files = static_cast<std::uint64_t>(args.number_or("--files", 1.0));
+  planned.dirs = static_cast<std::uint64_t>(args.number_or("--dirs", 1.0));
+  planned.concurrency =
+      static_cast<std::uint32_t>(args.number_or("--concurrency", 4.0));
+  planned.parallelism =
+      static_cast<std::uint32_t>(args.number_or("--parallelism", 4.0));
+
+  core::TransferPredictor predictor;
+  if (const auto model_path = args.value("--model")) {
+    std::ifstream in(*model_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", model_path->c_str());
+      return 1;
+    }
+    predictor = core::TransferPredictor::load(in);
+    std::printf("loaded predictor from %s\n", model_path->c_str());
+  } else {
+    const auto log = load_log(args);
+    core::TransferPredictor::Options options;
+    options.min_edge_transfers = static_cast<std::size_t>(
+        args.number_or("--min-edge-transfers", 100.0));
+    predictor = core::TransferPredictor(options);
+    predictor.fit(log);
+  }
+
+  const logs::EdgeKey edge{planned.src, planned.dst};
+  const double rate = predictor.predict_rate_mbps(planned);
+  std::printf("model: %s\n",
+              predictor.has_edge_model(edge) ? "per-edge" : "global fallback");
+  std::printf("predicted rate:     %.1f MB/s\n", rate);
+  std::printf("predicted duration: %.0f s for %s\n",
+              predictor.estimate_duration_s(planned),
+              format_bytes(planned.bytes).c_str());
+  std::printf("top features: ");
+  const auto importances = predictor.explain(edge);
+  for (std::size_t i = 0; i < importances.size() && i < 5; ++i)
+    std::printf("%s%s (%.2f)", i == 0 ? "" : ", ", importances[i].first.c_str(),
+                importances[i].second);
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_export_dataset(const ArgList& args) {
+  const auto log = load_log(args);
+  const auto src = args.value("--src");
+  const auto dst = args.value("--dst");
+  if (!src || !dst) {
+    std::fprintf(stderr, "error: --src and --dst are required\n");
+    return 2;
+  }
+  const logs::EdgeKey edge{
+      static_cast<endpoint::EndpointId>(std::stoul(*src)),
+      static_cast<endpoint::EndpointId>(std::stoul(*dst))};
+  if (log.edge_count(edge) == 0) {
+    std::fprintf(stderr, "error: edge %s->%s has no transfers\n", src->c_str(),
+                 dst->c_str());
+    return 1;
+  }
+  const auto contention = features::compute_contention(log);
+  features::DatasetOptions options;
+  options.load_threshold = args.number_or("--threshold", 0.5);
+  options.include_nflt = args.flag("--with-nflt");
+  const auto dataset = features::build_edge_dataset(log, contention, edge, options);
+
+  const std::string out_path = args.value_or("--out", "dataset.csv");
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  features::write_dataset_csv(dataset, out);
+  std::printf("wrote %zu rows x %zu features to %s\n", dataset.rows(),
+              dataset.cols(), out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const ArgList args(argc - 2, argv + 2);
+  try {
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "predict") return cmd_predict(args);
+    if (command == "export-dataset") return cmd_export_dataset(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
