@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_background.dir/ablation_background.cpp.o"
+  "CMakeFiles/ablation_background.dir/ablation_background.cpp.o.d"
+  "ablation_background"
+  "ablation_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

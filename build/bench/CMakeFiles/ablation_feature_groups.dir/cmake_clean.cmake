@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_feature_groups.dir/ablation_feature_groups.cpp.o"
+  "CMakeFiles/ablation_feature_groups.dir/ablation_feature_groups.cpp.o.d"
+  "ablation_feature_groups"
+  "ablation_feature_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_feature_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_overhead_model.dir/ablation_overhead_model.cpp.o"
+  "CMakeFiles/ablation_overhead_model.dir/ablation_overhead_model.cpp.o.d"
+  "ablation_overhead_model"
+  "ablation_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

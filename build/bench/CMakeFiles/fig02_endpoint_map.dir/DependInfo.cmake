@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_endpoint_map.cpp" "bench/CMakeFiles/fig02_endpoint_map.dir/fig02_endpoint_map.cpp.o" "gcc" "bench/CMakeFiles/fig02_endpoint_map.dir/fig02_endpoint_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/xfl_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xfl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/xfl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/xfl_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/endpoint/CMakeFiles/xfl_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_endpoint_map.dir/fig02_endpoint_map.cpp.o"
+  "CMakeFiles/fig02_endpoint_map.dir/fig02_endpoint_map.cpp.o.d"
+  "fig02_endpoint_map"
+  "fig02_endpoint_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_endpoint_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

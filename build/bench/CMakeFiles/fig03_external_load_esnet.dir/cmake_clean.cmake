@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_external_load_esnet.dir/fig03_external_load_esnet.cpp.o"
+  "CMakeFiles/fig03_external_load_esnet.dir/fig03_external_load_esnet.cpp.o.d"
+  "fig03_external_load_esnet"
+  "fig03_external_load_esnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_external_load_esnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_external_load_esnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_external_load_esnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_concurrency_weibull.dir/fig04_concurrency_weibull.cpp.o"
+  "CMakeFiles/fig04_concurrency_weibull.dir/fig04_concurrency_weibull.cpp.o.d"
+  "fig04_concurrency_weibull"
+  "fig04_concurrency_weibull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_concurrency_weibull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_file_characteristics.dir/fig05_file_characteristics.cpp.o"
+  "CMakeFiles/fig05_file_characteristics.dir/fig05_file_characteristics.cpp.o.d"
+  "fig05_file_characteristics"
+  "fig05_file_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_file_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

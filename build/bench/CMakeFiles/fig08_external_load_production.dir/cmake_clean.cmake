@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_external_load_production.dir/fig08_external_load_production.cpp.o"
+  "CMakeFiles/fig08_external_load_production.dir/fig08_external_load_production.cpp.o.d"
+  "fig08_external_load_production"
+  "fig08_external_load_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_external_load_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_linear_coefficients.dir/fig09_linear_coefficients.cpp.o"
+  "CMakeFiles/fig09_linear_coefficients.dir/fig09_linear_coefficients.cpp.o.d"
+  "fig09_linear_coefficients"
+  "fig09_linear_coefficients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_linear_coefficients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

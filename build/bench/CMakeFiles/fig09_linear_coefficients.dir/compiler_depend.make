@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_linear_coefficients.
+# This may be replaced when dependencies are built.

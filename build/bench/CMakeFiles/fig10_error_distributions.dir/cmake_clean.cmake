@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_error_distributions.dir/fig10_error_distributions.cpp.o"
+  "CMakeFiles/fig10_error_distributions.dir/fig10_error_distributions.cpp.o.d"
+  "fig10_error_distributions"
+  "fig10_error_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_error_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mdape_per_edge.dir/fig11_mdape_per_edge.cpp.o"
+  "CMakeFiles/fig11_mdape_per_edge.dir/fig11_mdape_per_edge.cpp.o.d"
+  "fig11_mdape_per_edge"
+  "fig11_mdape_per_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mdape_per_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_mdape_per_edge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_xgb_importance.dir/fig12_xgb_importance.cpp.o"
+  "CMakeFiles/fig12_xgb_importance.dir/fig12_xgb_importance.cpp.o.d"
+  "fig12_xgb_importance"
+  "fig12_xgb_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_xgb_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_threshold_study.dir/fig13_threshold_study.cpp.o"
+  "CMakeFiles/fig13_threshold_study.dir/fig13_threshold_study.cpp.o.d"
+  "fig13_threshold_study"
+  "fig13_threshold_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_threshold_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_bound_validation.dir/sec32_bound_validation.cpp.o"
+  "CMakeFiles/sec32_bound_validation.dir/sec32_bound_validation.cpp.o.d"
+  "sec32_bound_validation"
+  "sec32_bound_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_bound_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

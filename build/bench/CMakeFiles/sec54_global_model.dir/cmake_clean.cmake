@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_global_model.dir/sec54_global_model.cpp.o"
+  "CMakeFiles/sec54_global_model.dir/sec54_global_model.cpp.o.d"
+  "sec54_global_model"
+  "sec54_global_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_global_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

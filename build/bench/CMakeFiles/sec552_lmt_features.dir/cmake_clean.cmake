@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec552_lmt_features.dir/sec552_lmt_features.cpp.o"
+  "CMakeFiles/sec552_lmt_features.dir/sec552_lmt_features.cpp.o.d"
+  "sec552_lmt_features"
+  "sec552_lmt_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec552_lmt_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

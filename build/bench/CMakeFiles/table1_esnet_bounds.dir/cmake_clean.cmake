@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_esnet_bounds.dir/table1_esnet_bounds.cpp.o"
+  "CMakeFiles/table1_esnet_bounds.dir/table1_esnet_bounds.cpp.o.d"
+  "table1_esnet_bounds"
+  "table1_esnet_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_esnet_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

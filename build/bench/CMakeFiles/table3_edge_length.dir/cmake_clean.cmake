@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_edge_length.dir/table3_edge_length.cpp.o"
+  "CMakeFiles/table3_edge_length.dir/table3_edge_length.cpp.o.d"
+  "table3_edge_length"
+  "table3_edge_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_edge_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_edge_types.dir/table4_edge_types.cpp.o"
+  "CMakeFiles/table4_edge_types.dir/table4_edge_types.cpp.o.d"
+  "table4_edge_types"
+  "table4_edge_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_edge_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cc_mic.dir/table5_cc_mic.cpp.o"
+  "CMakeFiles/table5_cc_mic.dir/table5_cc_mic.cpp.o.d"
+  "table5_cc_mic"
+  "table5_cc_mic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cc_mic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

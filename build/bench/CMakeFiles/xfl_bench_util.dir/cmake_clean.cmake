@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libxfl_bench_util.a"
+  "../lib/libxfl_bench_util.pdb"
+  "CMakeFiles/xfl_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/xfl_bench_util.dir/bench_util.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

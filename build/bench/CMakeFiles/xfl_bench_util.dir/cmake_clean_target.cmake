@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libxfl_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_explorer.dir/bottleneck_explorer.cpp.o"
+  "CMakeFiles/bottleneck_explorer.dir/bottleneck_explorer.cpp.o.d"
+  "bottleneck_explorer"
+  "bottleneck_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitored_operations.dir/monitored_operations.cpp.o"
+  "CMakeFiles/monitored_operations.dir/monitored_operations.cpp.o.d"
+  "monitored_operations"
+  "monitored_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitored_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_scheduler.dir/workflow_scheduler.cpp.o"
+  "CMakeFiles/workflow_scheduler.dir/workflow_scheduler.cpp.o.d"
+  "workflow_scheduler"
+  "workflow_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_common.dir/csv.cpp.o"
+  "CMakeFiles/xfl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/geo.cpp.o"
+  "CMakeFiles/xfl_common.dir/geo.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/rng.cpp.o"
+  "CMakeFiles/xfl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/stats.cpp.o"
+  "CMakeFiles/xfl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/table.cpp.o"
+  "CMakeFiles/xfl_common.dir/table.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/xfl_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/xfl_common.dir/units.cpp.o"
+  "CMakeFiles/xfl_common.dir/units.cpp.o.d"
+  "libxfl_common.a"
+  "libxfl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical.cpp" "src/core/CMakeFiles/xfl_core.dir/analytical.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/analytical.cpp.o.d"
+  "/root/repo/src/core/bound_survey.cpp" "src/core/CMakeFiles/xfl_core.dir/bound_survey.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/bound_survey.cpp.o.d"
+  "/root/repo/src/core/edge_model.cpp" "src/core/CMakeFiles/xfl_core.dir/edge_model.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/edge_model.cpp.o.d"
+  "/root/repo/src/core/global_model.cpp" "src/core/CMakeFiles/xfl_core.dir/global_model.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/global_model.cpp.o.d"
+  "/root/repo/src/core/lmt_model.cpp" "src/core/CMakeFiles/xfl_core.dir/lmt_model.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/lmt_model.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/xfl_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/xfl_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/threshold_study.cpp" "src/core/CMakeFiles/xfl_core.dir/threshold_study.cpp.o" "gcc" "src/core/CMakeFiles/xfl_core.dir/threshold_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/xfl_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/xfl_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xfl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/endpoint/CMakeFiles/xfl_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_core.dir/analytical.cpp.o"
+  "CMakeFiles/xfl_core.dir/analytical.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/bound_survey.cpp.o"
+  "CMakeFiles/xfl_core.dir/bound_survey.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/edge_model.cpp.o"
+  "CMakeFiles/xfl_core.dir/edge_model.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/global_model.cpp.o"
+  "CMakeFiles/xfl_core.dir/global_model.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/lmt_model.cpp.o"
+  "CMakeFiles/xfl_core.dir/lmt_model.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/pipeline.cpp.o"
+  "CMakeFiles/xfl_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/predictor.cpp.o"
+  "CMakeFiles/xfl_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/xfl_core.dir/threshold_study.cpp.o"
+  "CMakeFiles/xfl_core.dir/threshold_study.cpp.o.d"
+  "libxfl_core.a"
+  "libxfl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

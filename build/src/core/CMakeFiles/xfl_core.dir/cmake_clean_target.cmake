@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxfl_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/endpoint/endpoint.cpp" "src/endpoint/CMakeFiles/xfl_endpoint.dir/endpoint.cpp.o" "gcc" "src/endpoint/CMakeFiles/xfl_endpoint.dir/endpoint.cpp.o.d"
+  "/root/repo/src/endpoint/gridftp.cpp" "src/endpoint/CMakeFiles/xfl_endpoint.dir/gridftp.cpp.o" "gcc" "src/endpoint/CMakeFiles/xfl_endpoint.dir/gridftp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

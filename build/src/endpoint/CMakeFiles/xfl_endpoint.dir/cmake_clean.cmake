@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_endpoint.dir/endpoint.cpp.o"
+  "CMakeFiles/xfl_endpoint.dir/endpoint.cpp.o.d"
+  "CMakeFiles/xfl_endpoint.dir/gridftp.cpp.o"
+  "CMakeFiles/xfl_endpoint.dir/gridftp.cpp.o.d"
+  "libxfl_endpoint.a"
+  "libxfl_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/contention.cpp" "src/features/CMakeFiles/xfl_features.dir/contention.cpp.o" "gcc" "src/features/CMakeFiles/xfl_features.dir/contention.cpp.o.d"
+  "/root/repo/src/features/dataset.cpp" "src/features/CMakeFiles/xfl_features.dir/dataset.cpp.o" "gcc" "src/features/CMakeFiles/xfl_features.dir/dataset.cpp.o.d"
+  "/root/repo/src/features/endpoint_stats.cpp" "src/features/CMakeFiles/xfl_features.dir/endpoint_stats.cpp.o" "gcc" "src/features/CMakeFiles/xfl_features.dir/endpoint_stats.cpp.o.d"
+  "/root/repo/src/features/snapshot.cpp" "src/features/CMakeFiles/xfl_features.dir/snapshot.cpp.o" "gcc" "src/features/CMakeFiles/xfl_features.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/xfl_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/xfl_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/endpoint/CMakeFiles/xfl_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_features.dir/contention.cpp.o"
+  "CMakeFiles/xfl_features.dir/contention.cpp.o.d"
+  "CMakeFiles/xfl_features.dir/dataset.cpp.o"
+  "CMakeFiles/xfl_features.dir/dataset.cpp.o.d"
+  "CMakeFiles/xfl_features.dir/endpoint_stats.cpp.o"
+  "CMakeFiles/xfl_features.dir/endpoint_stats.cpp.o.d"
+  "CMakeFiles/xfl_features.dir/snapshot.cpp.o"
+  "CMakeFiles/xfl_features.dir/snapshot.cpp.o.d"
+  "libxfl_features.a"
+  "libxfl_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

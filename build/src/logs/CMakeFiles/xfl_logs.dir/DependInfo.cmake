@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/anonymize.cpp" "src/logs/CMakeFiles/xfl_logs.dir/anonymize.cpp.o" "gcc" "src/logs/CMakeFiles/xfl_logs.dir/anonymize.cpp.o.d"
+  "/root/repo/src/logs/log_store.cpp" "src/logs/CMakeFiles/xfl_logs.dir/log_store.cpp.o" "gcc" "src/logs/CMakeFiles/xfl_logs.dir/log_store.cpp.o.d"
+  "/root/repo/src/logs/record.cpp" "src/logs/CMakeFiles/xfl_logs.dir/record.cpp.o" "gcc" "src/logs/CMakeFiles/xfl_logs.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/endpoint/CMakeFiles/xfl_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_logs.dir/anonymize.cpp.o"
+  "CMakeFiles/xfl_logs.dir/anonymize.cpp.o.d"
+  "CMakeFiles/xfl_logs.dir/log_store.cpp.o"
+  "CMakeFiles/xfl_logs.dir/log_store.cpp.o.d"
+  "CMakeFiles/xfl_logs.dir/record.cpp.o"
+  "CMakeFiles/xfl_logs.dir/record.cpp.o.d"
+  "libxfl_logs.a"
+  "libxfl_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

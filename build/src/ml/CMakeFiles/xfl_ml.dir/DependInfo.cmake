@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/correlation.cpp" "src/ml/CMakeFiles/xfl_ml.dir/correlation.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/correlation.cpp.o.d"
+  "/root/repo/src/ml/gbt.cpp" "src/ml/CMakeFiles/xfl_ml.dir/gbt.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/gbt.cpp.o.d"
+  "/root/repo/src/ml/linreg.cpp" "src/ml/CMakeFiles/xfl_ml.dir/linreg.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/linreg.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/xfl_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/xfl_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/mic.cpp" "src/ml/CMakeFiles/xfl_ml.dir/mic.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/mic.cpp.o.d"
+  "/root/repo/src/ml/neldermead.cpp" "src/ml/CMakeFiles/xfl_ml.dir/neldermead.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/neldermead.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/xfl_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/weibull.cpp" "src/ml/CMakeFiles/xfl_ml.dir/weibull.cpp.o" "gcc" "src/ml/CMakeFiles/xfl_ml.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

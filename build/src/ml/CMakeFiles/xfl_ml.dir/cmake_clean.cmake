@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_ml.dir/correlation.cpp.o"
+  "CMakeFiles/xfl_ml.dir/correlation.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/gbt.cpp.o"
+  "CMakeFiles/xfl_ml.dir/gbt.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/linreg.cpp.o"
+  "CMakeFiles/xfl_ml.dir/linreg.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/matrix.cpp.o"
+  "CMakeFiles/xfl_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/metrics.cpp.o"
+  "CMakeFiles/xfl_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/mic.cpp.o"
+  "CMakeFiles/xfl_ml.dir/mic.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/neldermead.cpp.o"
+  "CMakeFiles/xfl_ml.dir/neldermead.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/scaler.cpp.o"
+  "CMakeFiles/xfl_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/xfl_ml.dir/weibull.cpp.o"
+  "CMakeFiles/xfl_ml.dir/weibull.cpp.o.d"
+  "libxfl_ml.a"
+  "libxfl_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

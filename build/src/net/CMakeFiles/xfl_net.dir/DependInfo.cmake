@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/path.cpp" "src/net/CMakeFiles/xfl_net.dir/path.cpp.o" "gcc" "src/net/CMakeFiles/xfl_net.dir/path.cpp.o.d"
+  "/root/repo/src/net/site.cpp" "src/net/CMakeFiles/xfl_net.dir/site.cpp.o" "gcc" "src/net/CMakeFiles/xfl_net.dir/site.cpp.o.d"
+  "/root/repo/src/net/tcp_model.cpp" "src/net/CMakeFiles/xfl_net.dir/tcp_model.cpp.o" "gcc" "src/net/CMakeFiles/xfl_net.dir/tcp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

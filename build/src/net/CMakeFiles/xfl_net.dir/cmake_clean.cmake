@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_net.dir/path.cpp.o"
+  "CMakeFiles/xfl_net.dir/path.cpp.o.d"
+  "CMakeFiles/xfl_net.dir/site.cpp.o"
+  "CMakeFiles/xfl_net.dir/site.cpp.o.d"
+  "CMakeFiles/xfl_net.dir/tcp_model.cpp.o"
+  "CMakeFiles/xfl_net.dir/tcp_model.cpp.o.d"
+  "libxfl_net.a"
+  "libxfl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

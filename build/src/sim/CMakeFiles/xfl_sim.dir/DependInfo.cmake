@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/probe.cpp" "src/sim/CMakeFiles/xfl_sim.dir/probe.cpp.o" "gcc" "src/sim/CMakeFiles/xfl_sim.dir/probe.cpp.o.d"
+  "/root/repo/src/sim/resources.cpp" "src/sim/CMakeFiles/xfl_sim.dir/resources.cpp.o" "gcc" "src/sim/CMakeFiles/xfl_sim.dir/resources.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/xfl_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/xfl_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/xfl_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/xfl_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/sim/CMakeFiles/xfl_sim.dir/workload.cpp.o" "gcc" "src/sim/CMakeFiles/xfl_sim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xfl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xfl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/xfl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/endpoint/CMakeFiles/xfl_endpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/xfl_logs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_sim.dir/probe.cpp.o"
+  "CMakeFiles/xfl_sim.dir/probe.cpp.o.d"
+  "CMakeFiles/xfl_sim.dir/resources.cpp.o"
+  "CMakeFiles/xfl_sim.dir/resources.cpp.o.d"
+  "CMakeFiles/xfl_sim.dir/scenario.cpp.o"
+  "CMakeFiles/xfl_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/xfl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/xfl_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/xfl_sim.dir/workload.cpp.o"
+  "CMakeFiles/xfl_sim.dir/workload.cpp.o.d"
+  "libxfl_sim.a"
+  "libxfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

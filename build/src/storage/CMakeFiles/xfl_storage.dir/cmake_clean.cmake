@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfl_storage.dir/disk.cpp.o"
+  "CMakeFiles/xfl_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/xfl_storage.dir/lustre.cpp.o"
+  "CMakeFiles/xfl_storage.dir/lustre.cpp.o.d"
+  "libxfl_storage.a"
+  "libxfl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admission_wan.dir/test_admission_wan.cpp.o"
+  "CMakeFiles/test_admission_wan.dir/test_admission_wan.cpp.o.d"
+  "test_admission_wan"
+  "test_admission_wan.pdb"
+  "test_admission_wan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admission_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

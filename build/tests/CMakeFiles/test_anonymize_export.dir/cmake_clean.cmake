@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anonymize_export.dir/test_anonymize_export.cpp.o"
+  "CMakeFiles/test_anonymize_export.dir/test_anonymize_export.cpp.o.d"
+  "test_anonymize_export"
+  "test_anonymize_export.pdb"
+  "test_anonymize_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anonymize_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_linreg.dir/test_matrix_linreg.cpp.o"
+  "CMakeFiles/test_matrix_linreg.dir/test_matrix_linreg.cpp.o.d"
+  "test_matrix_linreg"
+  "test_matrix_linreg.pdb"
+  "test_matrix_linreg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_linreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mic_correlation.dir/test_mic_correlation.cpp.o"
+  "CMakeFiles/test_mic_correlation.dir/test_mic_correlation.cpp.o.d"
+  "test_mic_correlation"
+  "test_mic_correlation.pdb"
+  "test_mic_correlation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mic_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

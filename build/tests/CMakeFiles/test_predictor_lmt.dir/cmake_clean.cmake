@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predictor_lmt.dir/test_predictor_lmt.cpp.o"
+  "CMakeFiles/test_predictor_lmt.dir/test_predictor_lmt.cpp.o.d"
+  "test_predictor_lmt"
+  "test_predictor_lmt.pdb"
+  "test_predictor_lmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predictor_lmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probe_scenario.dir/test_probe_scenario.cpp.o"
+  "CMakeFiles/test_probe_scenario.dir/test_probe_scenario.cpp.o.d"
+  "test_probe_scenario"
+  "test_probe_scenario.pdb"
+  "test_probe_scenario[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probe_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_site_path.dir/test_site_path.cpp.o"
+  "CMakeFiles/test_site_path.dir/test_site_path.cpp.o.d"
+  "test_site_path"
+  "test_site_path.pdb"
+  "test_site_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_site_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

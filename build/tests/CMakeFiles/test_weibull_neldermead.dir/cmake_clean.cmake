@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weibull_neldermead.dir/test_weibull_neldermead.cpp.o"
+  "CMakeFiles/test_weibull_neldermead.dir/test_weibull_neldermead.cpp.o.d"
+  "test_weibull_neldermead"
+  "test_weibull_neldermead.pdb"
+  "test_weibull_neldermead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weibull_neldermead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

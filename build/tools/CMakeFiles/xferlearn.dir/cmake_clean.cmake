@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xferlearn.dir/xferlearn.cpp.o"
+  "CMakeFiles/xferlearn.dir/xferlearn.cpp.o.d"
+  "xferlearn"
+  "xferlearn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xferlearn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

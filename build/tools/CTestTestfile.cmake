@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_simulate "/root/repo/build/tools/xferlearn" "simulate" "--scenario" "esnet" "--transfers" "300" "--out" "/root/repo/build/tools/cli_log.csv" "--anonymize")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/xferlearn" "analyze" "--log" "/root/repo/build/tools/cli_log.csv")
+set_tests_properties(cli_analyze PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate "/root/repo/build/tools/xferlearn" "evaluate" "--log" "/root/repo/build/tools/cli_log.csv" "--min-transfers" "10" "--max-edges" "3")
+set_tests_properties(cli_evaluate PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict "/root/repo/build/tools/xferlearn" "predict" "--log" "/root/repo/build/tools/cli_log.csv" "--src" "0" "--dst" "1" "--bytes" "5e10" "--files" "20")
+set_tests_properties(cli_predict PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export_dataset "/root/repo/build/tools/xferlearn" "export-dataset" "--log" "/root/repo/build/tools/cli_log.csv" "--src" "0" "--dst" "1" "--out" "/root/repo/build/tools/cli_dataset.csv")
+set_tests_properties(cli_export_dataset PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/xferlearn")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train "/root/repo/build/tools/xferlearn" "train" "--log" "/root/repo/build/tools/cli_log.csv" "--model-out" "/root/repo/build/tools/cli_model.txt" "--min-edge-transfers" "20")
+set_tests_properties(cli_train PROPERTIES  DEPENDS "cli_simulate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_predict_from_model "/root/repo/build/tools/xferlearn" "predict" "--model" "/root/repo/build/tools/cli_model.txt" "--src" "0" "--dst" "1" "--bytes" "5e10" "--files" "20")
+set_tests_properties(cli_predict_from_model PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
