@@ -58,16 +58,26 @@ logs::LogStore synthetic_log(std::size_t n, std::uint64_t seed) {
   return log;
 }
 
+// Arg 0: record count; arg 1: sweep threads (0 = hardware concurrency,
+// 1 = serial). Results are bit-identical across thread counts.
 void BM_ContentionSweep(benchmark::State& state) {
   const auto log = synthetic_log(static_cast<std::size_t>(state.range(0)), 2);
+  const int threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
-    auto features = features::compute_contention(log);
+    auto features = features::compute_contention(log, threads);
     benchmark::DoNotOptimize(features);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ContentionSweep)->Arg(1000)->Arg(5000)->Arg(20000);
+BENCHMARK(BM_ContentionSweep)
+    ->Args({1000, 1})
+    ->Args({5000, 1})
+    ->Args({20000, 1})
+    ->Args({20000, 0});
 
+// Arg 0: training rows; arg 1: GbtConfig::threads (0 = hardware
+// concurrency, 1 = serial). The fitted model is bit-identical across
+// thread counts, so the configurations are directly comparable.
 void BM_GbtTrain(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
   Rng rng(3);
@@ -79,6 +89,7 @@ void BM_GbtTrain(benchmark::State& state) {
   }
   ml::GbtConfig config;
   config.trees = 100;
+  config.threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
     ml::GradientBoostedTrees model(config);
     model.fit(x, y);
@@ -86,7 +97,10 @@ void BM_GbtTrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_GbtTrain)->Arg(500)->Arg(2000);
+BENCHMARK(BM_GbtTrain)
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({2000, 0});
 
 void BM_GbtPredict(benchmark::State& state) {
   Rng rng(4);
@@ -105,6 +119,27 @@ void BM_GbtPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GbtPredict);
+
+// Batch prediction over row blocks; arg is GbtConfig::threads.
+void BM_GbtPredictBatch(benchmark::State& state) {
+  Rng rng(4);
+  ml::Matrix x(20000, 15);
+  std::vector<double> y(20000);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    for (std::size_t c = 0; c < 15; ++c) x.at(i, c) = rng.normal();
+    y[i] = x.at(i, 2) + rng.normal(0.0, 0.1);
+  }
+  ml::GbtConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  ml::GradientBoostedTrees model(config);
+  model.fit(x, y);
+  for (auto _ : state) {
+    auto out = model.predict(x);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_GbtPredictBatch)->Arg(1)->Arg(0);
 
 void BM_Mic(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -61,10 +61,13 @@ void ThreadPool::parallel_for(std::size_t count,
       }
     }
     {
+      // Notify while holding the lock: the waiter owns done_cv on its
+      // stack, and may only destroy it after re-acquiring done_mutex, so
+      // signalling under the lock keeps the cv alive for this call.
       std::lock_guard lock(done_mutex);
       done.fetch_add(1);
+      done_cv.notify_one();
     }
-    done_cv.notify_one();
   };
 
   {
@@ -76,6 +79,22 @@ void ThreadPool::parallel_for(std::size_t count,
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return done.load() == shards; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for_blocks(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t min_block) {
+  if (count == 0) return;
+  if (min_block == 0) min_block = 1;
+  const std::size_t max_blocks = (count + min_block - 1) / min_block;
+  const std::size_t blocks = std::min(std::max<std::size_t>(1, workers_.size()),
+                                      max_blocks);
+  const std::size_t block_size = (count + blocks - 1) / blocks;
+  parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t end = std::min(count, begin + block_size);
+    if (begin < end) body(begin, end);
+  });
 }
 
 }  // namespace xfl

@@ -32,6 +32,17 @@ class ThreadPool {
   /// and block until all complete. Rethrows the first task exception.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
 
+  /// Run body(begin, end) over contiguous blocks that partition [0, count),
+  /// and block until all complete. Blocks are at least `min_block` indices
+  /// (except possibly the last) so fine-grained loops are not drowned in
+  /// scheduling overhead; at most thread_count() blocks are created.
+  /// Deterministic output requires only that each index owns its outputs —
+  /// the block boundaries themselves never affect per-index results.
+  /// Rethrows the first task exception.
+  void parallel_for_blocks(std::size_t count,
+                           const std::function<void(std::size_t, std::size_t)>& body,
+                           std::size_t min_block = 1);
+
  private:
   void worker_loop();
 

@@ -4,10 +4,11 @@
 
 namespace xfl::core {
 
-AnalysisContext analyze_log(logs::LogStore log) {
+AnalysisContext analyze_log(logs::LogStore log, int contention_threads) {
   AnalysisContext context;
   context.log = std::move(log);
-  context.contention = features::compute_contention(context.log);
+  context.contention =
+      features::compute_contention(context.log, contention_threads);
   context.capabilities =
       features::estimate_capabilities(context.log, context.contention);
   return context;

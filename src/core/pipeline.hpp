@@ -21,7 +21,10 @@ struct AnalysisContext {
 };
 
 /// Run the contention sweep and capability estimation over a log.
-AnalysisContext analyze_log(logs::LogStore log);
+/// `contention_threads` follows compute_contention's convention
+/// (0 = hardware concurrency, 1 = serial); the result is identical
+/// regardless of the value.
+AnalysisContext analyze_log(logs::LogStore log, int contention_threads = 1);
 
 /// Edges with at least `min_transfers` transfers whose rate exceeds
 /// `load_threshold * Rmax(edge)`, ordered by qualifying-transfer count

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 
 #include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xfl::features {
 
@@ -58,47 +60,98 @@ void accumulate(const logs::TransferRecord& self,
   }
 }
 
+/// Field-wise accumulation, used when merging per-endpoint buffers.
+void add_features(ContentionFeatures& into, const ContentionFeatures& from) {
+  into.k_sout += from.k_sout;
+  into.k_sin += from.k_sin;
+  into.k_dout += from.k_dout;
+  into.k_din += from.k_din;
+  into.g_src += from.g_src;
+  into.g_dst += from.g_dst;
+  into.s_sout += from.s_sout;
+  into.s_sin += from.s_sin;
+  into.s_dout += from.s_dout;
+  into.s_din += from.s_din;
+}
+
+/// One endpoint's interval-overlap sweep, written into `local` (parallel to
+/// `indices`). Each overlapping pair is visited exactly once (when the
+/// later-starting member arrives) and contributes in both directions.
+void sweep_endpoint(const std::vector<logs::TransferRecord>& records,
+                    endpoint::EndpointId endpoint_id,
+                    const std::vector<std::size_t>& indices,
+                    std::vector<ContentionFeatures>& local) {
+  // Active set ordered by end time; the global record index is the
+  // tie-break so the accumulation order is a pure function of the log.
+  struct ActiveEntry {
+    double end_s;
+    std::size_t index;  ///< Into records.
+    std::size_t pos;    ///< Into indices/local.
+    bool operator<(const ActiveEntry& other) const {
+      if (end_s != other.end_s) return end_s < other.end_s;
+      return index < other.index;
+    }
+  };
+  std::set<ActiveEntry> active;
+  for (std::size_t pos = 0; pos < indices.size(); ++pos) {
+    const std::size_t k = indices[pos];
+    const auto& self = records[k];
+    // Retire competitors that ended at or before self's start
+    // (zero overlap contributes nothing).
+    while (!active.empty() && active.begin()->end_s <= self.start_s)
+      active.erase(active.begin());
+    for (const auto& entry : active) {
+      const auto& other = records[entry.index];
+      accumulate(self, other, endpoint_id, local[pos]);
+      accumulate(other, self, endpoint_id, local[entry.pos]);
+    }
+    active.insert({self.end_s, k, pos});
+  }
+}
+
 }  // namespace
 
-std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log) {
+std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log,
+                                                   int threads) {
+  XFL_EXPECTS(threads >= 0);
   std::vector<ContentionFeatures> features(log.size());
   const auto& records = log.records();
 
-  // Distinct endpoints present in the log.
-  std::set<endpoint::EndpointId> endpoints;
+  // Distinct endpoints present in the log, ascending (fixes the merge order).
+  std::set<endpoint::EndpointId> endpoint_set;
   for (const auto& record : records) {
-    endpoints.insert(record.src);
-    endpoints.insert(record.dst);
+    endpoint_set.insert(record.src);
+    endpoint_set.insert(record.dst);
+  }
+  const std::vector<endpoint::EndpointId> endpoints(endpoint_set.begin(),
+                                                    endpoint_set.end());
+
+  // Phase 1: independent per-endpoint sweeps into per-endpoint buffers.
+  // A record appears under both its src and dst endpoint, so sweeping
+  // straight into `features` would race across endpoints.
+  std::vector<std::vector<std::size_t>> indices(endpoints.size());
+  std::vector<std::vector<ContentionFeatures>> locals(endpoints.size());
+  auto sweep_job = [&](std::size_t e) {
+    indices[e] = log.endpoint_transfers(endpoints[e]);
+    locals[e].assign(indices[e].size(), ContentionFeatures{});
+    sweep_endpoint(records, endpoints[e], indices[e], locals[e]);
+  };
+  std::size_t workers = threads > 0 ? static_cast<std::size_t>(threads)
+                                    : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > 1 && endpoints.size() > 1) {
+    ThreadPool pool(std::min(workers, endpoints.size()));
+    pool.parallel_for(endpoints.size(), sweep_job);
+  } else {
+    for (std::size_t e = 0; e < endpoints.size(); ++e) sweep_job(e);
   }
 
-  for (const auto endpoint_id : endpoints) {
-    const auto indices = log.endpoint_transfers(endpoint_id);
-    // Sweep in start order with an active set ordered by end time.
-    // Each overlapping pair is visited exactly once (when the later-starting
-    // member arrives) and contributes in both directions.
-    struct ActiveEntry {
-      double end_s;
-      std::size_t index;
-      bool operator<(const ActiveEntry& other) const {
-        if (end_s != other.end_s) return end_s < other.end_s;
-        return index < other.index;
-      }
-    };
-    std::set<ActiveEntry> active;
-    for (const std::size_t k : indices) {
-      const auto& self = records[k];
-      // Retire competitors that ended at or before self's start
-      // (zero overlap contributes nothing).
-      while (!active.empty() && active.begin()->end_s <= self.start_s)
-        active.erase(active.begin());
-      for (const auto& entry : active) {
-        const auto& other = records[entry.index];
-        accumulate(self, other, endpoint_id, features[k]);
-        accumulate(other, self, endpoint_id, features[entry.index]);
-      }
-      active.insert({self.end_s, k});
-    }
-  }
+  // Phase 2: merge in ascending endpoint order. Each record receives its
+  // src-side and dst-side sums in a fixed order, so the result does not
+  // depend on the thread count.
+  for (std::size_t e = 0; e < endpoints.size(); ++e)
+    for (std::size_t pos = 0; pos < indices[e].size(); ++pos)
+      add_features(features[indices[e][pos]], locals[e][pos]);
   return features;
 }
 

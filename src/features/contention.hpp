@@ -41,7 +41,16 @@ struct ContentionFeatures {
 
 /// Compute contention features for every record in the log (result is
 /// parallel to log.records()).
-std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log);
+///
+/// `threads`: 0 = hardware concurrency, 1 = serial, otherwise the worker
+/// count. The sweep fans out per endpoint: each endpoint accumulates into
+/// its own local buffer (a record appears under both its src and dst
+/// endpoints, so sharing the output array across endpoint sweeps would
+/// race), and the buffers are merged in ascending endpoint order at the
+/// end. Because per-endpoint sweeps and the merge order are both fixed,
+/// the result is bit-identical for every thread count.
+std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log,
+                                                   int threads = 1);
 
 /// Relative external load of one transfer (§3.2): the larger of
 /// Ksout/(R+Ksout) and Kdin/(R+Kdin). Always in [0, 1).

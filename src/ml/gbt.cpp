@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 
 namespace xfl::ml {
 
@@ -33,31 +36,66 @@ double GradientBoostedTrees::Tree::predict(
   return nodes[static_cast<std::size_t>(index)].value;
 }
 
-void GradientBoostedTrees::build_bins(const Matrix& x) {
+std::size_t GradientBoostedTrees::resolved_threads() const {
+  if (config_.threads > 0) return static_cast<std::size_t>(config_.threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void GradientBoostedTrees::build_bins(
+    const Matrix& x, std::vector<std::vector<std::uint16_t>>& binned,
+    ThreadPool* pool) {
+  const std::size_t n = x.rows();
   bin_edges_.assign(x.cols(), {});
+  binned.assign(x.cols(), {});
   const auto max_bins = static_cast<std::size_t>(config_.max_bins);
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    auto column = x.column(c);
-    std::sort(column.begin(), column.end());
-    column.erase(std::unique(column.begin(), column.end()), column.end());
+  auto bin_column = [&](std::size_t c) {
+    // One sort of (value, row) pairs serves both jobs: the distinct values
+    // define the edges, and a single merge walk assigns every row's code —
+    // no per-value binary search. Codes are stored column-major for
+    // cache-friendly histogram accumulation.
+    std::vector<std::pair<double, std::size_t>> order(n);
+    for (std::size_t r = 0; r < n; ++r) order[r] = {x.at(r, c), r};
+    std::sort(order.begin(), order.end());
+    std::vector<double> distinct;
+    distinct.reserve(n);
+    for (const auto& [value, row] : order)
+      if (distinct.empty() || distinct.back() != value)
+        distinct.push_back(value);
+
+    auto& codes = binned[c];
+    codes.assign(n, 0);
     auto& edges = bin_edges_[c];
-    if (column.size() <= 1) continue;  // Constant feature: no split points.
-    if (column.size() <= max_bins) {
+    if (distinct.size() <= 1) return;  // Constant feature: no split points.
+    if (distinct.size() <= max_bins) {
       // One split candidate between each pair of adjacent distinct values.
-      edges.reserve(column.size() - 1);
-      for (std::size_t i = 0; i + 1 < column.size(); ++i)
-        edges.push_back(0.5 * (column[i] + column[i + 1]));
+      edges.reserve(distinct.size() - 1);
+      for (std::size_t i = 0; i + 1 < distinct.size(); ++i)
+        edges.push_back(0.5 * (distinct[i] + distinct[i + 1]));
     } else {
       // Quantile sketch: evenly spaced quantiles of the distinct values.
       edges.reserve(max_bins - 1);
       for (std::size_t b = 1; b < max_bins; ++b) {
         const double q = static_cast<double>(b) /
                          static_cast<double>(max_bins) *
-                         static_cast<double>(column.size() - 1);
-        edges.push_back(column[static_cast<std::size_t>(q)]);
+                         static_cast<double>(distinct.size() - 1);
+        edges.push_back(distinct[static_cast<std::size_t>(q)]);
       }
       edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
     }
+    // Code b counts the edges < value, i.e. value lands in
+    // (edges[b-1], edges[b]]; values are visited ascending, so the edge
+    // cursor only moves forward.
+    std::size_t e = 0;
+    for (const auto& [value, row] : order) {
+      while (e < edges.size() && value > edges[e]) ++e;
+      codes[row] = static_cast<std::uint16_t>(e);
+    }
+  };
+  if (pool != nullptr && x.cols() > 1) {
+    pool->parallel_for(x.cols(), bin_column);
+  } else {
+    for (std::size_t c = 0; c < x.cols(); ++c) bin_column(c);
   }
 }
 
@@ -67,126 +105,328 @@ double leaf_value(double grad_sum, double hess_sum, double lambda) {
   return -grad_sum / (hess_sum + lambda);
 }
 
-/// Score term G^2 / (H + lambda).
-double score(double grad_sum, double hess_sum, double lambda) {
-  return grad_sum * grad_sum / (hess_sum + lambda);
-}
+/// Best split of one candidate column, from its histogram scan. Splits are
+/// compared on the score sum GL^2/(HL+l) + GR^2/(HR+l); the gain
+/// 0.5 * (score_sum - parent_score) - gamma is a monotone function of it,
+/// so the ordering matches and the subtraction happens once, for the
+/// winner, instead of per bin.
+struct SplitScan {
+  bool valid = false;
+  double score_sum = 0.0;
+  std::size_t bin = 0;
+  double left_grad = 0.0;
+  std::size_t left_count = 0;
+};
+
+/// Minimum (node rows x candidate columns) before a per-node histogram
+/// build is worth fanning out to the pool.
+constexpr std::size_t kMinParallelHistWork = 8192;
 }  // namespace
 
 GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
     const std::vector<std::vector<std::uint16_t>>& binned,
-    const std::vector<double>& grad, const std::vector<std::size_t>& rows,
-    const std::vector<std::size_t>& cols) {
+    const std::vector<double>& grad, std::vector<std::size_t>& sampled,
+    std::vector<std::size_t>& unsampled, const std::vector<std::size_t>& cols,
+    const std::vector<double>& inv_hess, FitScratch& fit_scratch,
+    ThreadPool* pool, std::vector<std::int32_t>& leaf_of) {
   Tree tree;
-  // Work queue of nodes to try to split: (node index, depth, rows).
+  // A depth-d tree has at most 2^(d+1) - 1 nodes.
+  tree.nodes.reserve((std::size_t{2} << config_.max_depth) - 1);
+  const std::size_t width = cols.size();
+  std::vector<std::vector<double>>& hist_pool = fit_scratch.hist_pool;
+  std::vector<std::vector<std::uint32_t>>& count_pool = fit_scratch.count_pool;
+
+  // Flat histogram layout: candidate column j owns the half-open slice
+  // [offset[j], offset[j+1]) of two parallel arrays — gradient sums in a
+  // double buffer and row counts (== hessian sums, squared loss) in a
+  // uint32 buffer, so count accumulation, subtraction, and the scan's
+  // running hessian are integer ops. Constant features get an empty slice.
+  std::vector<std::size_t>& offset = fit_scratch.offset;
+  offset.assign(width + 1, 0);
+  for (std::size_t j = 0; j < width; ++j) {
+    const auto& edges = bin_edges_[cols[j]];
+    offset[j + 1] = offset[j] + (edges.empty() ? 0 : edges.size() + 1);
+  }
+  const std::size_t total_bins = offset[width];
+
+  // Work queue of nodes to try to split. Each node owns a contiguous range
+  // of `sampled` ([sampled_begin, sampled_end)) and of `unsampled`, plus its
+  // gradient statistics and (except the root, built lazily) its histogram —
+  // cached so a sibling can be derived by subtraction.
   struct Pending {
     std::int32_t node;
     int depth;
-    std::vector<std::size_t> rows;
+    std::size_t sampled_begin, sampled_end;
+    std::size_t unsampled_begin, unsampled_end;
+    double grad_sum;
+    std::size_t count_sum;         // Hessian sum as an exact row count.
+    std::vector<double> hist;      // Gradient sums; empty until built.
+    std::vector<std::uint32_t> counts;  // Row counts; empty until built.
   };
   std::vector<Pending> pending;
+  // A depth-d tree pops at most 2^(d+1) - 1 nodes and the queue holds one
+  // level plus a sibling at a time; one reservation keeps push_back from
+  // ever reallocating (moving a Pending drags its histogram along).
+  pending.reserve(2 * static_cast<std::size_t>(config_.max_depth) + 4);
 
-  auto make_leaf_stats = [&](const std::vector<std::size_t>& node_rows) {
-    double grad_sum = 0.0;
-    for (std::size_t r : node_rows) grad_sum += grad[r];
-    return std::pair<double, double>(grad_sum,
-                                     static_cast<double>(node_rows.size()));
+  // Histogram buffers cycle through `hist_pool` instead of being allocated
+  // per node: an acquire reuses a retired node's capacity.
+  auto acquire_hist = [&](std::vector<double>& hist,
+                          std::vector<std::uint32_t>& counts) {
+    if (!hist_pool.empty()) {
+      hist = std::move(hist_pool.back());
+      hist_pool.pop_back();
+    }
+    if (!count_pool.empty()) {
+      counts = std::move(count_pool.back());
+      count_pool.pop_back();
+    }
+    hist.assign(total_bins, 0.0);
+    counts.assign(total_bins, 0);
+  };
+  auto release_hist = [&](std::vector<double>& hist,
+                          std::vector<std::uint32_t>& counts) {
+    if (hist.capacity() != 0) hist_pool.push_back(std::move(hist));
+    if (counts.capacity() != 0) count_pool.push_back(std::move(counts));
   };
 
-  tree.nodes.push_back({});
-  {
-    const auto [g, h] = make_leaf_stats(rows);
-    tree.nodes[0].value = leaf_value(g, h, config_.lambda);
-  }
-  pending.push_back({0, 0, rows});
+  // Builds the histogram of every candidate column over one node's sampled
+  // rows. Each column owns its output slice, and rows are visited in the
+  // partition order (ascending original row order), so the result does not
+  // depend on how columns are distributed over workers.
+  auto build_hist = [&](const Pending& task, std::vector<double>& hist,
+                        std::vector<std::uint32_t>& counts) {
+    acquire_hist(hist, counts);
+    auto column_job = [&](std::size_t j) {
+      if (offset[j + 1] == offset[j]) return;  // Constant feature.
+      const std::uint16_t* column_bins = binned[cols[j]].data();
+      const std::size_t* rows = sampled.data();
+      const double* grads = grad.data();
+      double* grad_slice = hist.data() + offset[j];
+      std::uint32_t* count_slice = counts.data() + offset[j];
+      for (std::size_t p = task.sampled_begin; p < task.sampled_end; ++p) {
+        const std::size_t r = rows[p];
+        const std::size_t bin = column_bins[r];
+        grad_slice[bin] += grads[r];
+        count_slice[bin] += 1;
+      }
+    };
+    const std::size_t rows_in_node = task.sampled_end - task.sampled_begin;
+    if (pool != nullptr && width > 1 &&
+        rows_in_node * width >= kMinParallelHistWork) {
+      pool->parallel_for(width, column_job);
+    } else {
+      for (std::size_t j = 0; j < width; ++j) column_job(j);
+    }
+  };
 
+  // Stable in-place partition of idx[begin, end) on the winning split;
+  // returns the boundary. Stability keeps every node's rows in ascending
+  // original order, which pins the histogram accumulation order.
+  fit_scratch.rows.resize(std::max(sampled.size(), unsampled.size()));
+  auto partition_range = [&](std::vector<std::size_t>& idx, std::size_t begin,
+                             std::size_t end,
+                             const std::vector<std::uint16_t>& column_bins,
+                             std::size_t split_bin) {
+    std::size_t* right_rows = fit_scratch.rows.data();
+    std::size_t right_count = 0;
+    std::size_t mid = begin;
+    for (std::size_t p = begin; p < end; ++p) {
+      const std::size_t r = idx[p];
+      if (column_bins[r] <= split_bin)
+        idx[mid++] = r;
+      else
+        right_rows[right_count++] = r;
+    }
+    std::copy_n(right_rows, right_count, idx.data() + mid);
+    return mid;
+  };
+
+  auto finalize_leaf = [&](Pending& task) {
+    for (std::size_t p = task.sampled_begin; p < task.sampled_end; ++p)
+      leaf_of[sampled[p]] = task.node;
+    for (std::size_t p = task.unsampled_begin; p < task.unsampled_end; ++p)
+      leaf_of[unsampled[p]] = task.node;
+    release_hist(task.hist, task.counts);
+  };
+
+  double root_grad = 0.0;
+  for (std::size_t p = 0; p < sampled.size(); ++p) root_grad += grad[sampled[p]];
+
+  tree.nodes.push_back({});
+  tree.nodes[0].value = leaf_value(
+      root_grad, static_cast<double>(sampled.size()), config_.lambda);
+  pending.push_back({0, 0, 0, sampled.size(), 0, unsampled.size(), root_grad,
+                     sampled.size(), {}, {}});
+
+  std::vector<SplitScan> scans(width);
   while (!pending.empty()) {
     Pending task = std::move(pending.back());
     pending.pop_back();
-    if (task.depth >= config_.max_depth) continue;
-    if (task.rows.size() < 2) continue;
+    const std::size_t sampled_count = task.sampled_end - task.sampled_begin;
+    if (task.depth >= config_.max_depth || sampled_count < 2 ||
+        static_cast<double>(task.count_sum) <
+            2.0 * config_.min_child_weight) {
+      finalize_leaf(task);
+      continue;
+    }
 
-    const auto [parent_grad, parent_hess] = make_leaf_stats(task.rows);
-    if (parent_hess < 2.0 * config_.min_child_weight) continue;
-    const double parent_score = score(parent_grad, parent_hess, config_.lambda);
+    const double parent_grad = task.grad_sum;
+    const std::size_t parent_count = task.count_sum;
+    // Hessian sums are exact integer row counts (squared loss, h_i == 1),
+    // so every score term G^2 / (H + lambda) resolves its divisor through
+    // the precomputed reciprocal table — no division in the scan.
+    const double parent_score =
+        parent_grad * parent_grad * inv_hess[parent_count];
 
-    double best_gain = config_.gamma;
-    std::size_t best_col = 0;
-    std::size_t best_bin = 0;
+    if (task.hist.empty())  // Root (children arrive with histograms).
+      build_hist(task, task.hist, task.counts);
 
-    // Histogram scan per candidate column.
-    std::vector<double> hist_grad;
-    std::vector<double> hist_count;
-    for (std::size_t c : cols) {
-      const auto& edges = bin_edges_[c];
-      if (edges.empty()) continue;
-      hist_grad.assign(edges.size() + 1, 0.0);
-      hist_count.assign(edges.size() + 1, 0.0);
-      const auto& column_bins = binned[c];
-      for (std::size_t r : task.rows) {
-        const std::uint16_t bin = column_bins[r];
-        hist_grad[bin] += grad[r];
-        hist_count[bin] += 1.0;
-      }
-      double left_grad = 0.0, left_hess = 0.0;
-      for (std::size_t b = 0; b < edges.size(); ++b) {
-        left_grad += hist_grad[b];
-        left_hess += hist_count[b];
-        const double right_grad = parent_grad - left_grad;
-        const double right_hess = parent_hess - left_hess;
-        if (left_hess < config_.min_child_weight ||
-            right_hess < config_.min_child_weight)
-          continue;
-        const double gain =
-            0.5 * (score(left_grad, left_hess, config_.lambda) +
-                   score(right_grad, right_hess, config_.lambda) -
-                   parent_score);
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_col = c;
-          best_bin = b;
+    // Scan every candidate column's histogram for its best split, then
+    // reduce in candidate order (first strictly-better wins) so ties break
+    // identically to a serial left-to-right scan over (column, bin).
+    //
+    // Counts are exact integers even in derived (subtracted) histograms, so
+    // "child non-empty and heavy enough" folds into one integer comparison
+    // against ceil(max(1, min_child_weight)); and because the right-hand
+    // count only ever shrinks, the first starved right side ends the
+    // column. A split qualifies when gain > gamma, i.e. score_sum >
+    // 2 * gamma + parent_score.
+    const std::size_t min_child = static_cast<std::size_t>(
+        std::ceil(std::max(1.0, config_.min_child_weight)));
+    const double min_score_sum = 2.0 * config_.gamma + parent_score;
+    for (std::size_t j = 0; j < width; ++j) {
+      SplitScan scan;
+      scan.score_sum = min_score_sum;
+      const std::size_t bins = offset[j + 1] - offset[j];
+      if (bins != 0) {
+        const double* grad_cursor = task.hist.data() + offset[j];
+        const std::uint32_t* count_cursor = task.counts.data() + offset[j];
+        double left_grad = 0.0;
+        std::size_t left_count = 0;
+        for (std::size_t b = 0; b + 1 < bins; ++b) {
+          left_grad += grad_cursor[b];
+          left_count += count_cursor[b];
+          const std::size_t right_count = parent_count - left_count;
+          if (right_count < min_child) break;
+          if (left_count < min_child) continue;
+          const double right_grad = parent_grad - left_grad;
+          const double score_sum =
+              left_grad * left_grad * inv_hess[left_count] +
+              right_grad * right_grad * inv_hess[right_count];
+          if (score_sum > scan.score_sum) {
+            scan.valid = true;
+            scan.score_sum = score_sum;
+            scan.bin = b;
+            scan.left_grad = left_grad;
+            scan.left_count = left_count;
+          }
         }
       }
+      scans[j] = scan;
     }
-    if (best_gain <= config_.gamma) continue;  // No profitable split.
+    double best_score_sum = min_score_sum;
+    std::size_t best_j = 0;
+    bool found = false;
+    for (std::size_t j = 0; j < width; ++j) {
+      if (scans[j].valid && scans[j].score_sum > best_score_sum) {
+        best_score_sum = scans[j].score_sum;
+        best_j = j;
+        found = true;
+      }
+    }
+    if (!found) {  // No profitable split.
+      finalize_leaf(task);
+      continue;
+    }
 
     // Materialise the split.
-    const double threshold = bin_edges_[best_col][best_bin];
-    std::vector<std::size_t> left_rows, right_rows;
-    left_rows.reserve(task.rows.size());
-    right_rows.reserve(task.rows.size());
+    const double best_gain = 0.5 * (best_score_sum - parent_score);
+    const std::size_t best_col = cols[best_j];
+    const std::size_t best_bin = scans[best_j].bin;
+    const double left_grad = scans[best_j].left_grad;
+    const std::size_t left_count = scans[best_j].left_count;
+    const double right_grad = parent_grad - left_grad;
+    const std::size_t right_count = parent_count - left_count;
     const auto& column_bins = binned[best_col];
-    for (std::size_t r : task.rows) {
-      if (column_bins[r] <= best_bin)
-        left_rows.push_back(r);
-      else
-        right_rows.push_back(r);
-    }
-    XFL_ENSURES(!left_rows.empty() && !right_rows.empty());
+    const std::size_t sampled_mid = partition_range(
+        sampled, task.sampled_begin, task.sampled_end, column_bins, best_bin);
+    const std::size_t unsampled_mid =
+        partition_range(unsampled, task.unsampled_begin, task.unsampled_end,
+                        column_bins, best_bin);
+    XFL_ENSURES(sampled_mid > task.sampled_begin &&
+                sampled_mid < task.sampled_end);
 
     const auto left_index = static_cast<std::int32_t>(tree.nodes.size());
     tree.nodes.push_back({});
     const auto right_index = static_cast<std::int32_t>(tree.nodes.size());
     tree.nodes.push_back({});
-    {
-      const auto [g, h] = make_leaf_stats(left_rows);
-      tree.nodes[static_cast<std::size_t>(left_index)].value =
-          leaf_value(g, h, config_.lambda);
-    }
-    {
-      const auto [g, h] = make_leaf_stats(right_rows);
-      tree.nodes[static_cast<std::size_t>(right_index)].value =
-          leaf_value(g, h, config_.lambda);
-    }
+    tree.nodes[static_cast<std::size_t>(left_index)].value = leaf_value(
+        left_grad, static_cast<double>(left_count), config_.lambda);
+    tree.nodes[static_cast<std::size_t>(right_index)].value = leaf_value(
+        right_grad, static_cast<double>(right_count), config_.lambda);
     Node& parent = tree.nodes[static_cast<std::size_t>(task.node)];
     parent.feature = static_cast<std::int32_t>(best_col);
-    parent.threshold = threshold;
+    parent.threshold = bin_edges_[best_col][best_bin];
     parent.left = left_index;
     parent.right = right_index;
     importance_gain_[best_col] += best_gain;
 
-    pending.push_back({left_index, task.depth + 1, std::move(left_rows)});
-    pending.push_back({right_index, task.depth + 1, std::move(right_rows)});
+    Pending left{left_index,
+                 task.depth + 1,
+                 task.sampled_begin,
+                 sampled_mid,
+                 task.unsampled_begin,
+                 unsampled_mid,
+                 left_grad,
+                 left_count,
+                 {},
+                 {}};
+    Pending right{right_index,
+                  task.depth + 1,
+                  sampled_mid,
+                  task.sampled_end,
+                  unsampled_mid,
+                  task.unsampled_end,
+                  right_grad,
+                  right_count,
+                  {},
+                  {}};
+
+    // Histogram subtraction: build the smaller child's histogram directly
+    // and derive the sibling as parent - child, reusing the parent's
+    // buffer. Which child is "smaller" depends only on the split, never on
+    // threading, so results stay bit-identical across thread counts.
+    // Children that the pop-time leaf check is guaranteed to finalise
+    // (at max depth, too few rows, or too little hessian mass) will never
+    // be scanned, so their histograms are never materialised — this halves
+    // the histogram work of the deepest level.
+    auto can_split = [&](const Pending& child) {
+      return child.depth < config_.max_depth &&
+             child.sampled_end - child.sampled_begin >= 2 &&
+             static_cast<double>(child.count_sum) >=
+                 2.0 * config_.min_child_weight;
+    };
+    Pending& small = (sampled_mid - task.sampled_begin <=
+                      task.sampled_end - sampled_mid)
+                         ? left
+                         : right;
+    Pending& large = (&small == &left) ? right : left;
+    const bool small_needs = can_split(small);
+    const bool large_needs = can_split(large);
+    if (small_needs || large_needs) build_hist(small, small.hist, small.counts);
+    if (large_needs) {
+      for (std::size_t b = 0; b < total_bins; ++b) task.hist[b] -= small.hist[b];
+      for (std::size_t b = 0; b < total_bins; ++b)
+        task.counts[b] -= small.counts[b];
+      large.hist = std::move(task.hist);
+      large.counts = std::move(task.counts);
+    } else {
+      release_hist(task.hist, task.counts);
+    }
+
+    pending.push_back(std::move(left));
+    pending.push_back(std::move(right));
   }
   return tree;
 }
@@ -199,27 +439,26 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   trees_.clear();
   importance_gain_.assign(feature_count_, 0.0);
 
-  build_bins(x);
-
-  // Pre-bin every value: bin b means value in (edges[b-1], edges[b]];
-  // value < edges[0] -> bin 0; value >= edges.back() -> last bin. Stored
-  // column-major for cache-friendly histogram accumulation.
-  std::vector<std::vector<std::uint16_t>> binned(feature_count_);
-  for (std::size_t c = 0; c < feature_count_; ++c) {
-    binned[c].resize(n, 0);
-    const auto& edges = bin_edges_[c];
-    if (edges.empty()) continue;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double value = x.at(r, c);
-      const auto it = std::lower_bound(edges.begin(), edges.end(), value);
-      binned[c][r] =
-          static_cast<std::uint16_t>(std::distance(edges.begin(), it));
-    }
+  const std::size_t workers = resolved_threads();
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = nullptr;
+  if (workers > 1) {
+    owned_pool = std::make_unique<ThreadPool>(workers);
+    pool = owned_pool.get();
   }
+
+  // Columns are independent, so edge derivation + code assignment fans out
+  // per column.
+  std::vector<std::vector<std::uint16_t>> binned;
+  build_bins(x, binned, pool);
 
   base_score_ = mean(y);
   std::vector<double> predictions(n, base_score_);
-  std::vector<double> grad(n, 0.0);
+  // Squared loss: g_i = prediction - y_i, h_i = 1 (folded into counts).
+  // The gradient is kept current by the post-tree scatter, so it is
+  // computed directly only once, here.
+  std::vector<double> grad(n);
+  for (std::size_t i = 0; i < n; ++i) grad[i] = base_score_ - y[i];
 
   Rng rng(config_.seed);
   std::vector<std::size_t> all_rows(n);
@@ -227,22 +466,37 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   std::vector<std::size_t> all_cols(feature_count_);
   std::iota(all_cols.begin(), all_cols.end(), 0);
 
-  for (int t = 0; t < config_.trees; ++t) {
-    // Squared loss: g_i = prediction - y_i, h_i = 1 (folded into counts).
-    for (std::size_t i = 0; i < n; ++i) grad[i] = predictions[i] - y[i];
+  // Squared loss makes every hessian sum an exact integer row count in
+  // [0, n], so 1 / (H + lambda) can be tabulated once and split scans run
+  // division-free.
+  std::vector<double> inv_hess(n + 1);
+  for (std::size_t h = 0; h <= n; ++h)
+    inv_hess[h] = 1.0 / (static_cast<double>(h) + config_.lambda);
 
-    std::vector<std::size_t> rows;
+  std::vector<std::size_t> sampled, unsampled, cols;
+  FitScratch scratch;
+  std::vector<std::int32_t> leaf_of(n, 0);
+  for (int t = 0; t < config_.trees; ++t) {
+    sampled.clear();
+    unsampled.clear();
     if (config_.subsample < 1.0) {
-      rows.reserve(static_cast<std::size_t>(
+      sampled.reserve(static_cast<std::size_t>(
           static_cast<double>(n) * config_.subsample) + 1);
-      for (std::size_t i = 0; i < n; ++i)
-        if (rng.bernoulli(config_.subsample)) rows.push_back(i);
-      if (rows.size() < 2) rows = all_rows;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(config_.subsample))
+          sampled.push_back(i);
+        else
+          unsampled.push_back(i);
+      }
+      if (sampled.size() < 2) {
+        sampled = all_rows;
+        unsampled.clear();
+      }
     } else {
-      rows = all_rows;
+      sampled = all_rows;
     }
 
-    std::vector<std::size_t> cols;
+    cols.clear();
     if (config_.colsample < 1.0 && feature_count_ > 1) {
       for (std::size_t c = 0; c < feature_count_; ++c)
         if (rng.bernoulli(config_.colsample)) cols.push_back(c);
@@ -251,10 +505,17 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
       cols = all_cols;
     }
 
-    Tree tree = grow_tree(binned, grad, rows, cols);
-    // Update predictions over *all* rows with shrinkage.
-    for (std::size_t i = 0; i < n; ++i)
-      predictions[i] += config_.learning_rate * tree.predict(x.row(i));
+    Tree tree = grow_tree(binned, grad, sampled, unsampled, cols, inv_hess,
+                          scratch, pool, leaf_of);
+    // Update predictions over *all* rows with shrinkage: every row was
+    // routed to a leaf during growth, so this is an O(n) scatter rather
+    // than n tree traversals. The gradient refresh for the next tree rides
+    // in the same pass.
+    for (std::size_t i = 0; i < n; ++i) {
+      predictions[i] += config_.learning_rate *
+                        tree.nodes[static_cast<std::size_t>(leaf_of[i])].value;
+      grad[i] = predictions[i] - y[i];
+    }
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
@@ -271,7 +532,18 @@ double GradientBoostedTrees::predict(std::span<const double> features) const {
 
 std::vector<double> GradientBoostedTrees::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+  auto block = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) out[r] = predict(x.row(r));
+  };
+  const std::size_t workers = resolved_threads();
+  // Each row owns its output slot, so block boundaries cannot change
+  // results; small batches stay serial to skip pool setup.
+  if (workers > 1 && x.rows() >= 512) {
+    ThreadPool pool(workers);
+    pool.parallel_for_blocks(x.rows(), block, 128);
+  } else {
+    block(0, x.rows());
+  }
   return out;
 }
 
@@ -298,36 +570,71 @@ void GradientBoostedTrees::save(std::ostream& out) const {
 }
 
 GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
+  auto fail = [](const std::string& what) -> void {
+    throw std::runtime_error("GradientBoostedTrees::load: " + what);
+  };
   std::string magic;
   in >> magic;
-  if (magic != kModelMagic)
-    throw std::runtime_error("GradientBoostedTrees::load: bad magic '" +
-                             magic + "'");
+  if (magic != kModelMagic) fail("bad magic '" + magic + "'");
+
+  // Sanity caps: a corrupted header must throw, not drive a multi-gigabyte
+  // resize or leave counts that later index out of bounds.
+  constexpr std::size_t kMaxFeatures = 1u << 20;
+  constexpr std::size_t kMaxTrees = 1u << 20;
+  constexpr std::size_t kMaxNodes = 1u << 22;
+
   GradientBoostedTrees model;
   std::size_t importance_count = 0, tree_count = 0;
   in >> model.feature_count_ >> model.config_.learning_rate >>
       model.base_score_ >> importance_count;
+  if (!in) fail("truncated header");
+  if (model.feature_count_ == 0 || model.feature_count_ > kMaxFeatures)
+    fail("implausible feature count");
+  if (!(model.config_.learning_rate > 0.0)) fail("non-positive learning rate");
+  // An importance block is either absent (count 0, e.g. stripped models)
+  // or exactly one gain per feature.
+  if (importance_count != 0 && importance_count != model.feature_count_)
+    fail("importance count does not match feature count");
   model.importance_gain_.resize(importance_count);
   for (auto& gain : model.importance_gain_) in >> gain;
   in >> tree_count;
+  if (!in) fail("truncated importance block");
+  if (tree_count > kMaxTrees) fail("implausible tree count");
   model.trees_.resize(tree_count);
   for (auto& tree : model.trees_) {
     std::size_t node_count = 0;
     in >> node_count;
+    if (!in || node_count == 0 || node_count > kMaxNodes)
+      fail("implausible node count");
     tree.nodes.resize(node_count);
-    for (auto& node : tree.nodes)
+    for (std::size_t i = 0; i < node_count; ++i) {
+      Node& node = tree.nodes[i];
       in >> node.feature >> node.threshold >> node.value >> node.left >>
           node.right;
+      if (!in) break;  // Reported as truncation below.
+      if (node.feature < 0) continue;  // Leaf: links are unused.
+      // Internal node: the feature must exist and both children must point
+      // forward (grow_tree appends children after their parent), which also
+      // guarantees Tree::predict terminates.
+      if (static_cast<std::size_t>(node.feature) >= model.feature_count_)
+        fail("split feature out of range");
+      const auto index = static_cast<std::int32_t>(i);
+      if (node.left <= index || node.right <= index ||
+          static_cast<std::size_t>(node.left) >= node_count ||
+          static_cast<std::size_t>(node.right) >= node_count)
+        fail("child index out of range");
+    }
   }
-  if (!in)
-    throw std::runtime_error(
-        "GradientBoostedTrees::load: truncated or malformed model");
+  if (!in) fail("truncated or malformed model");
   model.fitted_ = true;
   return model;
 }
 
 std::vector<double> GradientBoostedTrees::feature_importance() const {
   XFL_EXPECTS(fitted_);
+  // Models loaded from files that carry no importance block are valid but
+  // have nothing to report; max_element on the empty range would be UB.
+  if (importance_gain_.empty()) return {};
   std::vector<double> importance = importance_gain_;
   const double max_gain =
       *std::max_element(importance.begin(), importance.end());

@@ -209,6 +209,57 @@ TEST(Gbt, LoadRejectsGarbage) {
   EXPECT_THROW(GradientBoostedTrees::load(truncated), std::runtime_error);
 }
 
+// A syntactically well-formed model whose node links or counts are
+// corrupted must throw rather than produce a predictor that reads out of
+// bounds or loops forever.
+TEST(Gbt, LoadRejectsMalformedStructure) {
+  // Template: 2 features, no importance block, 1 tree, 3 nodes; node 0
+  // splits on feature 0 with children 1 and 2.
+  auto model_text = [](const std::string& nodes) {
+    return "xfl-gbt-v1\n2 0.1 1.5\n0\n1\n3\n" + nodes;
+  };
+  // Split feature out of range.
+  std::stringstream bad_feature(model_text(
+      "7 0.5 0 1 2\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
+  EXPECT_THROW(GradientBoostedTrees::load(bad_feature), std::runtime_error);
+  // Child pointing backwards (cycle).
+  std::stringstream cycle(model_text(
+      "0 0.5 0 0 2\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
+  EXPECT_THROW(GradientBoostedTrees::load(cycle), std::runtime_error);
+  // Child index past the node list.
+  std::stringstream oob(model_text(
+      "0 0.5 0 1 9\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
+  EXPECT_THROW(GradientBoostedTrees::load(oob), std::runtime_error);
+  // Importance block sized unlike the feature count.
+  std::stringstream bad_importance(
+      "xfl-gbt-v1\n2 0.1 1.5\n3 1 1 1\n1\n1\n-1 0 1.0 -1 -1\n");
+  EXPECT_THROW(GradientBoostedTrees::load(bad_importance), std::runtime_error);
+  // Zero features.
+  std::stringstream no_features(
+      "xfl-gbt-v1\n0 0.1 1.5\n0\n1\n1\n-1 0 1.0 -1 -1\n");
+  EXPECT_THROW(GradientBoostedTrees::load(no_features), std::runtime_error);
+  // Non-positive learning rate.
+  std::stringstream bad_rate(
+      "xfl-gbt-v1\n2 0 1.5\n0\n1\n1\n-1 0 1.0 -1 -1\n");
+  EXPECT_THROW(GradientBoostedTrees::load(bad_rate), std::runtime_error);
+  // The template itself is sound: the valid variant loads and predicts.
+  std::stringstream good(model_text(
+      "0 0.5 0 1 2\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
+  const auto model = GradientBoostedTrees::load(good);
+  const std::vector<double> low{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(model.predict(low), 1.5 + 0.1 * 1.0);
+}
+
+// Models saved without an importance block (count 0) are valid; asking for
+// importances must return empty instead of reducing an empty range.
+TEST(Gbt, EmptyImportanceBlockYieldsEmptyImportances) {
+  std::stringstream stripped(
+      "xfl-gbt-v1\n2 0.1 1.5\n0\n1\n1\n-1 0 1.0 -1 -1\n");
+  const auto model = GradientBoostedTrees::load(stripped);
+  ASSERT_TRUE(model.fitted());
+  EXPECT_TRUE(model.feature_importance().empty());
+}
+
 // Hyperparameter sweep: fits remain sane across depths and subsampling.
 class GbtSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
 

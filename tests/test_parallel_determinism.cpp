@@ -1,0 +1,118 @@
+// Cross-thread-count determinism contracts (tier 2).
+//
+// The parallel GBT trainer and the parallel contention sweep both promise
+// bit-identical results regardless of how many workers they use: threading
+// splits work by column / endpoint over privately-owned outputs, never by
+// interleaving accumulation. These tests pin that contract by comparing
+// serial, two-worker, and hardware-concurrency runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "features/contention.hpp"
+#include "logs/log_store.hpp"
+#include "ml/gbt.hpp"
+
+namespace xfl {
+namespace {
+
+ml::Matrix make_features(std::size_t rows, std::size_t cols,
+                         std::vector<double>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Matrix x(rows, cols);
+  y.resize(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t c = 0; c < cols; ++c) x.at(i, c) = rng.normal();
+    y[i] = x.at(i, 0) * x.at(i, 0) + 2.0 * x.at(i, 2) + rng.normal(0.0, 0.1);
+  }
+  return x;
+}
+
+std::string fit_and_save(int threads) {
+  std::vector<double> y;
+  const auto x = make_features(300, 8, y, 11);
+  ml::GbtConfig config;
+  config.trees = 25;
+  config.threads = threads;
+  ml::GradientBoostedTrees model(config);
+  model.fit(x, y);
+  std::ostringstream out;
+  model.save(out);
+  return out.str();
+}
+
+TEST(ParallelDeterminism, GbtModelIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = fit_and_save(1);
+  EXPECT_EQ(serial, fit_and_save(2));
+  EXPECT_EQ(serial, fit_and_save(0));  // 0 = hardware concurrency.
+}
+
+logs::LogStore synthetic_log(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  logs::LogStore log;
+  for (std::size_t i = 0; i < n; ++i) {
+    logs::TransferRecord r;
+    r.id = i + 1;
+    r.src = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 19));
+    r.dst = static_cast<endpoint::EndpointId>(rng.uniform_int(0, 19));
+    if (r.dst == r.src) r.dst = (r.src + 1) % 20;
+    r.start_s = rng.uniform(0.0, 1.0e5);
+    r.end_s = r.start_s + rng.uniform(10.0, 2000.0);
+    r.bytes = rng.lognormal(23.0, 2.0);
+    r.files = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, 500));
+    r.dirs = 1;
+    r.concurrency = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    r.parallelism = 1 + static_cast<int>(rng.uniform_int(0, 7));
+    log.append(r);
+  }
+  return log;
+}
+
+TEST(ParallelDeterminism, ContentionSweepMatchesSerialExactly) {
+  const auto log = synthetic_log(2500, 17);
+  const auto serial = features::compute_contention(log, 1);
+  ASSERT_EQ(serial.size(), log.size());
+  for (const int threads : {2, 0}) {  // 0 = hardware concurrency.
+    const auto parallel = features::compute_contention(log, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].k_sout, parallel[i].k_sout) << "record " << i;
+      EXPECT_EQ(serial[i].k_sin, parallel[i].k_sin) << "record " << i;
+      EXPECT_EQ(serial[i].k_dout, parallel[i].k_dout) << "record " << i;
+      EXPECT_EQ(serial[i].k_din, parallel[i].k_din) << "record " << i;
+      EXPECT_EQ(serial[i].g_src, parallel[i].g_src) << "record " << i;
+      EXPECT_EQ(serial[i].g_dst, parallel[i].g_dst) << "record " << i;
+      EXPECT_EQ(serial[i].s_sout, parallel[i].s_sout) << "record " << i;
+      EXPECT_EQ(serial[i].s_sin, parallel[i].s_sin) << "record " << i;
+      EXPECT_EQ(serial[i].s_dout, parallel[i].s_dout) << "record " << i;
+      EXPECT_EQ(serial[i].s_din, parallel[i].s_din) << "record " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, GbtBatchPredictMatchesSerialExactly) {
+  std::vector<double> y;
+  const auto x = make_features(400, 6, y, 23);
+  ml::GbtConfig config;
+  config.trees = 20;
+  config.threads = 1;
+  ml::GradientBoostedTrees model(config);
+  model.fit(x, y);
+
+  const auto serial = model.predict(x);
+  ml::GbtConfig parallel_config = config;
+  parallel_config.threads = 0;
+  ml::GradientBoostedTrees parallel_model(parallel_config);
+  parallel_model.fit(x, y);
+  const auto parallel = parallel_model.predict(x);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(serial[i], parallel[i]) << "row " << i;
+}
+
+}  // namespace
+}  // namespace xfl

@@ -73,5 +73,49 @@ TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, BlocksPartitionTheRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_blocks(hits.size(), [&](std::size_t begin, std::size_t end) {
+    ASSERT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BlocksRespectMinBlock) {
+  ThreadPool pool(8);
+  std::atomic<int> blocks{0};
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_blocks(
+      100,
+      [&](std::size_t begin, std::size_t end) {
+        blocks++;
+        covered += end - begin;
+      },
+      64);
+  // With min_block = 64, 100 indices fit in at most two blocks.
+  EXPECT_LE(blocks.load(), 2);
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPool, BlocksZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for_blocks(0, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, BlocksPropagateTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_blocks(64,
+                                        [](std::size_t begin, std::size_t) {
+                                          if (begin == 0)
+                                            throw std::runtime_error("boom");
+                                        },
+                                        8),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace xfl

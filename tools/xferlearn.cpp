@@ -141,7 +141,7 @@ int cmd_simulate(const ArgList& args) {
 int cmd_analyze(const ArgList& args) {
   const auto log = load_log(args);
   const double threshold = args.number_or("--threshold", 0.5);
-  const auto context = core::analyze_log(log);
+  const auto context = core::analyze_log(log, /*contention_threads=*/0);
 
   TextTable table;
   table.set_title("edges by usage (top 20):");
@@ -180,7 +180,7 @@ int cmd_analyze(const ArgList& args) {
 
 int cmd_evaluate(const ArgList& args) {
   const auto log = load_log(args);
-  const auto context = core::analyze_log(log);
+  const auto context = core::analyze_log(log, /*contention_threads=*/0);
   const auto max_edges =
       static_cast<std::size_t>(args.number_or("--max-edges", 30.0));
   const auto min_transfers =
