@@ -4,7 +4,10 @@
 // boosting training, and MIC estimation.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "features/contention.hpp"
 #include "logs/log_store.hpp"
 #include "ml/gbt.hpp"
@@ -102,6 +105,16 @@ BENCHMARK(BM_GbtTrain)
     ->Args({2000, 1})
     ->Args({2000, 0});
 
+// Serving-path engines on the same fitted model (default config: 200
+// trees, depth 4) and the same 2000-row batch. Arg 0 selects the engine:
+//   0 = per-row pointer node-walk (the reference path and pre-flattening
+//       serving path),
+//   1 = per-row flattened walk (predict routed through the FlatEnsemble),
+//   2 = flattened row-blocked batch engine, serial,
+//   3 = flattened batch engine over a hardware-concurrency pool.
+// All four produce bit-identical outputs (pinned by the tier-2
+// equivalence suite), so the times are directly comparable; speedups are
+// recorded in BENCH_predict.json.
 void BM_GbtPredict(benchmark::State& state) {
   Rng rng(4);
   ml::Matrix x(2000, 15);
@@ -112,13 +125,34 @@ void BM_GbtPredict(benchmark::State& state) {
   }
   ml::GradientBoostedTrees model;
   model.fit(x, y);
-  std::size_t row = 0;
+  const int engine = static_cast<int>(state.range(0));
+  std::vector<double> out(x.rows());
+  std::unique_ptr<ThreadPool> pool;
+  if (engine == 3) pool = std::make_unique<ThreadPool>();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.predict(x.row(row)));
-    row = (row + 1) % 2000;
+    switch (engine) {
+      case 0:
+        for (std::size_t r = 0; r < x.rows(); ++r)
+          out[r] = model.predict_nodewalk(x.row(r));
+        break;
+      case 1:
+        for (std::size_t r = 0; r < x.rows(); ++r)
+          out[r] = model.predict(x.row(r));
+        break;
+      case 2:
+        model.predict_batch(x, out);
+        break;
+      default:
+        model.predict_batch(x, out, pool.get());
+        break;
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
   }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.rows()));
 }
-BENCHMARK(BM_GbtPredict);
+BENCHMARK(BM_GbtPredict)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 // Batch prediction over row blocks; arg is GbtConfig::threads.
 void BM_GbtPredictBatch(benchmark::State& state) {

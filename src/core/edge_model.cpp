@@ -107,7 +107,10 @@ void run_prediction(const AnalysisContext& context, const logs::EdgeKey& edge,
   gbt_config.seed = config.seed + 1;
   ml::GradientBoostedTrees boosted(gbt_config);
   boosted.fit(x_train, split.train.y);
-  const auto xgb_predictions = boosted.predict(x_test);
+  // Flattened batch engine, serial: study_edges may already fan the study
+  // out per edge, and the answers are identical either way.
+  std::vector<double> xgb_predictions(x_test.rows());
+  boosted.predict_batch(x_test, xgb_predictions);
   report.xgb_mdape = ml::mdape(split.test.y, xgb_predictions);
   report.xgb_ape = ml::ape_summary(split.test.y, xgb_predictions);
 }

@@ -22,12 +22,14 @@ TransferPredictor::TransferPredictor(Options options)
 /// Fill a model's empirical residual-ratio quantiles from training data.
 void TransferPredictor::calibrate_interval(Model& model, const ml::Matrix& x,
                                            const std::vector<double>& y) {
+  // One pass through the flattened batch engine instead of a per-row walk
+  // (serial: calibration runs inside fit(), which may already fan out).
+  std::vector<double> predicted(x.rows());
+  model.boosted->predict_batch(x, predicted);
   std::vector<double> ratios;
   ratios.reserve(y.size());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double predicted = std::max(0.01, model.boosted->predict(x.row(r)));
-    ratios.push_back(y[r] / predicted);
-  }
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    ratios.push_back(y[r] / std::max(0.01, predicted[r]));
   if (ratios.size() >= 10) {
     model.ratio_p10 = percentile(ratios, 10.0);
     model.ratio_p90 = percentile(ratios, 90.0);
@@ -143,6 +145,48 @@ double TransferPredictor::predict_rate_mbps(
   return std::max(rate, 0.01);  // A rate prediction is never non-positive.
 }
 
+std::vector<double> TransferPredictor::predict_rates_mbps(
+    std::span<const PlannedTransfer> transfers,
+    std::span<const features::ContentionFeatures> expected_loads) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(expected_loads.empty() ||
+              expected_loads.size() == transfers.size());
+  std::vector<double> rates(transfers.size());
+  if (transfers.empty()) return rates;
+  static const features::ContentionFeatures kIdle{};
+
+  // Group rows by serving model, then run each group through the model's
+  // flattened batch engine in one shot. Grouping only batches rows that
+  // share a model — every row is standardised with its own model's
+  // moments and walked independently, so the answers are bit-identical to
+  // per-transfer predict_rate_mbps calls.
+  std::map<const Model*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    XFL_EXPECTS(transfers[i].bytes >= 0.0 && transfers[i].files >= 1);
+    groups[&model_for({transfers[i].src, transfers[i].dst})].push_back(i);
+  }
+  for (const auto& [model, indices] : groups) {
+    const bool dedicated = model != &global_model_;
+    const auto& means = model->scaler.means();
+    const auto& sigmas = model->scaler.sigmas();
+    ml::Matrix x(indices.size(), means.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      const auto row = feature_vector(
+          transfers[i], expected_loads.empty() ? kIdle : expected_loads[i],
+          !dedicated);
+      XFL_EXPECTS(row.size() == means.size());
+      for (std::size_t c = 0; c < row.size(); ++c)
+        x.at(k, c) = (row[c] - means[c]) / sigmas[c];
+    }
+    std::vector<double> predicted(indices.size());
+    model->boosted->predict_batch(x, predicted);
+    for (std::size_t k = 0; k < indices.size(); ++k)
+      rates[indices[k]] = std::max(predicted[k], 0.01);
+  }
+  return rates;
+}
+
 RateInterval TransferPredictor::predict_rate_interval(
     const PlannedTransfer& transfer,
     const features::ContentionFeatures& expected_load) const {
@@ -192,25 +236,41 @@ void save_model(std::ostream& out, const char* label,
   out << model.ratio_p10 << ' ' << model.ratio_p90 << '\n';
 }
 
+/// Sanity cap shared by every count field: a corrupted count must throw,
+/// not drive a multi-gigabyte resize.
+constexpr std::size_t kMaxPredictorEntries = 1u << 20;
+
 TransferPredictor::PersistedModel load_model(std::istream& in,
                                              const std::string& label) {
+  auto fail = [&label](const std::string& what) -> void {
+    throw std::runtime_error("TransferPredictor::load (" + label +
+                             "): " + what);
+  };
   std::string seen;
   in >> seen;
-  if (seen != label)
-    throw std::runtime_error("TransferPredictor::load: expected '" + label +
-                             "', saw '" + seen + "'");
+  if (seen != label) fail("expected label, saw '" + seen + "'");
   TransferPredictor::PersistedModel model;
   std::size_t name_count = 0;
   in >> name_count;
+  if (!in || name_count == 0 || name_count > kMaxPredictorEntries)
+    fail("implausible feature-name count");
   model.feature_names.resize(name_count);
   for (auto& name : model.feature_names) in >> name;
   std::size_t moment_count = 0;
   in >> moment_count;
+  if (!in) fail("truncated feature-name block");
+  // Exactly one (mean, sigma) pair per feature; a mismatch means fields
+  // were dropped or swapped upstream.
+  if (moment_count != name_count)
+    fail("scaler moment count does not match feature count");
   model.means.resize(moment_count);
   model.sigmas.resize(moment_count);
   for (auto& m : model.means) in >> m;
   for (auto& s : model.sigmas) in >> s;
   in >> model.ratio_p10 >> model.ratio_p90;
+  if (!in) fail("truncated scaler block");
+  for (const double s : model.sigmas)
+    if (!(s > 0.0)) fail("non-positive scaler sigma");
   return model;
 }
 }  // namespace
@@ -256,6 +316,9 @@ TransferPredictor TransferPredictor::load(std::istream& in) {
 
   std::size_t capability_count = 0;
   in >> capability_count;
+  if (!in || capability_count > kMaxPredictorEntries)
+    throw std::runtime_error(
+        "TransferPredictor::load: implausible capability count");
   for (std::size_t i = 0; i < capability_count; ++i) {
     endpoint::EndpointId endpoint = 0;
     features::EndpointCapability capability;
@@ -266,6 +329,9 @@ TransferPredictor TransferPredictor::load(std::istream& in) {
 
   std::size_t edge_count = 0;
   in >> edge_count;
+  if (!in || edge_count > kMaxPredictorEntries)
+    throw std::runtime_error(
+        "TransferPredictor::load: implausible edge-model count");
   for (std::size_t i = 0; i < edge_count; ++i) {
     logs::EdgeKey edge;
     in >> edge.src >> edge.dst;

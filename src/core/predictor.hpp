@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,16 @@ class TransferPredictor {
       const PlannedTransfer& transfer,
       const features::ContentionFeatures& expected_load = {}) const;
 
+  /// Batch serving path: predict rates for many planned transfers at once.
+  /// Transfers are grouped per serving model (edge or global fallback),
+  /// standardised into one matrix per group, and pushed through the
+  /// flattened batch-inference engine — bit-identical to calling
+  /// predict_rate_mbps per transfer, in any grouping. `expected_loads` is
+  /// either empty (all idle) or parallel to `transfers`. Requires fit().
+  std::vector<double> predict_rates_mbps(
+      std::span<const PlannedTransfer> transfers,
+      std::span<const features::ContentionFeatures> expected_loads = {}) const;
+
   /// Point prediction plus an empirical 10th-90th percentile band.
   /// Requires fit().
   RateInterval predict_rate_interval(
@@ -110,6 +121,11 @@ class TransferPredictor {
   static TransferPredictor load(std::istream& in);
 
  private:
+  /// One serving model (per-edge or global). Its GradientBoostedTrees
+  /// carries the compiled FlatEnsemble that answers queries — the
+  /// per-edge compiled-model cache. The cache is derived state rebuilt at
+  /// the end of every GBT fit() and load(), so a (re)fit or load of the
+  /// predictor can never serve a stale compiled model.
   struct Model {
     ml::StandardScaler scaler;
     std::unique_ptr<ml::GradientBoostedTrees> boosted;

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "ml/gbt_flat.hpp"
 
 namespace xfl::ml {
 
@@ -518,10 +519,35 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
     }
     trees_.push_back(std::move(tree));
   }
+  compile_flat();
   fitted_ = true;
 }
 
+void GradientBoostedTrees::compile_flat() {
+  FlatEnsemble::Builder builder(base_score_, config_.learning_rate);
+  for (const auto& tree : trees_) {
+    builder.begin_tree();
+    for (const auto& node : tree.nodes)
+      builder.add_node(node.feature,
+                       node.feature >= 0 ? node.threshold : node.value,
+                       node.left, node.right);
+  }
+  flat_ = std::make_shared<const FlatEnsemble>(std::move(builder).build());
+}
+
+const FlatEnsemble& GradientBoostedTrees::flat() const {
+  XFL_EXPECTS(fitted_ && flat_ != nullptr);
+  return *flat_;
+}
+
 double GradientBoostedTrees::predict(std::span<const double> features) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(features.size() == feature_count_);
+  return flat_->predict_one(features);
+}
+
+double GradientBoostedTrees::predict_nodewalk(
+    std::span<const double> features) const {
   XFL_EXPECTS(fitted_);
   XFL_EXPECTS(features.size() == feature_count_);
   double value = base_score_;
@@ -530,19 +556,27 @@ double GradientBoostedTrees::predict(std::span<const double> features) const {
   return value;
 }
 
+void GradientBoostedTrees::predict_batch(const Matrix& x,
+                                         std::span<double> out,
+                                         ThreadPool* pool) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(out.size() == x.rows());
+  if (x.rows() == 0) return;
+  XFL_EXPECTS(x.cols() == feature_count_);
+  flat_->predict_batch(x, out, pool);
+}
+
 std::vector<double> GradientBoostedTrees::predict(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  auto block = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) out[r] = predict(x.row(r));
-  };
+  if (x.rows() == 0) return out;
   const std::size_t workers = resolved_threads();
-  // Each row owns its output slot, so block boundaries cannot change
-  // results; small batches stay serial to skip pool setup.
+  // Small batches stay serial to skip pool setup; results are identical
+  // either way.
   if (workers > 1 && x.rows() >= 512) {
     ThreadPool pool(workers);
-    pool.parallel_for_blocks(x.rows(), block, 128);
+    predict_batch(x, out, &pool);
   } else {
-    block(0, x.rows());
+    predict_batch(x, out);
   }
   return out;
 }
@@ -607,6 +641,7 @@ GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
     if (!in || node_count == 0 || node_count > kMaxNodes)
       fail("implausible node count");
     tree.nodes.resize(node_count);
+    std::vector<bool> child_seen(node_count, false);
     for (std::size_t i = 0; i < node_count; ++i) {
       Node& node = tree.nodes[i];
       in >> node.feature >> node.threshold >> node.value >> node.left >>
@@ -623,9 +658,19 @@ GradientBoostedTrees GradientBoostedTrees::load(std::istream& in) {
           static_cast<std::size_t>(node.left) >= node_count ||
           static_cast<std::size_t>(node.right) >= node_count)
         fail("child index out of range");
+      // Each node may be a child of at most one parent: a crafted DAG
+      // would predict fine but blow up the flattened compilation (every
+      // path to a shared node gets its own flat copy).
+      if (node.left == node.right ||
+          child_seen[static_cast<std::size_t>(node.left)] ||
+          child_seen[static_cast<std::size_t>(node.right)])
+        fail("node referenced by multiple parents");
+      child_seen[static_cast<std::size_t>(node.left)] = true;
+      child_seen[static_cast<std::size_t>(node.right)] = true;
     }
   }
   if (!in) fail("truncated or malformed model");
+  model.compile_flat();
   model.fitted_ = true;
   return model;
 }

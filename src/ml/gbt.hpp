@@ -18,10 +18,15 @@
 //   * Gain-based feature importance, the quantity Fig. 12 visualises:
 //     "the more an independent variable is used to make the main splits
 //     within the tree, the higher its relative importance."
+//   * A flattened batch-inference engine (ml/gbt_flat.hpp): every fit()
+//     and load() compiles the pointer-linked trees into a contiguous SoA
+//     FlatEnsemble that serves predict()/predict_batch() bit-identically
+//     to the node walk, at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -32,6 +37,8 @@ class ThreadPool;
 }
 
 namespace xfl::ml {
+
+class FlatEnsemble;
 
 /// Training hyperparameters.
 struct GbtConfig {
@@ -67,11 +74,29 @@ class GradientBoostedTrees {
   /// Fit on (x, y). Requires x.rows() == y.size() >= 2 and x.cols() >= 1.
   void fit(const Matrix& x, std::span<const double> y);
 
-  /// Predict one sample (width must match the fitted data).
+  /// Predict one sample (width must match the fitted data). Served by the
+  /// compiled FlatEnsemble; bit-identical to predict_nodewalk().
   double predict(std::span<const double> features) const;
 
-  /// Predict many samples.
+  /// Reference prediction path: per-row walk of the pointer-linked AoS
+  /// trees. Kept (and exercised by the tier-2 equivalence suite and the
+  /// BM_GbtPredict baseline) as the ground truth the flattened engine must
+  /// match bit-for-bit.
+  double predict_nodewalk(std::span<const double> features) const;
+
+  /// Predict many samples through the flattened batch engine (spawns a
+  /// pool per resolved_threads() for large batches).
   std::vector<double> predict(const Matrix& x) const;
+
+  /// Predict every row of x into out (out.size() == x.rows()), blocking
+  /// rows across `pool` when provided. Results are bit-identical to
+  /// per-row predict() at any thread count — each row owns its output
+  /// slot and its own walk, so block boundaries never change values.
+  void predict_batch(const Matrix& x, std::span<double> out,
+                     ThreadPool* pool = nullptr) const;
+
+  /// The compiled inference engine. Requires fit() (or load()).
+  const FlatEnsemble& flat() const;
 
   /// Total split gain attributed to each feature, normalised so the
   /// maximum is 1 (all zeros if no splits were made). Requires fit().
@@ -136,6 +161,10 @@ class GradientBoostedTrees {
                  ThreadPool* pool, std::vector<std::int32_t>& leaf_of);
   /// config_.threads with 0 resolved to hardware concurrency.
   std::size_t resolved_threads() const;
+  /// (Re)compile trees_ into the flattened serving engine. Called at the
+  /// end of every fit() and load() — the compiled model cache is derived
+  /// state, so (re)fitting or loading always invalidates and rebuilds it.
+  void compile_flat();
 
   GbtConfig config_;
   bool fitted_ = false;
@@ -145,6 +174,9 @@ class GradientBoostedTrees {
   /// Per-feature ascending bin upper edges (thresholds for raw values).
   std::vector<std::vector<double>> bin_edges_;
   std::vector<double> importance_gain_;
+  /// Compiled SoA inference engine (immutable once built, so copies of a
+  /// fitted model share it and concurrent predict calls are safe).
+  std::shared_ptr<const FlatEnsemble> flat_;
 };
 
 }  // namespace xfl::ml

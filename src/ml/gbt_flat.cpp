@@ -1,0 +1,165 @@
+#include "ml/gbt_flat.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/thread_pool.hpp"
+
+namespace xfl::ml {
+
+FlatEnsemble::Builder::Builder(double base_score, double scale)
+    : base_score_(base_score), scale_(scale) {}
+
+void FlatEnsemble::Builder::begin_tree() { trees_.emplace_back(); }
+
+void FlatEnsemble::Builder::add_node(std::int32_t feature,
+                                     double threshold_or_value,
+                                     std::int32_t left, std::int32_t right) {
+  XFL_EXPECTS(!trees_.empty());
+  trees_.back().push_back({feature, threshold_or_value, left, right});
+}
+
+FlatEnsemble FlatEnsemble::Builder::build() && {
+  FlatEnsemble flat;
+  flat.base_score_ = base_score_;
+  flat.scale_ = scale_;
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.size();
+  flat.feature_.reserve(total);
+  flat.value_.reserve(total);
+  flat.left_.reserve(total);
+  flat.roots_.reserve(trees_.size());
+  flat.depth_.reserve(trees_.size());
+
+  // Per-tree breadth-first renumbering. The k-th visited node takes slot
+  // base + k, and an internal node's children are enqueued together, so
+  // siblings always land in consecutive slots: right child == left + 1.
+  std::vector<std::int32_t> order;     // Old in-tree index per new slot.
+  std::vector<std::int32_t> depth_of;  // Depth per new slot.
+  for (const auto& tree : trees_) {
+    XFL_EXPECTS(!tree.empty());
+    const auto base = static_cast<std::int32_t>(flat.feature_.size());
+    flat.roots_.push_back(base);
+    order.assign(1, 0);
+    depth_of.assign(1, 0);
+    std::int32_t tree_depth = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      XFL_EXPECTS(static_cast<std::size_t>(order[k]) < tree.size());
+      const RawNode& node = tree[static_cast<std::size_t>(order[k])];
+      if (node.feature >= 0) {
+        const auto child_slot = static_cast<std::int32_t>(order.size());
+        order.push_back(node.left);
+        order.push_back(node.right);
+        depth_of.push_back(depth_of[k] + 1);
+        depth_of.push_back(depth_of[k] + 1);
+        tree_depth = std::max(tree_depth, depth_of[k] + 1);
+        flat.feature_.push_back(node.feature);
+        flat.value_.push_back(node.threshold_or_value);
+        flat.left_.push_back(base + child_slot);
+      } else {
+        flat.feature_.push_back(-1);
+        flat.value_.push_back(node.threshold_or_value);
+        // Leaves self-link; the kernel never follows this, but a valid
+        // index keeps every array entry in range.
+        flat.left_.push_back(base + static_cast<std::int32_t>(k));
+      }
+      // A tree visits each node at most once; more slots than source nodes
+      // means a child is shared between parents (a DAG, which the loader
+      // rejects and the trainer never builds).
+      XFL_EXPECTS(order.size() <= tree.size());
+    }
+    flat.depth_.push_back(tree_depth);
+    flat.max_depth_ = std::max(flat.max_depth_, static_cast<int>(tree_depth));
+  }
+  return flat;
+}
+
+double FlatEnsemble::predict_one(std::span<const double> features) const {
+  const std::int32_t* feat = feature_.data();
+  const double* val = value_.data();
+  const std::int32_t* left = left_.data();
+  double acc = base_score_;
+  for (const std::int32_t root : roots_) {
+    std::int32_t i = root;
+    std::int32_t f = feat[i];
+    while (f >= 0) {
+      // Same predicate as the node walk: x <= threshold goes left, anything
+      // else — including NaN — goes right.
+      i = left[i] +
+          static_cast<std::int32_t>(!(features[static_cast<std::size_t>(f)] <=
+                                      val[i]));
+      f = feat[i];
+    }
+    acc += scale_ * val[i];
+  }
+  return acc;
+}
+
+namespace {
+/// Rows walked in lockstep per tree. Small enough that the per-block state
+/// (row pointers, node cursors, accumulators) stays in registers / L1;
+/// large enough that the dependent-load chains of the walks overlap.
+constexpr std::size_t kRowBlock = 16;
+}  // namespace
+
+void FlatEnsemble::predict_rows(const Matrix& x, std::size_t begin,
+                                std::size_t end, double* out) const {
+  const std::int32_t* feat = feature_.data();
+  const double* val = value_.data();
+  const std::int32_t* left = left_.data();
+  const std::size_t tree_count = roots_.size();
+  const double* rows[kRowBlock];
+  double acc[kRowBlock];
+  std::int32_t idx[kRowBlock];
+  for (std::size_t block = begin; block < end; block += kRowBlock) {
+    const std::size_t count = std::min(kRowBlock, end - block);
+    for (std::size_t r = 0; r < count; ++r) {
+      rows[r] = x.row(block + r).data();
+      acc[r] = base_score_;
+    }
+    for (std::size_t t = 0; t < tree_count; ++t) {
+      const std::int32_t root = roots_[t];
+      const std::int32_t steps = depth_[t];
+      for (std::size_t r = 0; r < count; ++r) idx[r] = root;
+      // Every row takes exactly depth(t) lockstep steps; rows that reach a
+      // leaf early hold their position. The iterations of the inner loop
+      // are independent, so the walks of the whole block overlap instead
+      // of serialising on one row's dependent loads.
+      for (std::int32_t s = 0; s < steps; ++s) {
+        for (std::size_t r = 0; r < count; ++r) {
+          const std::int32_t i = idx[r];
+          const std::int32_t f = feat[i];
+          idx[r] = f >= 0
+                       ? left[i] + static_cast<std::int32_t>(
+                                       !(rows[r][static_cast<std::size_t>(f)] <=
+                                         val[i]))
+                       : i;
+        }
+      }
+      // Per-row accumulation stays in tree order — the same operation
+      // sequence as predict_one and the node walk, hence bit-identical.
+      for (std::size_t r = 0; r < count; ++r) acc[r] += scale_ * val[idx[r]];
+    }
+    for (std::size_t r = 0; r < count; ++r) out[block + r] = acc[r];
+  }
+}
+
+void FlatEnsemble::predict_batch(const Matrix& x, std::span<double> out,
+                                 ThreadPool* pool) const {
+  XFL_EXPECTS(out.size() == x.rows());
+  if (x.rows() == 0) return;
+  // Blocks of at least 128 rows: each index owns its output slot, so the
+  // block boundaries (and hence the worker count) cannot change results.
+  if (pool != nullptr && pool->thread_count() > 1 && x.rows() >= 256) {
+    pool->parallel_for_blocks(
+        x.rows(),
+        [&](std::size_t begin, std::size_t end) {
+          predict_rows(x, begin, end, out.data());
+        },
+        128);
+  } else {
+    predict_rows(x, 0, x.rows(), out.data());
+  }
+}
+
+}  // namespace xfl::ml

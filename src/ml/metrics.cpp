@@ -13,6 +13,7 @@ std::vector<double> absolute_percentage_errors(std::span<const double> y,
   errors.reserve(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) {
     if (y[i] == 0.0) continue;
+    if (!std::isfinite(y[i]) || !std::isfinite(yhat[i])) continue;
     errors.push_back(std::fabs(y[i] - yhat[i]) / std::fabs(y[i]) * 100.0);
   }
   return errors;

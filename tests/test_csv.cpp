@@ -91,5 +91,63 @@ TEST(Csv, ReadFileThrowsForMissingPath) {
                std::runtime_error);
 }
 
+// --- Fuzz-ish malformed inputs: error (or defined output), never crash ---
+
+TEST(Csv, UnterminatedQuoteVariantsThrow) {
+  EXPECT_THROW(parse("\""), std::runtime_error);           // Lone quote.
+  EXPECT_THROW(parse("a,b,\"c"), std::runtime_error);      // Open at EOF.
+  EXPECT_THROW(parse("\"a\"\"b\n"), std::runtime_error);   // Escaped, then open.
+  EXPECT_THROW(parse("a,\"b\nc,d\ne,f"), std::runtime_error);  // Swallows rest.
+}
+
+TEST(Csv, RaggedColumnsParsePerRow) {
+  // Width validation is the caller's job; the parser reports what it saw.
+  const auto rows = parse("a,b,c\n1\nx,y\n");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[1].size(), 1u);
+  EXPECT_EQ(rows[2].size(), 2u);
+}
+
+TEST(Csv, EmbeddedNulBytesPreserved) {
+  const std::string text{"a\0b,c\n", 6};
+  const auto rows = parse(text);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], (std::string{"a\0b", 3}));
+  EXPECT_EQ(rows[0][1], "c");
+}
+
+TEST(Csv, CrlfInsideQuotesPreserved) {
+  // Outside quotes '\r' is eaten (CRLF tolerance); inside quotes it is
+  // data and survives verbatim.
+  const auto rows = parse("\"line1\r\nline2\",x\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\r\nline2");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(Csv, QuoteOpeningMidFieldParsesDeterministically) {
+  // Not valid RFC 4180, but must not crash: the quote opens a quoted run
+  // that appends to the field in progress.
+  const auto rows = parse("a\"b,c\"d,e\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 2u);
+  EXPECT_EQ(rows[0][0], "ab,cd");
+  EXPECT_EQ(rows[0][1], "e");
+}
+
+TEST(Csv, BinaryGarbageDoesNotCrash) {
+  std::string garbage;
+  for (int i = 0; i < 512; ++i)
+    garbage.push_back(static_cast<char>((i * 131 + 17) % 256));
+  try {
+    const auto rows = parse(garbage);
+    for (const auto& row : rows) EXPECT_FALSE(row.empty());
+  } catch (const std::runtime_error&) {
+    // Unterminated-quote rejection is an acceptable outcome too.
+  }
+}
+
 }  // namespace
 }  // namespace xfl

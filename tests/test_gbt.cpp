@@ -230,6 +230,17 @@ TEST(Gbt, LoadRejectsMalformedStructure) {
   std::stringstream oob(model_text(
       "0 0.5 0 1 9\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
   EXPECT_THROW(GradientBoostedTrees::load(oob), std::runtime_error);
+  // A node naming the same child twice (left == right).
+  std::stringstream twin(model_text(
+      "0 0.5 0 1 1\n-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n"));
+  EXPECT_THROW(GradientBoostedTrees::load(twin), std::runtime_error);
+  // Two parents sharing a child: a DAG, not a tree. Structurally walkable,
+  // but flattening a DAG duplicates subtrees without bound — reject it.
+  std::stringstream dag(
+      "xfl-gbt-v1\n2 0.1 1.5\n0\n1\n5\n"
+      "0 0.5 0 1 2\n1 0.5 0 3 4\n1 0.5 0 3 4\n"
+      "-1 0 1.0 -1 -1\n-1 0 2.0 -1 -1\n");
+  EXPECT_THROW(GradientBoostedTrees::load(dag), std::runtime_error);
   // Importance block sized unlike the feature count.
   std::stringstream bad_importance(
       "xfl-gbt-v1\n2 0.1 1.5\n3 1 1 1\n1\n1\n-1 0 1.0 -1 -1\n");

@@ -1,0 +1,155 @@
+// Equivalence suite for the flattened batch-inference engine: on randomized
+// fitted ensembles across depths, tree counts, feature counts, and row
+// counts, every serving path must agree bit-for-bit with the reference
+// per-row node walk — serial, with a 2-thread pool, and with a
+// hardware-sized pool. This is the determinism contract of ml/gbt_flat.hpp:
+// block boundaries and thread counts never change a single bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/gbt.hpp"
+#include "ml/gbt_flat.hpp"
+
+namespace xfl::ml {
+namespace {
+
+struct Synthetic {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Synthetic make_data(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Synthetic data;
+  data.x = Matrix(rows, cols);
+  data.y.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double target = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = rng.uniform(-3.0, 3.0);
+      data.x.at(r, c) = v;
+      target += (c % 2 == 0 ? 1.0 : -0.5) * v;
+    }
+    target += std::sin(data.x.at(r, 0)) * 2.0 + rng.normal(0.0, 0.1);
+    data.y[r] = target;
+  }
+  return data;
+}
+
+/// All serving paths against the node walk on one fitted model + matrix.
+void expect_all_paths_identical(const GradientBoostedTrees& model,
+                                const Matrix& x) {
+  std::vector<double> reference(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    reference[r] = model.predict_nodewalk(x.row(r));
+
+  // Per-row flat path.
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    EXPECT_EQ(model.predict(x.row(r)), reference[r]) << "row " << r;
+
+  // Batch, serial.
+  std::vector<double> serial(x.rows());
+  model.predict_batch(x, serial);
+  EXPECT_EQ(serial, reference);
+
+  // Batch, 2-thread pool (exercises block splitting on any host).
+  ThreadPool two(2);
+  std::vector<double> batch_two(x.rows());
+  model.predict_batch(x, batch_two, &two);
+  EXPECT_EQ(batch_two, reference);
+
+  // Batch, hardware pool.
+  ThreadPool hardware;
+  std::vector<double> batch_hw(x.rows());
+  model.predict_batch(x, batch_hw, &hardware);
+  EXPECT_EQ(batch_hw, reference);
+
+  // The convenience Matrix overload (spawns its own pool for large inputs).
+  EXPECT_EQ(model.predict(x), reference);
+}
+
+/// Randomized sweep: depth 1..6, varying tree/feature/row counts. Seeds are
+/// fixed so failures reproduce, but the models themselves are arbitrary.
+class InferenceEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(InferenceEquivalence, AllPathsBitIdenticalToNodeWalk) {
+  const int depth = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(depth));
+  const std::size_t cols = 1 + static_cast<std::size_t>(rng.uniform_int(1, 12));
+  const std::size_t train_rows =
+      200 + static_cast<std::size_t>(rng.uniform_int(0, 400));
+
+  GbtConfig config;
+  config.max_depth = depth;
+  config.trees = 10 + static_cast<int>(rng.uniform_int(0, 120));
+  config.seed = 5000 + static_cast<std::uint64_t>(depth);
+  GradientBoostedTrees model(config);
+  const auto train = make_data(train_rows, cols, 99 + depth);
+  model.fit(train.x, train.y);
+
+  // Query rows from a different distribution than training, including
+  // counts around the pool and row-block thresholds (1, 15, 16, 17, 777).
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{15},
+                                 std::size_t{16}, std::size_t{17},
+                                 std::size_t{777}}) {
+    const auto query = make_data(rows, cols, 7777 + rows);
+    expect_all_paths_identical(model, query.x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, InferenceEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// NaN features must take the same route (right) in every path.
+TEST(InferenceEquivalence, NanFeaturesRouteIdentically) {
+  const auto train = make_data(300, 4, 31);
+  GbtConfig config;
+  config.trees = 40;
+  GradientBoostedTrees model(config);
+  model.fit(train.x, train.y);
+
+  auto query = make_data(64, 4, 32);
+  Rng rng(33);
+  for (std::size_t r = 0; r < query.x.rows(); ++r)
+    query.x.at(r, rng.uniform_int(0, 3)) =
+        std::numeric_limits<double>::quiet_NaN();
+  expect_all_paths_identical(model, query.x);
+}
+
+// Refitting must invalidate the compiled cache: serve the *new* model.
+TEST(InferenceEquivalence, RefitRecompilesFlatEngine) {
+  auto data_a = make_data(250, 3, 41);
+  auto data_b = make_data(250, 3, 42);
+  for (auto& target : data_b.y) target += 100.0;  // Clearly different model.
+
+  GradientBoostedTrees model;
+  model.fit(data_a.x, data_a.y);
+  const double before = model.predict(data_a.x.row(0));
+  model.fit(data_b.x, data_b.y);
+  const double after = model.predict(data_a.x.row(0));
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after, model.predict_nodewalk(data_a.x.row(0)));
+}
+
+// The compiled engine reports a shape consistent with its source config.
+TEST(InferenceEquivalence, FlatShapeMatchesModel) {
+  const auto data = make_data(300, 5, 51);
+  GbtConfig config;
+  config.trees = 30;
+  config.max_depth = 4;
+  GradientBoostedTrees model(config);
+  model.fit(data.x, data.y);
+  const FlatEnsemble& flat = model.flat();
+  EXPECT_EQ(flat.tree_count(), 30u);
+  EXPECT_LE(flat.max_depth(), 4);
+  EXPECT_GE(flat.node_count(), flat.tree_count());
+  EXPECT_DOUBLE_EQ(flat.scale(), config.learning_rate);
+}
+
+}  // namespace
+}  // namespace xfl::ml

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/contracts.hpp"
 
@@ -77,6 +78,62 @@ TEST(Metrics, AllZeroTargetsRejected) {
   const std::vector<double> y = {0.0};
   const std::vector<double> yhat = {1.0};
   EXPECT_THROW(mdape(y, yhat), xfl::ContractViolation);
+}
+
+// --- Edge cases: the documented skip/throw contract of metrics.hpp ------
+
+TEST(Metrics, EmptyInputYieldsEmptyApeVector) {
+  const std::vector<double> none;
+  EXPECT_TRUE(absolute_percentage_errors(none, none).empty());
+}
+
+TEST(Metrics, EmptyInputRejectedByAggregates) {
+  const std::vector<double> none;
+  EXPECT_THROW(mdape(none, none), xfl::ContractViolation);
+  EXPECT_THROW(mape(none, none), xfl::ContractViolation);
+  EXPECT_THROW(percentile_ape(none, none, 95.0), xfl::ContractViolation);
+  EXPECT_THROW(ape_summary(none, none), xfl::ContractViolation);
+  EXPECT_THROW(rmse(none, none), xfl::ContractViolation);
+}
+
+TEST(Metrics, SingleElementIsItsOwnMedianAndPercentile) {
+  const std::vector<double> y = {100.0};
+  const std::vector<double> yhat = {120.0};
+  EXPECT_DOUBLE_EQ(mdape(y, yhat), 20.0);
+  EXPECT_DOUBLE_EQ(mape(y, yhat), 20.0);
+  EXPECT_DOUBLE_EQ(percentile_ape(y, yhat, 95.0), 20.0);
+  EXPECT_DOUBLE_EQ(rmse(y, yhat), 20.0);
+}
+
+TEST(Metrics, NonFiniteSamplesSkipped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN target, NaN prediction, and infinite prediction all drop out;
+  // only the clean last sample (10% error) survives.
+  const std::vector<double> y = {nan, 100.0, 100.0, 100.0};
+  const std::vector<double> yhat = {100.0, nan, inf, 110.0};
+  const auto errors = absolute_percentage_errors(y, yhat);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(errors[0], 10.0);
+  EXPECT_DOUBLE_EQ(mdape(y, yhat), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_ape(y, yhat, 95.0), 10.0);
+}
+
+TEST(Metrics, AllSamplesNonFiniteRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> y = {nan, nan};
+  const std::vector<double> yhat = {1.0, 2.0};
+  EXPECT_THROW(mdape(y, yhat), xfl::ContractViolation);
+  EXPECT_THROW(ape_summary(y, yhat), xfl::ContractViolation);
+}
+
+TEST(Metrics, RmseDoesNotSkipNonFinite) {
+  // rmse's contract is the opposite of the APE family: every sample
+  // participates, so a NaN poisons the answer instead of being dropped.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> y = {nan, 100.0};
+  const std::vector<double> yhat = {100.0, 100.0};
+  EXPECT_TRUE(std::isnan(rmse(y, yhat)));
 }
 
 }  // namespace

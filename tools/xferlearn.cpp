@@ -10,10 +10,16 @@
 //                      --src ID --dst ID --bytes BYTES
 //                      [--files N] [--dirs N] [--concurrency C]
 //                      [--parallelism P]
+//   xferlearn predict-batch (--log log.csv | --model model.txt)
+//                      --transfers planned.csv [--out predictions.csv]
+//                      (planned.csv: src,dst,bytes[,files,dirs,
+//                       concurrency,parallelism]; header row optional;
+//                       served by the flattened batch-inference engine)
 //   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
 //
 // Every subcommand works on the Globus-schema CSV produced by `simulate`
 // or exported from a real transfer service.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/csv.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
@@ -73,7 +80,7 @@ class ArgList {
 int usage() {
   std::fprintf(stderr,
                "usage: xferlearn <simulate|analyze|train|evaluate|predict|"
-               "export-dataset> [options]\n"
+               "predict-batch|export-dataset> [options]\n"
                "run `xferlearn <command>` with no options for details in "
                "the header of tools/xferlearn.cpp\n");
   return 2;
@@ -230,6 +237,28 @@ int cmd_train(const ArgList& args) {
   return 0;
 }
 
+/// Shared by predict / predict-batch: load a saved predictor from --model,
+/// or train one from --log.
+core::TransferPredictor acquire_predictor(const ArgList& args) {
+  if (const auto model_path = args.value("--model")) {
+    std::ifstream in(*model_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", model_path->c_str());
+      std::exit(1);
+    }
+    auto predictor = core::TransferPredictor::load(in);
+    std::printf("loaded predictor from %s\n", model_path->c_str());
+    return predictor;
+  }
+  const auto log = load_log(args);
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = static_cast<std::size_t>(
+      args.number_or("--min-edge-transfers", 100.0));
+  core::TransferPredictor predictor(options);
+  predictor.fit(log);
+  return predictor;
+}
+
 int cmd_predict(const ArgList& args) {
   core::PlannedTransfer planned;
   const auto src = args.value("--src");
@@ -249,24 +278,7 @@ int cmd_predict(const ArgList& args) {
   planned.parallelism =
       static_cast<std::uint32_t>(args.number_or("--parallelism", 4.0));
 
-  core::TransferPredictor predictor;
-  if (const auto model_path = args.value("--model")) {
-    std::ifstream in(*model_path);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot open %s\n", model_path->c_str());
-      return 1;
-    }
-    predictor = core::TransferPredictor::load(in);
-    std::printf("loaded predictor from %s\n", model_path->c_str());
-  } else {
-    const auto log = load_log(args);
-    core::TransferPredictor::Options options;
-    options.min_edge_transfers = static_cast<std::size_t>(
-        args.number_or("--min-edge-transfers", 100.0));
-    predictor = core::TransferPredictor(options);
-    predictor.fit(log);
-  }
-
+  const core::TransferPredictor predictor = acquire_predictor(args);
   const logs::EdgeKey edge{planned.src, planned.dst};
   const double rate = predictor.predict_rate_mbps(planned);
   std::printf("model: %s\n",
@@ -281,6 +293,100 @@ int cmd_predict(const ArgList& args) {
     std::printf("%s%s (%.2f)", i == 0 ? "" : ", ", importances[i].first.c_str(),
                 importances[i].second);
   std::printf("\n");
+  return 0;
+}
+
+int cmd_predict_batch(const ArgList& args) {
+  const auto transfers_path = args.value("--transfers");
+  if (!transfers_path) {
+    std::fprintf(stderr, "error: --transfers <planned.csv> is required\n");
+    return 2;
+  }
+  const auto rows = read_csv_file(*transfers_path);
+
+  // Accept an optional header row: skip the first row when its bytes column
+  // does not parse as a number.
+  auto is_number = [](const std::string& field) {
+    if (field.empty()) return false;
+    char* end = nullptr;
+    std::strtod(field.c_str(), &end);
+    return end != field.c_str() && *end == '\0';
+  };
+  std::vector<core::PlannedTransfer> planned;
+  planned.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // Blank line.
+    if (r == 0 && row.size() >= 3 && !is_number(row[2])) continue;  // Header.
+    if (row.size() < 3) {
+      std::fprintf(stderr,
+                   "error: %s line %zu: need at least src,dst,bytes\n",
+                   transfers_path->c_str(), r + 1);
+      return 1;
+    }
+    core::PlannedTransfer transfer;
+    transfer.src = static_cast<endpoint::EndpointId>(std::stoul(row[0]));
+    transfer.dst = static_cast<endpoint::EndpointId>(std::stoul(row[1]));
+    transfer.bytes = std::stod(row[2]);
+    transfer.files =
+        row.size() > 3 ? static_cast<std::uint64_t>(std::stoull(row[3])) : 1;
+    transfer.dirs =
+        row.size() > 4 ? static_cast<std::uint64_t>(std::stoull(row[4])) : 1;
+    transfer.concurrency =
+        row.size() > 5 ? static_cast<std::uint32_t>(std::stoul(row[5])) : 4;
+    transfer.parallelism =
+        row.size() > 6 ? static_cast<std::uint32_t>(std::stoul(row[6])) : 4;
+    planned.push_back(transfer);
+  }
+  if (planned.empty()) {
+    std::fprintf(stderr, "error: no planned transfers in %s\n",
+                 transfers_path->c_str());
+    return 1;
+  }
+
+  const core::TransferPredictor predictor = acquire_predictor(args);
+  // One grouped pass through the flattened batch engine; identical answers
+  // to calling predict_rate_mbps per row.
+  const auto rates = predictor.predict_rates_mbps(planned);
+
+  if (const auto out_path = args.value("--out")) {
+    std::ofstream out(*out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+      return 1;
+    }
+    CsvWriter writer(out);
+    writer.write_row(CsvRow{"src", "dst", "bytes", "rate_mbps", "duration_s"});
+    char buffer[64];
+    for (std::size_t i = 0; i < planned.size(); ++i) {
+      const double duration =
+          planned[i].bytes / std::max(rates[i], 0.01) / 1e6;
+      CsvRow row;
+      row.push_back(std::to_string(planned[i].src));
+      row.push_back(std::to_string(planned[i].dst));
+      std::snprintf(buffer, sizeof buffer, "%.0f", planned[i].bytes);
+      row.push_back(buffer);
+      std::snprintf(buffer, sizeof buffer, "%.17g", rates[i]);
+      row.push_back(buffer);
+      std::snprintf(buffer, sizeof buffer, "%.17g", duration);
+      row.push_back(buffer);
+      writer.write_row(row);
+    }
+    std::printf("wrote %zu predictions to %s\n", planned.size(),
+                out_path->c_str());
+  } else {
+    TextTable table;
+    table.set_header({"src", "dst", "bytes", "rate MB/s", "duration s"});
+    for (std::size_t i = 0; i < planned.size(); ++i)
+      table.add_row({std::to_string(planned[i].src),
+                     std::to_string(planned[i].dst),
+                     format_bytes(planned[i].bytes),
+                     TextTable::num(rates[i], 1),
+                     TextTable::num(
+                         planned[i].bytes / std::max(rates[i], 0.01) / 1e6,
+                         0)});
+    table.print(stdout);
+  }
   return 0;
 }
 
@@ -330,6 +436,7 @@ int main(int argc, char** argv) {
     if (command == "train") return cmd_train(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "predict") return cmd_predict(args);
+    if (command == "predict-batch") return cmd_predict_batch(args);
     if (command == "export-dataset") return cmd_export_dataset(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
