@@ -2,8 +2,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+
+#include "obs/metrics.hpp"
 
 namespace xflbench {
 
@@ -64,7 +68,21 @@ void print_banner(const std::string& experiment,
 }
 
 void print_comparison(const std::string& text) {
-  std::printf("\n[paper-vs-measured] %s\n\n", text.c_str());
+  std::printf("\n[paper-vs-measured] %s\n", text.c_str());
+  const std::string counters = xfl::obs::Registry::instance().counters_compact();
+  if (!counters.empty()) std::printf("[metrics] %s\n", counters.c_str());
+  std::printf("\n");
+}
+
+void print_metrics_snapshot() {
+  const char* mode = std::getenv("XFL_BENCH_METRICS");
+  if (mode != nullptr && std::strcmp(mode, "json") == 0) {
+    xfl::obs::Registry::instance().write_json(std::cout);
+    std::cout << '\n';
+    return;
+  }
+  std::printf("-- metrics --\n");
+  xfl::obs::Registry::instance().write_text(std::cout);
 }
 
 std::string endpoint_name(const xfl::sim::Scenario& scenario,

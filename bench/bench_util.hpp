@@ -36,8 +36,14 @@ std::vector<xfl::logs::EdgeKey> heavy_edges(
 /// Pretty banner printed at the top of each harness.
 void print_banner(const std::string& experiment, const std::string& paper_claim);
 
-/// Closing paper-vs-measured note.
+/// Closing paper-vs-measured note, followed by a compact snapshot of the
+/// nonzero metrics counters the run produced (fit/predict/sweep totals),
+/// so each harness's output records how much work the numbers rest on.
 void print_comparison(const std::string& text);
+
+/// Full metrics-registry text dump (XFL_BENCH_METRICS=json switches to the
+/// JSON document written by `xferlearn --metrics-out`).
+void print_metrics_snapshot();
 
 /// Name an endpoint for display.
 std::string endpoint_name(const xfl::sim::Scenario& scenario,

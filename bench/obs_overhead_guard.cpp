@@ -1,0 +1,161 @@
+// Observability overhead guard: asserts that the instrumented train and
+// batch-predict hot paths stay within tolerance of the uninstrumented
+// paths. "On" is the default production posture (metrics enabled, logging
+// at info, tracing off); "off" flips the metrics kill switch so every
+// counter/histogram write degenerates to one relaxed load. The two
+// configurations alternate back-to-back in pairs and the verdict is the
+// median pairwise ratio, which cancels host drift on a shared 1-core box.
+//
+// Exits nonzero when the ratio exceeds the budget, so CI (or a human
+// running build/bench/obs_overhead_guard) gets a hard failure, and prints
+// the per-pair samples recorded in BENCH_gbt.json / BENCH_predict.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/gbt.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace xfl;
+
+/// Median overhead budget: obs-on may cost at most 2% over obs-off.
+constexpr double kMaxRatio = 1.02;
+constexpr int kPairs = 7;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Workload {
+  ml::Matrix x{0, 0};
+  std::vector<double> y;
+};
+
+Workload make_workload(std::size_t rows) {
+  Workload w;
+  w.x = ml::Matrix(rows, 15);
+  w.y.resize(rows);
+  Rng rng(3);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t c = 0; c < 15; ++c) w.x.at(i, c) = rng.normal();
+    w.y[i] = w.x.at(i, 0) * w.x.at(i, 0) + 2.0 * w.x.at(i, 5) +
+             rng.normal(0.0, 0.1);
+  }
+  return w;
+}
+
+/// ms per fit of the PR 1 benchmark workload (2000x15, 100 trees, serial).
+double time_fit_ms(const Workload& w, int iterations) {
+  ml::GbtConfig config;
+  config.trees = 100;
+  config.threads = 1;
+  const double start = now_ms();
+  for (int i = 0; i < iterations; ++i) {
+    ml::GradientBoostedTrees model(config);
+    model.fit(w.x, w.y);
+  }
+  return (now_ms() - start) / iterations;
+}
+
+/// ms per serial predict_batch of the PR 2 benchmark workload (2000 rows,
+/// default 200-tree depth-4 model).
+double time_predict_ms(const ml::GradientBoostedTrees& model,
+                       const Workload& w, std::vector<double>& out,
+                       int iterations) {
+  const double start = now_ms();
+  for (int i = 0; i < iterations; ++i) model.predict_batch(w.x, out);
+  return (now_ms() - start) / iterations;
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+struct PairedResult {
+  std::vector<double> on_ms;
+  std::vector<double> off_ms;
+  double median_ratio = 0.0;
+};
+
+template <typename TimeOnce>
+PairedResult run_pairs(TimeOnce&& time_once) {
+  PairedResult result;
+  std::vector<double> ratios;
+  for (int p = 0; p < kPairs; ++p) {
+    obs::set_metrics_enabled(true);
+    const double on = time_once();
+    obs::set_metrics_enabled(false);
+    const double off = time_once();
+    obs::set_metrics_enabled(true);
+    result.on_ms.push_back(on);
+    result.off_ms.push_back(off);
+    ratios.push_back(on / off);
+  }
+  result.median_ratio = median(ratios);
+  return result;
+}
+
+void print_result(const char* label, const PairedResult& result) {
+  std::printf("%s\n  on_ms  =", label);
+  for (const double v : result.on_ms) std::printf(" %.3f", v);
+  std::printf("\n  off_ms =");
+  for (const double v : result.off_ms) std::printf(" %.3f", v);
+  std::printf("\n  median on/off ratio = %.4f (budget %.2f)\n",
+              result.median_ratio, kMaxRatio);
+}
+
+}  // namespace
+
+int main() {
+  // Default production posture; hot-path logs are debug-level, so info
+  // keeps the logger resident but silent, matching real runs.
+  obs::configure_logging({obs::LogLevel::kInfo, false, nullptr});
+  obs::set_tracing_enabled(false);
+
+  const Workload train = make_workload(2000);
+  PairedResult fit;
+  {
+    // Warm-up outside the measurement (binning buffers, metric shards).
+    time_fit_ms(train, 1);
+    fit = run_pairs([&] { return time_fit_ms(train, 3); });
+  }
+
+  ml::GradientBoostedTrees model;  // Default config: 200 trees, depth 4.
+  model.fit(train.x, train.y);
+  std::vector<double> out(train.x.rows());
+  PairedResult predict;
+  {
+    time_predict_ms(model, train, out, 2);
+    predict = run_pairs([&] { return time_predict_ms(model, train, out, 10); });
+  }
+
+  std::printf("observability overhead guard (paired on/off, %d pairs)\n",
+              kPairs);
+  print_result("gbt fit 2000x15 trees=100 serial", fit);
+  print_result("gbt predict_batch 2000 rows serial", predict);
+
+  bool ok = true;
+  if (fit.median_ratio > kMaxRatio) {
+    std::printf("FAIL: fit overhead %.2f%% exceeds budget\n",
+                100.0 * (fit.median_ratio - 1.0));
+    ok = false;
+  }
+  if (predict.median_ratio > kMaxRatio) {
+    std::printf("FAIL: predict overhead %.2f%% exceeds budget\n",
+                100.0 * (predict.median_ratio - 1.0));
+    ok = false;
+  }
+  if (ok)
+    std::printf("PASS: observability stays within %.0f%% on both hot paths\n",
+                100.0 * (kMaxRatio - 1.0));
+  return ok ? 0 : 1;
+}

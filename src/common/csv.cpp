@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+
 namespace xfl {
 
 std::vector<CsvRow> read_csv(std::istream& in) {
@@ -68,7 +70,10 @@ std::vector<CsvRow> read_csv(std::istream& in) {
 std::vector<CsvRow> read_csv_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
-  return read_csv(in);
+  auto rows = read_csv(in);
+  XFL_LOG(debug) << "csv file read" << obs::kv("path", path)
+                 << obs::kv("rows", rows.size());
+  return rows;
 }
 
 std::string csv_escape(const std::string& field) {

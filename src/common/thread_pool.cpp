@@ -3,7 +3,25 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace xfl {
+
+namespace {
+/// Pool-wide observability: executed-task count, instantaneous/max queue
+/// depth, and queue-wait latency. Resolved once; writes are lock-free.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::counter("threadpool.tasks");
+  obs::Gauge& queue_depth = obs::gauge("threadpool.queue_depth");
+  obs::Histogram& wait_us = obs::histogram("threadpool.task_wait_us");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,16 +43,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  auto& metrics = pool_metrics();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      metrics.queue_depth.set(static_cast<double>(tasks_.size()));
     }
-    task();
+    metrics.tasks.add(1);
+    metrics.wait_us.record(
+        static_cast<double>(obs::monotonic_us() - task.enqueue_us));
+    task.fn();
   }
 }
 
@@ -71,8 +94,11 @@ void ThreadPool::parallel_for(std::size_t count,
   };
 
   {
+    const std::uint64_t enqueue_us = obs::monotonic_us();
     std::lock_guard lock(mutex_);
-    for (std::size_t s = 0; s < shards; ++s) tasks_.push(shard_body);
+    for (std::size_t s = 0; s < shards; ++s)
+      tasks_.push({shard_body, enqueue_us});
+    pool_metrics().queue_depth.set(static_cast<double>(tasks_.size()));
   }
   cv_.notify_all();
 

@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -44,12 +45,19 @@ class ThreadPool {
                            std::size_t min_block = 1);
 
  private:
+  /// A queued task plus its enqueue timestamp, so the pool can report
+  /// queue-wait latency (threadpool.task_wait_us) per executed task.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_us = 0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   bool stopping_ = false;
 };
 

@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+
 namespace xfl::core {
 
 AnalysisContext analyze_log(logs::LogStore log, int contention_threads) {
+  XFL_SPAN("core.analyze_log");
   AnalysisContext context;
   context.log = std::move(log);
+  XFL_LOG(debug) << "analyzing log" << obs::kv("records", context.log.size())
+                 << obs::kv("threads", contention_threads);
   context.contention =
       features::compute_contention(context.log, contention_threads);
   context.capabilities =

@@ -9,8 +9,31 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "features/dataset.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xfl::core {
+
+namespace {
+/// Predictor-level observability: which model class serves each request
+/// (dedicated edge model vs. global fallback) and whether the residual
+/// interval came from real calibration data or the 1.0 defaults.
+struct PredictorMetrics {
+  obs::Counter& fits = obs::counter("predictor.fit.count");
+  obs::Counter& edge_models = obs::counter("predictor.fit.edge_models");
+  obs::Counter& calibrated = obs::counter("predictor.fit.calibrated");
+  obs::Counter& uncalibrated = obs::counter("predictor.fit.uncalibrated");
+  obs::Counter& edge_hits = obs::counter("predictor.predict.edge_hits");
+  obs::Counter& global_fallbacks =
+      obs::counter("predictor.predict.global_fallbacks");
+};
+
+PredictorMetrics& predictor_metrics() {
+  static PredictorMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 TransferPredictor::TransferPredictor() : TransferPredictor(Options{}) {}
 
@@ -33,11 +56,15 @@ void TransferPredictor::calibrate_interval(Model& model, const ml::Matrix& x,
   if (ratios.size() >= 10) {
     model.ratio_p10 = percentile(ratios, 10.0);
     model.ratio_p90 = percentile(ratios, 90.0);
+    predictor_metrics().calibrated.add(1);
+  } else {
+    predictor_metrics().uncalibrated.add(1);
   }
 }
 
 void TransferPredictor::fit(const logs::LogStore& log) {
   XFL_EXPECTS(!log.empty());
+  XFL_SPAN("predictor.fit");
   edge_models_.clear();
 
   AnalysisContext context = analyze_log(log);
@@ -83,6 +110,13 @@ void TransferPredictor::fit(const logs::LogStore& log) {
   calibrate_interval(global_model_, x, global_dataset.y);
 
   fitted_ = true;
+  auto& metrics = predictor_metrics();
+  metrics.fits.add(1);
+  metrics.edge_models.add(edge_models_.size());
+  XFL_LOG(info) << "predictor fit complete"
+                << obs::kv("records", log.size())
+                << obs::kv("edge_models", edge_models_.size())
+                << obs::kv("global_rows", global_dataset.rows());
 }
 
 bool TransferPredictor::has_edge_model(const logs::EdgeKey& edge) const {
@@ -132,8 +166,11 @@ double TransferPredictor::predict_rate_mbps(
     const features::ContentionFeatures& expected_load) const {
   XFL_EXPECTS(fitted_);
   XFL_EXPECTS(transfer.bytes >= 0.0 && transfer.files >= 1);
+  XFL_SPAN("predictor.predict");
   const logs::EdgeKey edge{transfer.src, transfer.dst};
   const bool dedicated = has_edge_model(edge);
+  auto& metrics = predictor_metrics();
+  (dedicated ? metrics.edge_hits : metrics.global_fallbacks).add(1);
   const Model& model = model_for(edge);
   auto row = feature_vector(transfer, expected_load, !dedicated);
 
@@ -151,6 +188,7 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
   XFL_EXPECTS(fitted_);
   XFL_EXPECTS(expected_loads.empty() ||
               expected_loads.size() == transfers.size());
+  XFL_SPAN("predictor.predict_batch");
   std::vector<double> rates(transfers.size());
   if (transfers.empty()) return rates;
   static const features::ContentionFeatures kIdle{};
@@ -167,6 +205,9 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
   }
   for (const auto& [model, indices] : groups) {
     const bool dedicated = model != &global_model_;
+    auto& metrics = predictor_metrics();
+    (dedicated ? metrics.edge_hits : metrics.global_fallbacks)
+        .add(indices.size());
     const auto& means = model->scaler.means();
     const auto& sigmas = model->scaler.sigmas();
     ml::Matrix x(indices.size(), means.size());

@@ -6,10 +6,26 @@
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xfl::features {
 
 namespace {
+
+/// Sweep-level observability: one span and a handful of adds per call,
+/// nothing inside the per-record interval sweep itself.
+struct SweepMetrics {
+  obs::Counter& sweeps = obs::counter("contention.sweeps");
+  obs::Counter& records = obs::counter("contention.records");
+  obs::Histogram& sweep_us = obs::histogram("contention.sweep_us");
+};
+
+SweepMetrics& sweep_metrics() {
+  static SweepMetrics metrics;
+  return metrics;
+}
 
 /// Overlap time O(i, k) of two records (Eq. 2's helper).
 double overlap_s(const logs::TransferRecord& a, const logs::TransferRecord& b) {
@@ -114,6 +130,9 @@ void sweep_endpoint(const std::vector<logs::TransferRecord>& records,
 std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log,
                                                    int threads) {
   XFL_EXPECTS(threads >= 0);
+  XFL_SPAN("features.contention.sweep");
+  auto& metrics = sweep_metrics();
+  const std::uint64_t start_us = obs::monotonic_us();
   std::vector<ContentionFeatures> features(log.size());
   const auto& records = log.records();
 
@@ -152,6 +171,15 @@ std::vector<ContentionFeatures> compute_contention(const logs::LogStore& log,
   for (std::size_t e = 0; e < endpoints.size(); ++e)
     for (std::size_t pos = 0; pos < indices[e].size(); ++pos)
       add_features(features[indices[e][pos]], locals[e][pos]);
+
+  const std::uint64_t elapsed_us = obs::monotonic_us() - start_us;
+  metrics.sweeps.add(1);
+  metrics.records.add(records.size());
+  metrics.sweep_us.record(static_cast<double>(elapsed_us));
+  XFL_LOG(debug) << "contention sweep complete"
+                 << obs::kv("records", records.size())
+                 << obs::kv("endpoints", endpoints.size())
+                 << obs::kv("elapsed_us", elapsed_us);
   return features;
 }
 

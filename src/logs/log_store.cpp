@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/csv.hpp"
+#include "obs/log.hpp"
 
 namespace xfl::logs {
 
@@ -136,7 +137,10 @@ void LogStore::write_csv(std::ostream& out) const {
 
 LogStore LogStore::read_csv(std::istream& in) {
   const auto rows = xfl::read_csv(in);
-  if (rows.empty()) return {};
+  if (rows.empty()) {
+    XFL_LOG(debug) << "log csv empty";
+    return {};
+  }
   LogStore store;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     const auto& row = rows[i];
@@ -161,6 +165,8 @@ LogStore LogStore::read_csv(std::istream& in) {
                                   : endpoint::EndpointType::kServer;
     store.append(std::move(r));
   }
+  XFL_LOG(debug) << "log csv loaded" << obs::kv("records", store.size())
+                 << obs::kv("edges", store.edges_by_usage().size());
   return store;
 }
 

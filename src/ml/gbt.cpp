@@ -15,8 +15,30 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/gbt_flat.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xfl::ml {
+
+namespace {
+/// Training observability. Per-tree timings go to a histogram (and a span
+/// per tree when tracing), so a slow fit decomposes into binning vs tree
+/// growth without a profiler.
+struct FitMetrics {
+  obs::Counter& fits = obs::counter("gbt.fit.count");
+  obs::Counter& rows = obs::counter("gbt.fit.rows");
+  obs::Counter& trees = obs::counter("gbt.fit.trees");
+  obs::Gauge& bins = obs::gauge("gbt.fit.bins");
+  obs::Histogram& bin_us = obs::histogram("gbt.fit.bin_us");
+  obs::Histogram& tree_us = obs::histogram("gbt.fit.tree_us");
+};
+
+FitMetrics& fit_metrics() {
+  static FitMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 GradientBoostedTrees::GradientBoostedTrees(GbtConfig config)
     : config_(config) {
@@ -435,6 +457,9 @@ GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
 void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   XFL_EXPECTS(x.rows() == y.size());
   XFL_EXPECTS(x.rows() >= 2 && x.cols() >= 1);
+  XFL_SPAN("gbt.fit");
+  auto& metrics = fit_metrics();
+  const std::uint64_t fit_start_us = obs::monotonic_us();
   const std::size_t n = x.rows();
   feature_count_ = x.cols();
   trees_.clear();
@@ -451,7 +476,17 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   // Columns are independent, so edge derivation + code assignment fans out
   // per column.
   std::vector<std::vector<std::uint16_t>> binned;
-  build_bins(x, binned, pool);
+  {
+    XFL_SPAN("gbt.fit.bin");
+    const std::uint64_t bin_start_us = obs::monotonic_us();
+    build_bins(x, binned, pool);
+    metrics.bin_us.record(
+        static_cast<double>(obs::monotonic_us() - bin_start_us));
+  }
+  std::size_t total_bins = 0;
+  for (const auto& edges : bin_edges_)
+    if (!edges.empty()) total_bins += edges.size() + 1;
+  metrics.bins.set(static_cast<double>(total_bins));
 
   base_score_ = mean(y);
   std::vector<double> predictions(n, base_score_);
@@ -478,6 +513,8 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   FitScratch scratch;
   std::vector<std::int32_t> leaf_of(n, 0);
   for (int t = 0; t < config_.trees; ++t) {
+    XFL_SPAN("gbt.fit.tree");
+    const std::uint64_t tree_start_us = obs::monotonic_us();
     sampled.clear();
     unsampled.clear();
     if (config_.subsample < 1.0) {
@@ -518,9 +555,20 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
       grad[i] = predictions[i] - y[i];
     }
     trees_.push_back(std::move(tree));
+    metrics.tree_us.record(
+        static_cast<double>(obs::monotonic_us() - tree_start_us));
   }
   compile_flat();
   fitted_ = true;
+  metrics.fits.add(1);
+  metrics.rows.add(n);
+  metrics.trees.add(static_cast<std::uint64_t>(config_.trees));
+  XFL_LOG(debug) << "gbt fit complete"
+                 << obs::kv("rows", n) << obs::kv("cols", feature_count_)
+                 << obs::kv("trees", config_.trees)
+                 << obs::kv("bins", total_bins)
+                 << obs::kv("threads", workers)
+                 << obs::kv("elapsed_us", obs::monotonic_us() - fit_start_us);
 }
 
 void GradientBoostedTrees::compile_flat() {

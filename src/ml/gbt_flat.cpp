@@ -4,8 +4,31 @@
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace xfl::ml {
+
+namespace {
+/// Serving observability. Instrumentation sits on the batch entry point
+/// and the per-row entry point — never inside the 16-row lockstep kernel —
+/// so a batch pays one clock pair and a handful of relaxed adds total.
+constexpr double kBatchRowBounds[] = {1,    16,   64,    256,
+                                      1024, 4096, 16384, 65536};
+
+struct ServeMetrics {
+  obs::Counter& rows = obs::counter("gbt.predict.rows");
+  obs::Counter& batches = obs::counter("gbt.predict.batches");
+  obs::Histogram& batch_rows =
+      obs::histogram("gbt.predict.batch_rows", kBatchRowBounds);
+  obs::Histogram& batch_us = obs::histogram("gbt.predict.batch_us");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+}  // namespace
 
 FlatEnsemble::Builder::Builder(double base_score, double scale)
     : base_score_(base_score), scale_(scale) {}
@@ -75,6 +98,7 @@ FlatEnsemble FlatEnsemble::Builder::build() && {
 }
 
 double FlatEnsemble::predict_one(std::span<const double> features) const {
+  serve_metrics().rows.add(1);
   const std::int32_t* feat = feature_.data();
   const double* val = value_.data();
   const std::int32_t* left = left_.data();
@@ -148,6 +172,9 @@ void FlatEnsemble::predict_batch(const Matrix& x, std::span<double> out,
                                  ThreadPool* pool) const {
   XFL_EXPECTS(out.size() == x.rows());
   if (x.rows() == 0) return;
+  XFL_SPAN("gbt.predict.batch");
+  auto& metrics = serve_metrics();
+  const std::uint64_t start_us = obs::monotonic_us();
   // Blocks of at least 128 rows: each index owns its output slot, so the
   // block boundaries (and hence the worker count) cannot change results.
   if (pool != nullptr && pool->thread_count() > 1 && x.rows() >= 256) {
@@ -160,6 +187,10 @@ void FlatEnsemble::predict_batch(const Matrix& x, std::span<double> out,
   } else {
     predict_rows(x, 0, x.rows(), out.data());
   }
+  metrics.rows.add(x.rows());
+  metrics.batches.add(1);
+  metrics.batch_rows.record(static_cast<double>(x.rows()));
+  metrics.batch_us.record(static_cast<double>(obs::monotonic_us() - start_us));
 }
 
 }  // namespace xfl::ml

@@ -1,13 +1,13 @@
 #include "sim/simulator.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/contracts.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/disk.hpp"
 
 namespace xfl::sim {
@@ -15,6 +15,20 @@ namespace xfl::sim {
 namespace {
 constexpr double kMinCapBps = 1.0;       // No live flow may be starved to 0.
 constexpr double kMinDurationS = 1.0e-3; // Log floor for instant transfers.
+
+/// Run-level observability: totals are added once per run(), never inside
+/// the event loop; the loop itself pays only the periodic progress check.
+struct SimMetrics {
+  obs::Counter& runs = obs::counter("sim.runs");
+  obs::Counter& events = obs::counter("sim.events");
+  obs::Counter& transfers = obs::counter("sim.transfers");
+  obs::Histogram& run_us = obs::histogram("sim.run_us");
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics metrics;
+  return metrics;
+}
 }  // namespace
 
 Simulator::Simulator(const net::SiteCatalog& sites,
@@ -495,8 +509,8 @@ void Simulator::handle_event(const Event& event, double now) {
 SimResult Simulator::run() {
   XFL_EXPECTS(!ran_);
   ran_ = true;
-  // Optional progress tracing for long simulations: set XFL_SIM_DEBUG=1.
-  const bool trace = std::getenv("XFL_SIM_DEBUG") != nullptr;
+  XFL_SPAN("sim.run");
+  const std::uint64_t start_us = obs::monotonic_us();
   std::uint64_t iterations = 0;
 
   for (std::size_t i = 0; i < transfers_.size(); ++i)
@@ -524,12 +538,17 @@ SimResult Simulator::run() {
 
   while (completed_ < transfers_.size()) {
     ++result_.stats.events;
-    if (trace && ++iterations % 100000 == 0)
-      std::fprintf(stderr,
-                   "[xfl_sim] events=%lluk t=%.0fs done=%zu/%zu live=%zu running=%zu queue=%zu\n",
-                   static_cast<unsigned long long>(iterations / 1000), now,
-                   completed_, transfers_.size(), live_.size(),
-                   running_.size(), queue_.size());
+    // Periodic progress for long simulations; XFL_LOG is one relaxed load
+    // when debug logging is off, and the modulus gates the formatting.
+    if (++iterations % 100000 == 0)
+      XFL_LOG(debug) << "sim progress"
+                     << obs::kv("events_k", iterations / 1000)
+                     << obs::kv("t_s", now)
+                     << obs::kv("done", completed_)
+                     << obs::kv("total", transfers_.size())
+                     << obs::kv("live", live_.size())
+                     << obs::kv("running", running_.size())
+                     << obs::kv("queue", queue_.size());
     const auto completion = next_completion(now);
     const bool queue_has_event = !queue_.empty();
     XFL_ENSURES(completion.has_value() || queue_has_event);
@@ -551,6 +570,18 @@ SimResult Simulator::run() {
       handle_event(event, now);
     }
   }
+
+  const std::uint64_t elapsed_us = obs::monotonic_us() - start_us;
+  auto& metrics = sim_metrics();
+  metrics.runs.add(1);
+  metrics.events.add(result_.stats.events);
+  metrics.transfers.add(transfers_.size());
+  metrics.run_us.record(static_cast<double>(elapsed_us));
+  XFL_LOG(debug) << "sim run complete"
+                 << obs::kv("transfers", transfers_.size())
+                 << obs::kv("events", result_.stats.events)
+                 << obs::kv("sim_time_s", now)
+                 << obs::kv("elapsed_us", elapsed_us);
   return std::move(result_);
 }
 

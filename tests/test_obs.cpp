@@ -1,0 +1,352 @@
+// Observability-layer contracts: exact counter totals under concurrent
+// writers, histogram bucketing, span nesting, trace-JSON well-formedness,
+// and the logger's sink formats. The concurrency cases are the ones that
+// matter under -DXFL_SANITIZE=thread (tier2-obs label).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using xfl::obs::Registry;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator: enough structure checking to guarantee the
+// emitted documents parse (balanced containers outside strings, legal
+// escapes, no trailing garbage). Not a full parser by design.
+bool json_well_formed(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  bool saw_value = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        if (std::string("\"\\/bfnrtu").find(c) == std::string::npos)
+          return false;
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Unescaped control character.
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; saw_value = true; break;
+      case '{': case '[': stack.push_back(c); saw_value = true; break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty() && saw_value;
+}
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(json_well_formed(R"({"a":[1,2,{"b":"c\n"}]})"));
+  EXPECT_FALSE(json_well_formed(R"({"a":1)"));
+  EXPECT_FALSE(json_well_formed(R"({"a":"unterminated})"));
+  EXPECT_FALSE(json_well_formed(R"(["bad\q"])"));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(Metrics, CounterExactUnderConcurrentWriters) {
+  auto& counter = xfl::obs::counter("test.obs.concurrent");
+  Registry::instance().reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, CounterSameNameSameInstance) {
+  auto& a = xfl::obs::counter("test.obs.same");
+  auto& b = xfl::obs::counter("test.obs.same");
+  EXPECT_EQ(&a, &b);
+  Registry::instance().reset();
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(Metrics, GaugeTracksValueAndMax) {
+  auto& gauge = xfl::obs::gauge("test.obs.gauge");
+  Registry::instance().reset();
+  gauge.set(5.0);
+  gauge.set(11.0);
+  gauge.set(2.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.0);
+  EXPECT_DOUBLE_EQ(gauge.max(), 11.0);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  static constexpr double kBounds[] = {1.0, 10.0, 100.0};
+  auto& histogram = xfl::obs::histogram("test.obs.hist", kBounds);
+  Registry::instance().reset();
+  histogram.record(0.5);    // <= 1
+  histogram.record(1.0);    // <= 1 (bound inclusive)
+  histogram.record(7.0);    // <= 10
+  histogram.record(1000.0); // overflow
+  const auto snapshot = histogram.snapshot();
+  ASSERT_EQ(snapshot.upper_bounds.size(), 3u);
+  ASSERT_EQ(snapshot.counts.size(), 4u);
+  EXPECT_EQ(snapshot.counts[0], 2u);
+  EXPECT_EQ(snapshot.counts[1], 1u);
+  EXPECT_EQ(snapshot.counts[2], 0u);
+  EXPECT_EQ(snapshot.counts[3], 1u);
+  EXPECT_EQ(snapshot.count, 4u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 1008.5);
+}
+
+TEST(Metrics, HistogramExactUnderConcurrentWriters) {
+  static constexpr double kBounds[] = {10.0, 100.0};
+  auto& histogram = xfl::obs::histogram("test.obs.hist_mt", kBounds);
+  Registry::instance().reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&histogram] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        histogram.record(static_cast<double>(i % 200));
+    });
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(Metrics, DisabledSwitchDropsWrites) {
+  auto& counter = xfl::obs::counter("test.obs.disabled");
+  Registry::instance().reset();
+  xfl::obs::set_metrics_enabled(false);
+  counter.add(100);
+  xfl::obs::set_metrics_enabled(true);
+  counter.add(1);
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST(Metrics, RegistryJsonWellFormed) {
+  Registry::instance().reset();
+  xfl::obs::counter("test.obs.json_counter").add(42);
+  xfl::obs::gauge("test.obs.json_gauge").set(3.5);
+  xfl::obs::histogram("test.obs.json_hist").record(55.0);
+  const std::string json = Registry::instance().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"test.obs.json_counter\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"+inf\""), std::string::npos);
+}
+
+TEST(Metrics, CountersCompactListsNonzero) {
+  Registry::instance().reset();
+  xfl::obs::counter("test.obs.compact").add(9);
+  const std::string compact = Registry::instance().counters_compact();
+  EXPECT_NE(compact.find("test.obs.compact=9"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+/// Serialises the trace tests (tracing state is process-global) and
+/// restores the disabled default afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    xfl::obs::clear_trace();
+    xfl::obs::set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    xfl::obs::set_tracing_enabled(false);
+    xfl::obs::clear_trace();
+  }
+};
+
+TEST_F(TraceTest, SpansNestWithDepths) {
+  {
+    XFL_SPAN("outer");
+    {
+      XFL_SPAN("inner");
+      { XFL_SPAN("innermost"); }
+    }
+    { XFL_SPAN("inner2"); }
+  }
+  const auto events = xfl::obs::trace_events();
+  ASSERT_EQ(events.size(), 4u);
+  int depth_of_outer = -1, depth_of_inner = -1, depth_of_innermost = -1;
+  for (const auto& event : events) {
+    const std::string name = event.name;
+    if (name == "outer") depth_of_outer = event.depth;
+    if (name == "inner") depth_of_inner = event.depth;
+    if (name == "innermost") depth_of_innermost = event.depth;
+  }
+  EXPECT_EQ(depth_of_outer, 0);
+  EXPECT_EQ(depth_of_inner, 1);
+  EXPECT_EQ(depth_of_innermost, 2);
+  // Containment: outer's interval covers inner's.
+  const auto find = [&](const std::string& name) {
+    for (const auto& event : events)
+      if (name == event.name) return event;
+    return xfl::obs::TraceEvent{};
+  };
+  const auto outer = find("outer");
+  const auto inner = find("inner");
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  xfl::obs::set_tracing_enabled(false);
+  { XFL_SPAN("ghost"); }
+  EXPECT_TRUE(xfl::obs::trace_events().empty());
+}
+
+TEST_F(TraceTest, PerThreadBuffersSurviveThreadExit) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([] { XFL_SPAN("worker"); });
+  for (auto& thread : threads) thread.join();
+  const auto events = xfl::obs::trace_events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads));
+  // Distinct threads get distinct tids.
+  std::vector<std::uint32_t> tids;
+  for (const auto& event : events) tids.push_back(event.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST_F(TraceTest, ChromeTraceJsonWellFormed) {
+  {
+    XFL_SPAN("json.outer");
+    { XFL_SPAN("json.inner"); }
+  }
+  std::ostringstream out;
+  xfl::obs::write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"json.inner\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Logger.
+
+/// Captures log output through a tmpfile sink, restoring the default
+/// configuration afterwards.
+class LogCapture {
+ public:
+  explicit LogCapture(xfl::obs::LogLevel level, bool json) {
+    file_ = std::tmpfile();
+    xfl::obs::configure_logging({level, json, file_});
+  }
+  ~LogCapture() {
+    xfl::obs::configure_logging({});
+    std::fclose(file_);
+  }
+  std::string text() const {
+    std::fflush(file_);
+    std::string out;
+    std::rewind(file_);
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file_)) > 0)
+      out.append(buffer, n);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+TEST(Log, TextFormatCarriesMessageAndFields) {
+  LogCapture capture(xfl::obs::LogLevel::kDebug, /*json=*/false);
+  XFL_LOG(info) << "hello obs" << xfl::obs::kv("rows", 42)
+                << xfl::obs::kv("name", std::string("edge"));
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("[info]"), std::string::npos);
+  EXPECT_NE(text.find("hello obs"), std::string::npos);
+  EXPECT_NE(text.find("rows=42"), std::string::npos);
+  EXPECT_NE(text.find("name=edge"), std::string::npos);
+}
+
+TEST(Log, RecordsBelowRuntimeLevelAreDropped) {
+  LogCapture capture(xfl::obs::LogLevel::kWarn, /*json=*/false);
+  XFL_LOG(info) << "invisible";
+  XFL_LOG(warn) << "visible";
+  const std::string text = capture.text();
+  EXPECT_EQ(text.find("invisible"), std::string::npos);
+  EXPECT_NE(text.find("visible"), std::string::npos);
+}
+
+TEST(Log, JsonLinesAreWellFormed) {
+  LogCapture capture(xfl::obs::LogLevel::kDebug, /*json=*/true);
+  XFL_LOG(warn) << "quote\" and \\slash" << xfl::obs::kv("n", 7)
+                << xfl::obs::kv("flag", true);
+  const std::string text = capture.text();
+  ASSERT_FALSE(text.empty());
+  EXPECT_TRUE(json_well_formed(text)) << text;
+  EXPECT_NE(text.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(text.find("\"n\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"flag\":true"), std::string::npos);
+}
+
+TEST(Log, ConcurrentWritersProduceIntactLines) {
+  LogCapture capture(xfl::obs::LogLevel::kDebug, /*json=*/false);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        XFL_LOG(info) << "line" << xfl::obs::kv("thread", t)
+                      << xfl::obs::kv("i", i);
+    });
+  for (auto& thread : threads) thread.join();
+  const std::string text = capture.text();
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lines;
+    // Each sink write is one whole record: every line carries the marker.
+    EXPECT_NE(line.find("line"), std::string::npos) << line;
+  }
+  EXPECT_EQ(lines, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+TEST(Log, ParseLevelRoundTrip) {
+  xfl::obs::LogLevel level = xfl::obs::LogLevel::kOff;
+  EXPECT_TRUE(xfl::obs::parse_log_level("debug", level));
+  EXPECT_EQ(level, xfl::obs::LogLevel::kDebug);
+  EXPECT_TRUE(xfl::obs::parse_log_level("off", level));
+  EXPECT_EQ(level, xfl::obs::LogLevel::kOff);
+  EXPECT_FALSE(xfl::obs::parse_log_level("loud", level));
+}
+
+}  // namespace

@@ -17,6 +17,14 @@
 //                       served by the flattened batch-inference engine)
 //   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
 //
+// Observability options, accepted by every subcommand (after the name):
+//   --log-level trace|debug|info|warn|error|off   (default info)
+//   --log-json                 JSON-lines log records instead of text
+//   --metrics-out <file>       write the metrics registry as JSON at exit
+//   --trace-out <file>         enable stage tracing; write Chrome
+//                              trace_event JSON (about:tracing / Perfetto)
+//   --print-metrics            dump the metrics registry as text at exit
+//
 // Every subcommand works on the Globus-schema CSV produced by `simulate`
 // or exported from a real transfer service.
 #include <algorithm>
@@ -39,6 +47,9 @@
 #include "core/predictor.hpp"
 #include "features/dataset.hpp"
 #include "logs/anonymize.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -81,6 +92,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: xferlearn <simulate|analyze|train|evaluate|predict|"
                "predict-batch|export-dataset> [options]\n"
+               "observability (any command): --log-level <level> --log-json "
+               "--metrics-out <file> --trace-out <file> --print-metrics\n"
                "run `xferlearn <command>` with no options for details in "
                "the header of tools/xferlearn.cpp\n");
   return 2;
@@ -424,23 +437,80 @@ int cmd_export_dataset(const ArgList& args) {
   return 0;
 }
 
+int run_command(const std::string& command, const ArgList& args) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "evaluate") return cmd_evaluate(args);
+  if (command == "predict") return cmd_predict(args);
+  if (command == "predict-batch") return cmd_predict_batch(args);
+  if (command == "export-dataset") return cmd_export_dataset(args);
+  return usage();
+}
+
+/// Install logging/tracing from the observability flags. Returns false on
+/// an unparsable --log-level.
+bool setup_observability(const ArgList& args) {
+  obs::LogConfig config;
+  if (const auto level = args.value("--log-level")) {
+    if (!obs::parse_log_level(*level, config.min_level)) {
+      std::fprintf(stderr,
+                   "error: bad --log-level '%s' (want trace|debug|info|warn|"
+                   "error|off)\n",
+                   level->c_str());
+      return false;
+    }
+  }
+  config.json = args.flag("--log-json");
+  obs::configure_logging(config);
+  if (args.value("--trace-out")) obs::set_tracing_enabled(true);
+  return true;
+}
+
+/// End-of-run metrics/trace dump. Runs even when the command failed — a
+/// failing run is exactly when the counters are interesting.
+int flush_observability(const ArgList& args, int rc) {
+  if (const auto path = args.value("--metrics-out")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      obs::Registry::instance().write_json(out);
+      out << '\n';
+    }
+  }
+  if (const auto path = args.value("--trace-out")) {
+    std::ofstream out(*path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path->c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      obs::write_chrome_trace(out);
+    }
+  }
+  if (args.flag("--print-metrics")) {
+    std::printf("-- metrics --\n");
+    obs::Registry::instance().write_text(std::cout);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const ArgList args(argc - 2, argv + 2);
+  if (!setup_observability(args)) return 2;
+  int rc;
   try {
-    if (command == "simulate") return cmd_simulate(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "predict") return cmd_predict(args);
-    if (command == "predict-batch") return cmd_predict_batch(args);
-    if (command == "export-dataset") return cmd_export_dataset(args);
+    rc = run_command(command, args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
-    return 1;
+    XFL_LOG(error) << "command failed" << obs::kv("command", command)
+                   << obs::kv("what", error.what());
+    rc = 1;
   }
-  return usage();
+  return flush_observability(args, rc);
 }
