@@ -1,12 +1,17 @@
 #include "core/predictor.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "features/dataset.hpp"
 #include "obs/log.hpp"
@@ -184,7 +189,8 @@ double TransferPredictor::predict_rate_mbps(
 
 std::vector<double> TransferPredictor::predict_rates_mbps(
     std::span<const PlannedTransfer> transfers,
-    std::span<const features::ContentionFeatures> expected_loads) const {
+    std::span<const features::ContentionFeatures> expected_loads,
+    ThreadPool* pool) const {
   XFL_EXPECTS(fitted_);
   XFL_EXPECTS(expected_loads.empty() ||
               expected_loads.size() == transfers.size());
@@ -221,7 +227,7 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
         x.at(k, c) = (row[c] - means[c]) / sigmas[c];
     }
     std::vector<double> predicted(indices.size());
-    model->boosted->predict_batch(x, predicted);
+    model->boosted->predict_batch(x, predicted, pool);
     for (std::size_t k = 0; k < indices.size(); ++k)
       rates[indices[k]] = std::max(predicted[k], 0.01);
   }
@@ -399,6 +405,42 @@ TransferPredictor TransferPredictor::load(std::istream& in) {
     throw std::runtime_error("TransferPredictor::load: truncated model");
   predictor.fitted_ = true;
   return predictor;
+}
+
+void TransferPredictor::save_file(const std::string& path) const {
+  XFL_EXPECTS(fitted_);
+  // Write-to-temp + atomic rename: readers see the old complete file or
+  // the new complete file, and a failed save leaves any existing model
+  // untouched. The pid suffix keeps concurrent writers from clobbering
+  // each other's temp files.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("TransferPredictor::save_file: cannot write " +
+                               tmp);
+    save(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error(
+          "TransferPredictor::save_file: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("TransferPredictor::save_file: cannot rename " +
+                             tmp + " to " + path);
+  }
+}
+
+TransferPredictor TransferPredictor::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("TransferPredictor::load_file: cannot open " +
+                             path);
+  return load(in);
 }
 
 const features::EndpointCapability* TransferPredictor::capability(

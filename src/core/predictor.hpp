@@ -22,6 +22,10 @@
 #include "ml/gbt.hpp"
 #include "ml/scaler.hpp"
 
+namespace xfl {
+class ThreadPool;
+}
+
 namespace xfl::core {
 
 /// A transfer about to be submitted.
@@ -89,10 +93,14 @@ class TransferPredictor {
   /// standardised into one matrix per group, and pushed through the
   /// flattened batch-inference engine — bit-identical to calling
   /// predict_rate_mbps per transfer, in any grouping. `expected_loads` is
-  /// either empty (all idle) or parallel to `transfers`. Requires fit().
+  /// either empty (all idle) or parallel to `transfers`. `pool` lets a
+  /// caller that already owns workers (e.g. the serve micro-batcher) fan
+  /// the flat kernel across them; results are bit-identical with or
+  /// without it. Requires fit().
   std::vector<double> predict_rates_mbps(
       std::span<const PlannedTransfer> transfers,
-      std::span<const features::ContentionFeatures> expected_loads = {}) const;
+      std::span<const features::ContentionFeatures> expected_loads = {},
+      ThreadPool* pool = nullptr) const;
 
   /// Point prediction plus an empirical 10th-90th percentile band.
   /// Requires fit().
@@ -119,6 +127,14 @@ class TransferPredictor {
   /// predictor that answers identically. Requires fit().
   void save(std::ostream& out) const;
   static TransferPredictor load(std::istream& in);
+
+  /// File-based persistence with crash-safe replacement: save_file writes
+  /// to `path + ".tmp.<pid>"` and atomically rename(2)s it into place, so
+  /// a concurrent reader (e.g. the serve hot-reload watcher) sees either
+  /// the old complete file or the new complete file, never a torn write.
+  /// Both throw std::runtime_error on I/O failure.
+  void save_file(const std::string& path) const;
+  static TransferPredictor load_file(const std::string& path);
 
  private:
   /// One serving model (per-edge or global). Its GradientBoostedTrees

@@ -1,0 +1,190 @@
+#include "serve/batcher.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/protocol.hpp"
+
+namespace xfl::serve {
+
+namespace {
+
+struct BatcherMetrics {
+  obs::Counter& batches = obs::counter("serve.batch.count");
+  obs::Counter& rows = obs::counter("serve.batch.rows");
+  obs::Counter& timeouts = obs::counter("serve.request.timeout");
+  obs::Counter& failures = obs::counter("serve.batch.failures");
+  obs::Gauge& depth = obs::gauge("serve.queue.depth");
+  obs::Histogram& latency =
+      obs::histogram("serve.batch.latency_us", obs::default_latency_bounds_us());
+  obs::Histogram& size = obs::histogram(
+      "serve.batch.size",
+      std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256});
+};
+
+BatcherMetrics& batcher_metrics() {
+  static BatcherMetrics metrics;
+  return metrics;
+}
+
+void deliver(const BatchItem& item, const PredictOutcome& outcome) {
+  if (!item.done) return;
+  try {
+    item.done(outcome);
+  } catch (const std::exception& error) {
+    // A callback failure (e.g. a dead socket) must not take the batch
+    // worker down with it.
+    XFL_LOG(warn) << "serve batch callback threw"
+                  << obs::kv("what", error.what());
+  }
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(ModelHost& host, Options options)
+    : host_(host), options_(options) {
+  XFL_EXPECTS(options_.max_batch >= 1 && options_.queue_capacity >= 1);
+  if (options_.predict_threads > 1)
+    pool_ = std::make_unique<ThreadPool>(options_.predict_threads);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+MicroBatcher::~MicroBatcher() { drain_and_stop(); }
+
+MicroBatcher::Admission MicroBatcher::submit(BatchItem item) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return Admission::kShuttingDown;
+    if (queue_.size() >= options_.queue_capacity)
+      return Admission::kOverloaded;
+    queue_.push_back(std::move(item));
+    batcher_metrics().depth.set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+  return Admission::kAccepted;
+}
+
+void MicroBatcher::pause() {
+  std::lock_guard lock(mutex_);
+  paused_ = true;
+}
+
+void MicroBatcher::resume() {
+  {
+    std::lock_guard lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void MicroBatcher::drain_and_stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    paused_ = false;  // Drain must terminate even if someone paused us.
+  }
+  cv_.notify_all();
+  // A second mutex serialises concurrent stop callers around the join.
+  std::lock_guard stop_lock(stop_mutex_);
+  if (worker_.joinable()) worker_.join();
+}
+
+std::size_t MicroBatcher::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+void MicroBatcher::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::vector<BatchItem> batch;
+    const std::size_t take = std::min(options_.max_batch, queue_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    batcher_metrics().depth.set(static_cast<double>(queue_.size()));
+    lock.unlock();
+    process(batch);
+    lock.lock();
+  }
+}
+
+void MicroBatcher::process(std::vector<BatchItem>& batch) {
+  XFL_SPAN("serve.batch");
+  auto& metrics = batcher_metrics();
+  const std::uint64_t start_us = obs::monotonic_us();
+
+  // Items whose deadline passed while queued time out here — the cost of
+  // predicting them would only push every later request further past its
+  // own deadline.
+  std::vector<const BatchItem*> live;
+  live.reserve(batch.size());
+  for (const auto& item : batch) {
+    if (item.deadline_us != 0 && start_us > item.deadline_us) {
+      PredictOutcome timeout;
+      timeout.error = kErrTimeout;
+      timeout.message = "deadline expired before batch execution";
+      metrics.timeouts.add(1);
+      deliver(item, timeout);
+    } else {
+      live.push_back(&item);
+    }
+  }
+  if (live.empty()) return;
+
+  const ModelHost::Snapshot snapshot = host_.snapshot();
+  std::vector<core::PlannedTransfer> transfers;
+  std::vector<features::ContentionFeatures> loads;
+  transfers.reserve(live.size());
+  loads.reserve(live.size());
+  for (const BatchItem* item : live) {
+    transfers.push_back(item->transfer);
+    loads.push_back(item->load);
+  }
+
+  std::vector<double> rates;
+  try {
+    rates = snapshot.predictor->predict_rates_mbps(transfers, loads,
+                                                   pool_.get());
+  } catch (const std::exception& error) {
+    metrics.failures.add(1);
+    XFL_LOG(error) << "serve batch predict failed"
+                   << obs::kv("rows", live.size())
+                   << obs::kv("what", error.what());
+    PredictOutcome failed;
+    failed.error = kErrInternal;
+    failed.message = error.what();
+    for (const BatchItem* item : live) deliver(*item, failed);
+    return;
+  }
+
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    PredictOutcome outcome;
+    outcome.ok = true;
+    outcome.rate_mbps = rates[i];
+    outcome.edge_model = snapshot.predictor->has_edge_model(
+        {live[i]->transfer.src, live[i]->transfer.dst});
+    outcome.model_version = snapshot.version;
+    deliver(*live[i], outcome);
+  }
+
+  metrics.batches.add(1);
+  metrics.rows.add(live.size());
+  metrics.size.record(static_cast<double>(live.size()));
+  metrics.latency.record(static_cast<double>(obs::monotonic_us() - start_us));
+}
+
+}  // namespace xfl::serve

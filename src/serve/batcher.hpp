@@ -1,0 +1,107 @@
+// Micro-batching queue between connection threads and the predictor.
+// Connection threads submit() individual requests; a single batch worker
+// drains up to max_batch of them at a time and answers the whole batch
+// with one TransferPredictor::predict_rates_mbps call, so the flattened
+// lockstep kernel — built for exactly this serving path — is exercised
+// per batch instead of once per request.
+//
+// Admission control happens at submit(): the queue is bounded, and a
+// full queue (or a draining batcher) is an immediate structured
+// rejection on the caller's thread, never unbounded latency. Each item
+// may carry an absolute deadline; items whose deadline passed while
+// queued are answered with a timeout error instead of being predicted.
+//
+// Completion callbacks run on the batch worker thread with no batcher
+// lock held, so they may submit follow-up work or write to sockets.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
+#include "serve/model_host.hpp"
+
+namespace xfl::serve {
+
+/// Result of one batched prediction, delivered to the item's callback.
+struct PredictOutcome {
+  bool ok = false;
+  double rate_mbps = 0.0;
+  bool edge_model = false;          ///< Dedicated edge model vs. global.
+  std::uint64_t model_version = 0;  ///< ModelHost version that answered.
+  const char* error = nullptr;      ///< Protocol error code when !ok.
+  std::string message;
+};
+
+/// One queued request.
+struct BatchItem {
+  core::PlannedTransfer transfer;
+  features::ContentionFeatures load;
+  /// Absolute obs::monotonic_us() deadline; 0 = none. Checked when the
+  /// batch worker picks the item up.
+  std::uint64_t deadline_us = 0;
+  std::function<void(const PredictOutcome&)> done;
+};
+
+class MicroBatcher {
+ public:
+  struct Options {
+    std::size_t max_batch = 64;        ///< Rows coalesced per predict call.
+    std::size_t queue_capacity = 1024; ///< Admission bound.
+    /// Worker threads for the flat kernel inside a batch: 1 = serial on
+    /// the batch thread, N > 1 = dedicated ThreadPool of N.
+    std::size_t predict_threads = 1;
+  };
+
+  enum class Admission { kAccepted, kOverloaded, kShuttingDown };
+
+  MicroBatcher(ModelHost& host, Options options);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueue one request. kAccepted guarantees `item.done` will be called
+  /// exactly once (possibly with a timeout outcome); the rejections
+  /// guarantee it will never be called, so the caller answers instead.
+  Admission submit(BatchItem item);
+
+  /// Halt batch execution while keeping admission open (queued items wait;
+  /// ops lever and the deterministic overload/deadline test hook).
+  void pause();
+  void resume();
+
+  /// Process everything already admitted, then stop the worker. Further
+  /// submits return kShuttingDown. Clears any pause so drain always
+  /// terminates. Idempotent.
+  void drain_and_stop();
+
+  std::size_t queue_depth() const;
+
+ private:
+  void worker_loop();
+  void process(std::vector<BatchItem>& batch);
+
+  ModelHost& host_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<BatchItem> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::mutex stop_mutex_;  ///< Serialises drain_and_stop() joins.
+  std::thread worker_;
+};
+
+}  // namespace xfl::serve

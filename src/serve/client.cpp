@@ -1,0 +1,159 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/protocol.hpp"
+
+namespace xfl::serve {
+
+PredictionClient::PredictionClient(const std::string& host,
+                                   std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("PredictionClient: socket: ") +
+                             std::strerror(errno));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &address.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("PredictionClient: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&address),
+                sizeof address) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("PredictionClient: connect to " + numeric + ":" +
+                             std::to_string(port) + ": " + what);
+  }
+  const int nodelay = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+}
+
+PredictionClient::~PredictionClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void PredictionClient::send_line(const std::string& line) {
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0)
+      throw std::runtime_error(std::string("PredictionClient: send: ") +
+                               std::strerror(errno));
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string PredictionClient::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0)
+      throw std::runtime_error(
+          "PredictionClient: connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+PredictReply PredictionClient::parse_reply(const std::string& line) {
+  const JsonValue root = parse_json(line);
+  if (!root.is_object())
+    throw std::runtime_error("PredictionClient: reply is not an object");
+  PredictReply reply;
+  if (const JsonValue* id = root.find("id"); id && id->is_string())
+    reply.id = id->string;
+  if (const JsonValue* ok = root.find("ok"); ok && ok->is_bool())
+    reply.ok = ok->boolean;
+  if (const JsonValue* rate = root.find("rate_mbps"); rate && rate->is_number())
+    reply.rate_mbps = rate->number;
+  if (const JsonValue* model = root.find("model"); model && model->is_string())
+    reply.model = model->string;
+  if (const JsonValue* v = root.find("version"); v && v->is_number())
+    reply.model_version = static_cast<std::uint64_t>(v->number);
+  if (const JsonValue* error = root.find("error"); error && error->is_string())
+    reply.error = error->string;
+  if (const JsonValue* msg = root.find("message"); msg && msg->is_string())
+    reply.message = msg->string;
+  return reply;
+}
+
+PredictReply PredictionClient::round_trip(const std::string& line,
+                                          const std::string& id) {
+  send_line(line);
+  // Replies can be reordered by the batcher relative to other traffic on
+  // this connection, so spin until ours appears.
+  for (;;) {
+    const PredictReply reply = parse_reply(read_line());
+    if (reply.id == id) return reply;
+  }
+}
+
+PredictReply PredictionClient::predict(
+    const core::PlannedTransfer& transfer,
+    const features::ContentionFeatures& load, std::uint64_t deadline_ms) {
+  const std::string id = std::to_string(next_id_++);
+  return round_trip(predict_request_line(id, transfer, load, deadline_ms), id);
+}
+
+bool PredictionClient::ping() {
+  const std::string id = std::to_string(next_id_++);
+  std::string line = "{\"cmd\":\"ping\",\"id\":";
+  append_json_string(line, id);
+  line += "}";
+  return round_trip(line, id).ok;
+}
+
+std::uint64_t PredictionClient::reload(const std::string& path) {
+  const std::string id = std::to_string(next_id_++);
+  std::string line = "{\"cmd\":\"reload\",\"id\":";
+  append_json_string(line, id);
+  if (!path.empty()) {
+    line += ",\"path\":";
+    append_json_string(line, path);
+  }
+  line += "}";
+  const PredictReply reply = round_trip(line, id);
+  if (!reply.ok)
+    throw std::runtime_error("PredictionClient: reload failed: " +
+                             reply.message);
+  return reply.model_version;
+}
+
+JsonValue PredictionClient::stats() {
+  const std::string id = std::to_string(next_id_++);
+  std::string line = "{\"cmd\":\"stats\",\"id\":";
+  append_json_string(line, id);
+  line += "}";
+  send_line(line);
+  for (;;) {
+    const JsonValue root = parse_json(read_line());
+    const JsonValue* reply_id = root.find("id");
+    if (reply_id != nullptr && reply_id->is_string() &&
+        reply_id->string == id)
+      return root;
+  }
+}
+
+}  // namespace xfl::serve

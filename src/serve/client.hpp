@@ -1,0 +1,68 @@
+// Blocking client for the prediction server. One TCP connection, one
+// outstanding high-level call at a time; replies are matched on the
+// request id, so a pipelining caller can also drive the connection
+// directly through send_line()/read_line() (the overload and drain tests
+// do, and serve-bench uses the high-level calls from many threads, one
+// client each).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
+#include "serve/json.hpp"
+
+namespace xfl::serve {
+
+/// One server reply, decoded. For admin replies rate_mbps/model are unset.
+struct PredictReply {
+  std::string id;
+  bool ok = false;
+  double rate_mbps = 0.0;
+  std::string model;  ///< "edge" or "global" on success.
+  std::uint64_t model_version = 0;
+  std::string error;  ///< Protocol error code when !ok.
+  std::string message;
+};
+
+class PredictionClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  /// `host` is a dotted IPv4 address or "localhost".
+  PredictionClient(const std::string& host, std::uint16_t port);
+  ~PredictionClient();
+
+  PredictionClient(const PredictionClient&) = delete;
+  PredictionClient& operator=(const PredictionClient&) = delete;
+
+  /// Send one predict request and block for its reply. Transport errors
+  /// throw; server-side errors come back in the reply (ok = false).
+  PredictReply predict(const core::PlannedTransfer& transfer,
+                       const features::ContentionFeatures& load = {},
+                       std::uint64_t deadline_ms = 0);
+
+  /// True when the server answers the ping.
+  bool ping();
+
+  /// Hot-reload the server's model (empty path = server's configured
+  /// file). Returns the new model version; throws on reload failure.
+  std::uint64_t reload(const std::string& path = "");
+
+  /// Raw parsed "stats" reply.
+  JsonValue stats();
+
+  // Low-level framing for pipelined use.
+  void send_line(const std::string& line);  ///< Throws on transport error.
+  std::string read_line();                  ///< Blocks; throws on EOF.
+  static PredictReply parse_reply(const std::string& line);
+
+ private:
+  PredictReply round_trip(const std::string& line, const std::string& id);
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace xfl::serve

@@ -1,0 +1,277 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xfl::serve {
+
+namespace {
+
+/// Thrown internally to turn field-level validation failures into one
+/// kBad frame; never escapes parse_frame.
+struct FrameError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void reject(const std::string& what) { throw FrameError(what); }
+
+std::string extract_id(const JsonValue& root) {
+  const JsonValue* id = root.find("id");
+  if (id == nullptr) return {};
+  if (id->is_string()) return id->string;
+  if (id->is_number()) return json_number(id->number);
+  reject("'id' must be a string or number");
+}
+
+double require_number(const JsonValue& object, const std::string& key) {
+  const JsonValue* v = object.find(key);
+  if (v == nullptr) reject("missing required field '" + key + "'");
+  if (!v->is_number()) reject("field '" + key + "' must be a number");
+  return v->number;
+}
+
+/// Optional non-negative integral field with a default and an upper cap.
+std::uint64_t integral_or(const JsonValue& object, const std::string& key,
+                          std::uint64_t fallback, std::uint64_t min_value,
+                          std::uint64_t max_value) {
+  const JsonValue* v = object.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->is_number()) reject("field '" + key + "' must be a number");
+  const double d = v->number;
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9.007199254740992e15)
+    reject("field '" + key + "' must be a non-negative integer");
+  const auto n = static_cast<std::uint64_t>(d);
+  if (n < min_value || n > max_value)
+    reject("field '" + key + "' out of range");
+  return n;
+}
+
+features::ContentionFeatures parse_load(const JsonValue& load) {
+  if (!load.is_object()) reject("'load' must be an object");
+  features::ContentionFeatures features;
+  for (const auto& [key, value] : load.object) {
+    if (!value.is_number()) reject("load field '" + key + "' must be a number");
+    double* slot = nullptr;
+    if (key == "k_sout") slot = &features.k_sout;
+    else if (key == "k_sin") slot = &features.k_sin;
+    else if (key == "k_dout") slot = &features.k_dout;
+    else if (key == "k_din") slot = &features.k_din;
+    else if (key == "g_src") slot = &features.g_src;
+    else if (key == "g_dst") slot = &features.g_dst;
+    else if (key == "s_sout") slot = &features.s_sout;
+    else if (key == "s_sin") slot = &features.s_sin;
+    else if (key == "s_dout") slot = &features.s_dout;
+    else if (key == "s_din") slot = &features.s_din;
+    else reject("unknown load field '" + key + "'");
+    if (!std::isfinite(value.number)) reject("load field '" + key + "' must be finite");
+    *slot = value.number;
+  }
+  return features;
+}
+
+Frame parse_admin(const JsonValue& root, std::string id) {
+  const JsonValue* cmd = root.find("cmd");
+  if (!cmd->is_string()) reject("'cmd' must be a string");
+  Frame frame;
+  frame.kind = Frame::Kind::kAdmin;
+  frame.id = id;
+  frame.admin.id = std::move(id);
+  frame.admin.cmd = cmd->string;
+  for (const auto& [key, value] : root.object) {
+    if (key == "cmd" || key == "id") continue;
+    if (key == "path") {
+      if (!value.is_string()) reject("'path' must be a string");
+      frame.admin.path = value.string;
+      continue;
+    }
+    reject("unknown field '" + key + "'");
+  }
+  if (frame.admin.cmd != "ping" && frame.admin.cmd != "stats" &&
+      frame.admin.cmd != "reload")
+    reject("unknown cmd '" + frame.admin.cmd + "'");
+  if (!frame.admin.path.empty() && frame.admin.cmd != "reload")
+    reject("'path' is only valid with cmd 'reload'");
+  return frame;
+}
+
+Frame parse_predict(const JsonValue& root, std::string id) {
+  Frame frame;
+  frame.kind = Frame::Kind::kPredict;
+  frame.id = id;
+  frame.predict.id = std::move(id);
+
+  for (const auto& [key, value] : root.object) {
+    (void)value;
+    if (key != "id" && key != "src" && key != "dst" && key != "bytes" &&
+        key != "files" && key != "dirs" && key != "concurrency" &&
+        key != "parallelism" && key != "deadline_ms" && key != "load")
+      reject("unknown field '" + key + "'");
+  }
+
+  auto& transfer = frame.predict.transfer;
+  transfer.src = static_cast<endpoint::EndpointId>(
+      integral_or(root, "src", 0, 0, 1u << 30));
+  if (root.find("src") == nullptr) reject("missing required field 'src'");
+  transfer.dst = static_cast<endpoint::EndpointId>(
+      integral_or(root, "dst", 0, 0, 1u << 30));
+  if (root.find("dst") == nullptr) reject("missing required field 'dst'");
+  transfer.bytes = require_number(root, "bytes");
+  if (!(transfer.bytes >= 0.0) || !std::isfinite(transfer.bytes))
+    reject("'bytes' must be finite and non-negative");
+  transfer.files = integral_or(root, "files", 1, 1, 1ull << 40);
+  transfer.dirs = integral_or(root, "dirs", 1, 1, 1ull << 40);
+  transfer.concurrency = static_cast<std::uint32_t>(
+      integral_or(root, "concurrency", 4, 1, 1u << 20));
+  transfer.parallelism = static_cast<std::uint32_t>(
+      integral_or(root, "parallelism", 4, 1, 1u << 20));
+  frame.predict.deadline_ms =
+      integral_or(root, "deadline_ms", 0, 0, 86400u * 1000u);
+  if (const JsonValue* load = root.find("load"))
+    frame.predict.load = parse_load(*load);
+  return frame;
+}
+
+/// True when any contention field is set; idle loads are elided on the
+/// wire (the server defaults them identically).
+bool any_load(const features::ContentionFeatures& load) {
+  return load.k_sout != 0.0 || load.k_sin != 0.0 || load.k_dout != 0.0 ||
+         load.k_din != 0.0 || load.g_src != 0.0 || load.g_dst != 0.0 ||
+         load.s_sout != 0.0 || load.s_sin != 0.0 || load.s_dout != 0.0 ||
+         load.s_din != 0.0;
+}
+
+void append_field(std::string& out, const char* key, const std::string& value,
+                  bool quote = false) {
+  if (out.back() != '{') out.push_back(',');
+  append_json_string(out, key);
+  out.push_back(':');
+  if (quote)
+    append_json_string(out, value);
+  else
+    out += value;
+}
+
+}  // namespace
+
+Frame parse_frame(const std::string& line) {
+  Frame bad;
+  bad.kind = Frame::Kind::kBad;
+  if (line.size() > kMaxFrameBytes) {
+    bad.error = "frame exceeds " + std::to_string(kMaxFrameBytes) + " bytes";
+    return bad;
+  }
+  JsonValue root;
+  try {
+    root = parse_json(line);
+  } catch (const std::exception& error) {
+    bad.error = error.what();
+    return bad;
+  }
+  if (!root.is_object()) {
+    bad.error = "frame must be a JSON object";
+    return bad;
+  }
+  try {
+    std::string id = extract_id(root);
+    bad.id = id;  // Preserved for the error response if parsing fails below.
+    if (root.find("cmd") != nullptr) return parse_admin(root, std::move(id));
+    return parse_predict(root, std::move(id));
+  } catch (const FrameError& error) {
+    bad.error = error.what();
+    return bad;
+  }
+}
+
+std::string predict_request_line(const std::string& id,
+                                 const core::PlannedTransfer& transfer,
+                                 const features::ContentionFeatures& load,
+                                 std::uint64_t deadline_ms) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "src", std::to_string(transfer.src));
+  append_field(out, "dst", std::to_string(transfer.dst));
+  append_field(out, "bytes", json_number(transfer.bytes));
+  append_field(out, "files", std::to_string(transfer.files));
+  append_field(out, "dirs", std::to_string(transfer.dirs));
+  append_field(out, "concurrency", std::to_string(transfer.concurrency));
+  append_field(out, "parallelism", std::to_string(transfer.parallelism));
+  if (deadline_ms > 0)
+    append_field(out, "deadline_ms", std::to_string(deadline_ms));
+  if (any_load(load)) {
+    std::string nested = "{";
+    append_field(nested, "k_sout", json_number(load.k_sout));
+    append_field(nested, "k_sin", json_number(load.k_sin));
+    append_field(nested, "k_dout", json_number(load.k_dout));
+    append_field(nested, "k_din", json_number(load.k_din));
+    append_field(nested, "g_src", json_number(load.g_src));
+    append_field(nested, "g_dst", json_number(load.g_dst));
+    append_field(nested, "s_sout", json_number(load.s_sout));
+    append_field(nested, "s_sin", json_number(load.s_sin));
+    append_field(nested, "s_dout", json_number(load.s_dout));
+    append_field(nested, "s_din", json_number(load.s_din));
+    nested.push_back('}');
+    append_field(out, "load", nested);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string predict_response(const std::string& id, double rate_mbps,
+                             bool edge_model, std::uint64_t model_version) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "rate_mbps", json_number(rate_mbps));
+  append_field(out, "model", edge_model ? "edge" : "global", /*quote=*/true);
+  append_field(out, "version", std::to_string(model_version));
+  out += "}\n";
+  return out;
+}
+
+std::string error_response(const std::string& id, const char* code,
+                           const std::string& message) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "false");
+  append_field(out, "error", code, /*quote=*/true);
+  append_field(out, "message", message, /*quote=*/true);
+  out += "}\n";
+  return out;
+}
+
+std::string pong_response(const std::string& id, std::uint64_t model_version) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "pong", "true");
+  append_field(out, "version", std::to_string(model_version));
+  out += "}\n";
+  return out;
+}
+
+std::string reload_response(const std::string& id,
+                            std::uint64_t model_version) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "reloaded", "true");
+  append_field(out, "version", std::to_string(model_version));
+  out += "}\n";
+  return out;
+}
+
+std::string stats_response(const std::string& id, std::size_t queue_depth,
+                           std::uint64_t model_version,
+                           std::uint64_t requests, std::uint64_t rejected) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "queue_depth", std::to_string(queue_depth));
+  append_field(out, "version", std::to_string(model_version));
+  append_field(out, "requests", std::to_string(requests));
+  append_field(out, "rejected", std::to_string(rejected));
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xfl::serve

@@ -1,0 +1,92 @@
+// Wire protocol for the prediction server: one JSON object per line,
+// newline-terminated, over a plain TCP stream. Human-speakable with nc:
+//
+//   $ echo '{"id":"1","src":0,"dst":1,"bytes":5e10,"files":20}' | nc host 7070
+//   {"id":"1","ok":true,"rate_mbps":312.5,"model":"edge","version":1}
+//
+// Request frames:
+//   predict: {"id":ID, "src":N, "dst":N, "bytes":X, ["files":N],
+//             ["dirs":N], ["concurrency":N], ["parallelism":N],
+//             ["deadline_ms":N], ["load":{"k_sout":X, ... }]}
+//   admin:   {"cmd":"ping"|"stats"|"reload", ["id":ID], ["path":"m.txt"]}
+//
+// Response frames always carry "ok". Success echoes the request id;
+// failures carry a machine-readable "error" code (kErr* below) plus a
+// human-readable "message". Responses on one connection may be reordered
+// relative to requests (micro-batching), so clients match on "id".
+//
+// Parsing is strict: unknown keys, wrong types, and out-of-range values
+// are rejected as kBad frames, which the server answers with a
+// "bad_request" error instead of dying — both ends live in this repo, so
+// strictness catches client bugs at the boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
+#include "serve/json.hpp"
+
+namespace xfl::serve {
+
+/// Upper bound on one request line; longer frames are a protocol error.
+inline constexpr std::size_t kMaxFrameBytes = 1 << 20;
+
+// Machine-readable error codes carried in the "error" response field.
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrTimeout = "timeout";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrInternal = "internal_error";
+inline constexpr const char* kErrReloadFailed = "reload_failed";
+
+struct PredictRequest {
+  std::string id;
+  core::PlannedTransfer transfer;
+  features::ContentionFeatures load;
+  std::uint64_t deadline_ms = 0;  ///< 0 = no deadline.
+};
+
+struct AdminRequest {
+  std::string id;
+  std::string cmd;   ///< "ping", "stats", or "reload".
+  std::string path;  ///< reload only; empty = server's configured path.
+};
+
+/// One parsed request line. kBad carries the reason (and the id when it
+/// could still be extracted, so the error response stays correlatable).
+struct Frame {
+  enum class Kind { kPredict, kAdmin, kBad };
+  Kind kind = Kind::kBad;
+  std::string id;
+  PredictRequest predict;
+  AdminRequest admin;
+  std::string error;
+};
+
+/// Parse one request line. Never throws: malformed input yields kBad.
+Frame parse_frame(const std::string& line);
+
+/// Serialise a predict request (client side). `load` is emitted only when
+/// any field is non-zero; ids are always emitted as JSON strings.
+std::string predict_request_line(const std::string& id,
+                                 const core::PlannedTransfer& transfer,
+                                 const features::ContentionFeatures& load = {},
+                                 std::uint64_t deadline_ms = 0);
+
+// Response builders (server side). Each returns one newline-terminated
+// frame. rate_mbps uses %.17g so the client's strtod reproduces the
+// server's double bit-identically.
+std::string predict_response(const std::string& id, double rate_mbps,
+                             bool edge_model, std::uint64_t model_version);
+std::string error_response(const std::string& id, const char* code,
+                           const std::string& message);
+std::string pong_response(const std::string& id, std::uint64_t model_version);
+std::string reload_response(const std::string& id,
+                            std::uint64_t model_version);
+std::string stats_response(const std::string& id, std::size_t queue_depth,
+                           std::uint64_t model_version,
+                           std::uint64_t requests, std::uint64_t rejected);
+
+}  // namespace xfl::serve

@@ -1,0 +1,340 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace xfl::serve {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter& accepted = obs::counter("serve.conn.accepted");
+  obs::Gauge& active = obs::gauge("serve.conn.active");
+  obs::Counter& requests = obs::counter("serve.request.count");
+  obs::Counter& admin = obs::counter("serve.request.admin");
+  obs::Counter& bad = obs::counter("serve.request.bad");
+  obs::Counter& overloaded = obs::counter("serve.request.overloaded");
+  obs::Counter& shutting_down = obs::counter("serve.request.shutting_down");
+  obs::Counter& ok = obs::counter("serve.response.ok");
+  obs::Counter& errors = obs::counter("serve.response.error");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+/// One accepted socket. The fd is closed only by the destructor, so any
+/// batcher callback still holding a shared_ptr writes to a valid (if
+/// possibly disconnected) descriptor — never to a recycled one.
+struct PredictionServer::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Serialised, complete-frame write. MSG_NOSIGNAL turns a dead peer
+  /// into EPIPE instead of SIGPIPE; after the first failure the
+  /// connection goes quiet rather than spamming errno.
+  void write_line(const std::string& payload) {
+    std::lock_guard lock(write_mutex);
+    if (write_failed) return;
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const ssize_t n = ::send(fd, payload.data() + sent,
+                               payload.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        write_failed = true;
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdown_both() { ::shutdown(fd, SHUT_RDWR); }
+
+  int fd;
+  std::mutex write_mutex;
+  bool write_failed = false;  ///< Guarded by write_mutex.
+};
+
+/// A connection plus its reader thread; `done` flags the thread as
+/// join-ready for the reaper.
+struct PredictionServer::Worker {
+  std::shared_ptr<Connection> conn;
+  std::thread thread;
+  bool done = false;  ///< Guarded by conn_mutex_.
+};
+
+PredictionServer::PredictionServer(ModelHost& host)
+    : PredictionServer(host, Options()) {}
+
+PredictionServer::PredictionServer(ModelHost& host, Options options)
+    : host_(host),
+      options_(std::move(options)),
+      batcher_(host, MicroBatcher::Options{options_.max_batch,
+                                           options_.queue_capacity,
+                                           options_.predict_threads}) {}
+
+PredictionServer::~PredictionServer() { stop(); }
+
+void PredictionServer::start() {
+  {
+    std::lock_guard lock(state_mutex_);
+    XFL_EXPECTS(!started_);
+    started_ = true;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("PredictionServer: socket: ") +
+                             std::strerror(errno));
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &address.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("PredictionServer: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof address) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("PredictionServer: bind/listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + ": " + what);
+  }
+  socklen_t address_len = sizeof address;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
+                &address_len);
+  port_ = ntohs(address.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  XFL_LOG(info) << "prediction server listening"
+                << obs::kv("address", options_.bind_address)
+                << obs::kv("port", port_)
+                << obs::kv("max_batch", options_.max_batch)
+                << obs::kv("queue_capacity", options_.queue_capacity);
+}
+
+void PredictionServer::stop() {
+  {
+    std::lock_guard lock(state_mutex_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true);
+
+  // 1. Stop accepting; shutdown wakes the blocked accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // 2. Drain: everything already admitted gets a real answer; requests
+  //    read after this point get a structured "shutting_down".
+  batcher_.drain_and_stop();
+
+  // 3. Wake blocked readers and join them; fds close with the last
+  //    Connection reference.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (auto& worker : workers_) worker->conn->shutdown_both();
+  }
+  std::vector<std::unique_ptr<Worker>> remaining;
+  {
+    std::lock_guard lock(conn_mutex_);
+    remaining.swap(workers_);
+  }
+  for (auto& worker : remaining)
+    if (worker->thread.joinable()) worker->thread.join();
+  server_metrics().active.set(0.0);
+  XFL_LOG(info) << "prediction server stopped" << obs::kv("port", port_);
+}
+
+void PredictionServer::reap_finished_workers() {
+  std::vector<std::unique_ptr<Worker>> finished;
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (auto it = workers_.begin(); it != workers_.end();) {
+      if ((*it)->done) {
+        finished.push_back(std::move(*it));
+        it = workers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& worker : finished)
+    if (worker->thread.joinable()) worker->thread.join();
+}
+
+void PredictionServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // Listen socket is gone; stop() handles the rest.
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+    server_metrics().accepted.add(1);
+
+    auto worker = std::make_unique<Worker>();
+    worker->conn = std::make_shared<Connection>(fd);
+    Worker* raw = worker.get();
+    {
+      std::lock_guard lock(conn_mutex_);
+      workers_.push_back(std::move(worker));
+      server_metrics().active.set(static_cast<double>(workers_.size()));
+    }
+    raw->thread = std::thread([this, raw] {
+      connection_loop(raw->conn);
+      std::lock_guard lock(conn_mutex_);
+      raw->done = true;
+    });
+    reap_finished_workers();
+  }
+}
+
+void PredictionServer::connection_loop(
+    const std::shared_ptr<Connection>& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return;  // EOF, error, or shutdown during drain.
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(start, newline - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) handle_line(conn, line);
+      start = newline + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > kMaxFrameBytes) {
+      server_metrics().bad.add(1);
+      conn->write_line(error_response("", kErrBadRequest,
+                                      "frame exceeds maximum length"));
+      return;
+    }
+  }
+}
+
+void PredictionServer::handle_line(const std::shared_ptr<Connection>& conn,
+                                   const std::string& line) {
+  const Frame frame = parse_frame(line);
+  auto& metrics = server_metrics();
+
+  switch (frame.kind) {
+    case Frame::Kind::kBad:
+      metrics.bad.add(1);
+      conn->write_line(error_response(frame.id, kErrBadRequest, frame.error));
+      return;
+
+    case Frame::Kind::kAdmin:
+      metrics.admin.add(1);
+      handle_admin(conn, frame.admin);
+      return;
+
+    case Frame::Kind::kPredict:
+      break;
+  }
+
+  metrics.requests.add(1);
+  BatchItem item;
+  item.transfer = frame.predict.transfer;
+  item.load = frame.predict.load;
+  if (frame.predict.deadline_ms > 0)
+    item.deadline_us =
+        obs::monotonic_us() + frame.predict.deadline_ms * 1000;
+  const std::string id = frame.predict.id;
+  item.done = [conn, id](const PredictOutcome& outcome) {
+    auto& m = server_metrics();
+    if (outcome.ok) {
+      m.ok.add(1);
+      conn->write_line(predict_response(id, outcome.rate_mbps,
+                                        outcome.edge_model,
+                                        outcome.model_version));
+    } else {
+      m.errors.add(1);
+      conn->write_line(error_response(id, outcome.error, outcome.message));
+    }
+  };
+
+  switch (batcher_.submit(std::move(item))) {
+    case MicroBatcher::Admission::kAccepted:
+      return;
+    case MicroBatcher::Admission::kOverloaded:
+      metrics.overloaded.add(1);
+      conn->write_line(
+          error_response(id, kErrOverloaded, "prediction queue full"));
+      return;
+    case MicroBatcher::Admission::kShuttingDown:
+      metrics.shutting_down.add(1);
+      conn->write_line(
+          error_response(id, kErrShuttingDown, "server draining"));
+      return;
+  }
+}
+
+void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
+                                    const AdminRequest& admin) {
+  if (admin.cmd == "ping") {
+    conn->write_line(pong_response(admin.id, host_.version()));
+    return;
+  }
+  if (admin.cmd == "stats") {
+    auto& metrics = server_metrics();
+    conn->write_line(stats_response(
+        admin.id, batcher_.queue_depth(), host_.version(),
+        metrics.requests.value(),
+        metrics.overloaded.value() + metrics.bad.value()));
+    return;
+  }
+  // reload: runs on this connection's thread — off the batch hot path, so
+  // prediction latency is unaffected while the new model parses.
+  try {
+    const std::uint64_t version = host_.reload_from_file(admin.path);
+    conn->write_line(reload_response(admin.id, version));
+  } catch (const std::exception& error) {
+    conn->write_line(
+        error_response(admin.id, kErrReloadFailed, error.what()));
+  }
+}
+
+}  // namespace xfl::serve

@@ -1,0 +1,92 @@
+// Long-running prediction daemon over POSIX TCP sockets. One accept
+// thread plus one reader thread per connection (clients here are
+// schedulers, not browsers — tens of connections, not tens of
+// thousands); every parsed predict request flows through the shared
+// MicroBatcher, and responses are written back from the batch worker via
+// a per-connection write lock, so frames never interleave.
+//
+// Lifecycle: start() binds/listens (port 0 = kernel-assigned, reported
+// by port()); stop() is a graceful drain — stop accepting, answer
+// everything already admitted to the batcher, reject late arrivals with
+// "shutting_down", then close connections. The destructor stops too.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_host.hpp"
+#include "serve/protocol.hpp"
+
+namespace xfl::serve {
+
+class PredictionServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = kernel-assigned ephemeral port.
+    std::string bind_address = "127.0.0.1";
+    std::size_t max_batch = 64;
+    std::size_t queue_capacity = 1024;
+    std::size_t predict_threads = 1;
+  };
+
+  // Two overloads instead of one defaulted parameter: a nested aggregate
+  // with member initializers cannot appear as a default argument inside
+  // its own enclosing class.
+  explicit PredictionServer(ModelHost& host);
+  PredictionServer(ModelHost& host, Options options);
+  ~PredictionServer();
+
+  PredictionServer(const PredictionServer&) = delete;
+  PredictionServer& operator=(const PredictionServer&) = delete;
+
+  /// Bind, listen, and start accepting. Throws std::runtime_error on
+  /// socket failures (port in use, bad bind address).
+  void start();
+
+  /// Graceful drain; see file header. Idempotent, safe to call from any
+  /// thread except a connection callback.
+  void stop();
+
+  /// The bound port (after start(); resolves ephemeral port 0).
+  std::uint16_t port() const { return port_; }
+
+  ModelHost& host() { return host_; }
+  /// Exposed for ops levers and tests (pause/resume, queue_depth).
+  MicroBatcher& batcher() { return batcher_; }
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void accept_loop();
+  void connection_loop(const std::shared_ptr<Connection>& conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line);
+  void handle_admin(const std::shared_ptr<Connection>& conn,
+                    const AdminRequest& admin);
+  void reap_finished_workers();
+
+  ModelHost& host_;
+  Options options_;
+  MicroBatcher batcher_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex state_mutex_;  ///< start/stop lifecycle flags.
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conn_mutex_;  ///< Guards workers_.
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace xfl::serve

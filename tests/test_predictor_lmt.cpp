@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/units.hpp"
@@ -149,6 +153,80 @@ TEST(Predictor, SaveLoadAnswersIdentically) {
   ASSERT_NE(loaded.capability(0), nullptr);
   EXPECT_DOUBLE_EQ(loaded.capability(0)->ro_max_Bps,
                    predictor.capability(0)->ro_max_Bps);
+}
+
+TEST(Predictor, BatchPredictEmptyInputYieldsEmptyOutput) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  EXPECT_TRUE(predictor.predict_rates_mbps({}).empty());
+}
+
+TEST(Predictor, BatchPredictMismatchedLoadSpanRejected) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  std::vector<PlannedTransfer> transfers(3);
+  for (auto& planned : transfers) {
+    planned.src = 0;
+    planned.dst = 1;
+    planned.bytes = kGB;
+  }
+  std::vector<features::ContentionFeatures> loads(2);  // 2 != 3.
+  EXPECT_THROW(predictor.predict_rates_mbps(transfers, loads),
+               xfl::ContractViolation);
+}
+
+TEST(Predictor, BatchPredictEmptyLoadSpanMeansAllIdle) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  std::vector<PlannedTransfer> transfers(4);
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    transfers[i].src = i % 2;
+    transfers[i].dst = 2 + i % 2;
+    transfers[i].bytes = (1.0 + i) * kGB;
+    transfers[i].files = 1 + i;
+  }
+  const auto rates = predictor.predict_rates_mbps(transfers);
+  ASSERT_EQ(rates.size(), transfers.size());
+  for (std::size_t i = 0; i < transfers.size(); ++i)
+    EXPECT_EQ(rates[i], predictor.predict_rate_mbps(transfers[i]));
+}
+
+TEST(Predictor, SaveFileLoadFileRoundTripsAtomically) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+
+  const std::string path = testing::TempDir() + "predictor_roundtrip.txt";
+  predictor.save_file(path);
+  // The temp staging file must be gone after the atomic rename.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+
+  const auto loaded = TransferPredictor::load_file(path);
+  ASSERT_TRUE(loaded.fitted());
+  PlannedTransfer planned;
+  planned.src = 0;
+  planned.dst = 1;
+  planned.bytes = 42.0 * kGB;
+  planned.files = 17;
+  EXPECT_DOUBLE_EQ(loaded.predict_rate_mbps(planned),
+                   predictor.predict_rate_mbps(planned));
+
+  // Saving over an existing file replaces it cleanly.
+  predictor.save_file(path);
+  EXPECT_DOUBLE_EQ(TransferPredictor::load_file(path).predict_rate_mbps(planned),
+                   predictor.predict_rate_mbps(planned));
+}
+
+TEST(Predictor, LoadFileMissingPathThrows) {
+  EXPECT_THROW(TransferPredictor::load_file("/nonexistent/dir/model.txt"),
+               std::runtime_error);
+}
+
+TEST(Predictor, SaveFileUnwritableDirectoryThrowsAndLeavesNoTemp) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  EXPECT_THROW(predictor.save_file("/nonexistent/dir/model.txt"),
+               std::runtime_error);
 }
 
 TEST(Predictor, SaveRequiresFitAndLoadRejectsGarbage) {

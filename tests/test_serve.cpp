@@ -1,0 +1,528 @@
+// End-to-end contracts for the src/serve subsystem, in-process over
+// loopback TCP:
+//   - concurrent clients receive predictions bit-identical to direct
+//     TransferPredictor::predict_rate_mbps calls;
+//   - atomic hot reload under sustained load loses zero requests and
+//     never mixes state from two models in one answer;
+//   - a full queue yields structured "overloaded" rejections, not
+//     latency collapse or a hang;
+//   - malformed frames get error responses and the connection survives;
+//   - graceful drain answers everything admitted before shutdown.
+// The suite carries the tier2-serve label: run it under
+// -DXFL_SANITIZE=thread like the other concurrency suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/units.hpp"
+#include "core/predictor.hpp"
+#include "serve/batcher.hpp"
+#include "serve/client.hpp"
+#include "serve/model_host.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::serve {
+namespace {
+
+const logs::LogStore& shared_log() {
+  static const logs::LogStore log = [] {
+    sim::EsnetConfig config;
+    config.transfers = 1200;
+    config.duration_s = 2.0 * 86400.0;
+    config.seed = 17;
+    return sim::make_esnet_testbed(config).run().log;
+  }();
+  return log;
+}
+
+std::shared_ptr<const core::TransferPredictor> fitted_predictor(int trees) {
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = 50;
+  options.gbt.trees = trees;
+  auto predictor = std::make_shared<core::TransferPredictor>(options);
+  predictor->fit(shared_log());
+  return predictor;
+}
+
+/// Model A (80 trees) and model B (40 trees): same log, different
+/// hyper-parameters, so their answers for the same transfer differ and a
+/// response can be attributed to exactly one of them.
+std::shared_ptr<const core::TransferPredictor> model_a() {
+  static const auto predictor = fitted_predictor(80);
+  return predictor;
+}
+
+std::shared_ptr<const core::TransferPredictor> model_b() {
+  static const auto predictor = fitted_predictor(40);
+  return predictor;
+}
+
+std::string saved_model_path(
+    const std::shared_ptr<const core::TransferPredictor>& predictor,
+    const std::string& name) {
+  const std::string path = testing::TempDir() + name;
+  predictor->save_file(path);
+  return path;
+}
+
+/// A deterministic mix of planned transfers spanning edge-model and
+/// global-fallback routes.
+std::vector<core::PlannedTransfer> transfer_mix() {
+  std::vector<core::PlannedTransfer> mix;
+  for (int i = 0; i < 12; ++i) {
+    core::PlannedTransfer planned;
+    planned.src = static_cast<endpoint::EndpointId>(i % 2 == 0 ? 0 : 2);
+    planned.dst = static_cast<endpoint::EndpointId>(i % 3 == 0 ? 1 : 3);
+    planned.bytes = (1.0 + i) * 5.0 * kGB;
+    planned.files = static_cast<std::uint64_t>(1 + i * 3);
+    planned.dirs = static_cast<std::uint64_t>(1 + i % 4);
+    planned.concurrency = static_cast<std::uint32_t>(1 + i % 8);
+    planned.parallelism = static_cast<std::uint32_t>(1 + (i * 5) % 8);
+    mix.push_back(planned);
+  }
+  return mix;
+}
+
+features::ContentionFeatures heavy_load() {
+  features::ContentionFeatures load;
+  load.k_sout = mbps(800.0);
+  load.k_din = mbps(500.0);
+  load.g_src = 8.0;
+  load.g_dst = 4.0;
+  load.s_sout = 32.0;
+  load.s_din = 16.0;
+  return load;
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, ParsesPredictFrameWithDefaults) {
+  const Frame frame =
+      parse_frame(R"({"id":"7","src":3,"dst":4,"bytes":5e10})");
+  ASSERT_EQ(frame.kind, Frame::Kind::kPredict);
+  EXPECT_EQ(frame.id, "7");
+  EXPECT_EQ(frame.predict.transfer.src, 3u);
+  EXPECT_EQ(frame.predict.transfer.dst, 4u);
+  EXPECT_DOUBLE_EQ(frame.predict.transfer.bytes, 5e10);
+  EXPECT_EQ(frame.predict.transfer.files, 1u);
+  EXPECT_EQ(frame.predict.transfer.concurrency, 4u);
+  EXPECT_EQ(frame.predict.deadline_ms, 0u);
+}
+
+TEST(ServeProtocol, ParsesLoadObjectAndNumericId) {
+  const Frame frame = parse_frame(
+      R"({"id":12,"src":0,"dst":1,"bytes":1e9,"load":{"k_sout":2.5e8,"g_dst":4}})");
+  ASSERT_EQ(frame.kind, Frame::Kind::kPredict);
+  EXPECT_EQ(frame.id, "12");
+  EXPECT_DOUBLE_EQ(frame.predict.load.k_sout, 2.5e8);
+  EXPECT_DOUBLE_EQ(frame.predict.load.g_dst, 4.0);
+  EXPECT_DOUBLE_EQ(frame.predict.load.k_din, 0.0);
+}
+
+TEST(ServeProtocol, RejectsMalformedFrames) {
+  EXPECT_EQ(parse_frame("not json at all").kind, Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame("[1,2,3]").kind, Frame::Kind::kBad);
+  // Missing required fields.
+  EXPECT_EQ(parse_frame(R"({"id":"1","src":0,"bytes":1e9})").kind,
+            Frame::Kind::kBad);
+  // Unknown keys are rejected, not silently ignored.
+  EXPECT_EQ(parse_frame(R"({"src":0,"dst":1,"bytes":1,"bogus":2})").kind,
+            Frame::Kind::kBad);
+  // Type and range violations.
+  EXPECT_EQ(parse_frame(R"({"src":-1,"dst":1,"bytes":1})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"src":0,"dst":1,"bytes":"big"})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"src":0,"dst":1,"bytes":1,"files":0})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(
+      parse_frame(R"({"src":0,"dst":1,"bytes":1,"load":{"k_zzz":1}})").kind,
+      Frame::Kind::kBad);
+  // The id survives into the bad frame for error correlation.
+  const Frame bad = parse_frame(R"({"id":"keep","src":0,"bytes":1})");
+  EXPECT_EQ(bad.kind, Frame::Kind::kBad);
+  EXPECT_EQ(bad.id, "keep");
+}
+
+TEST(ServeProtocol, RequestLineRoundTripsThroughParser) {
+  core::PlannedTransfer planned;
+  planned.src = 5;
+  planned.dst = 9;
+  planned.bytes = 1.25e11;
+  planned.files = 17;
+  planned.dirs = 3;
+  planned.concurrency = 6;
+  planned.parallelism = 2;
+  const features::ContentionFeatures load = heavy_load();
+  const Frame frame =
+      parse_frame(predict_request_line("42", planned, load, 250));
+  ASSERT_EQ(frame.kind, Frame::Kind::kPredict);
+  EXPECT_EQ(frame.predict.transfer.src, planned.src);
+  EXPECT_EQ(frame.predict.transfer.dst, planned.dst);
+  EXPECT_DOUBLE_EQ(frame.predict.transfer.bytes, planned.bytes);
+  EXPECT_EQ(frame.predict.transfer.files, planned.files);
+  EXPECT_EQ(frame.predict.deadline_ms, 250u);
+  EXPECT_DOUBLE_EQ(frame.predict.load.k_sout, load.k_sout);
+  EXPECT_DOUBLE_EQ(frame.predict.load.s_din, load.s_din);
+}
+
+TEST(ServeProtocol, ResponseRatePreservesDoubleBits) {
+  const double rate = 123.45678901234567;
+  const std::string line = predict_response("1", rate, true, 3);
+  const PredictReply reply = PredictionClient::parse_reply(line);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_EQ(reply.rate_mbps, rate);  // Exact: %.17g round-trips doubles.
+  EXPECT_EQ(reply.model, "edge");
+  EXPECT_EQ(reply.model_version, 3u);
+}
+
+// ----------------------------------------------------------- micro-batcher
+
+TEST(MicroBatcher, BatchedAnswersMatchDirectCallsBitIdentically) {
+  ModelHost host(model_a());
+  MicroBatcher batcher(host, {.max_batch = 8, .queue_capacity = 64});
+  const auto mix = transfer_mix();
+
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, double>> answered;
+  std::atomic<std::size_t> pending{mix.size()};
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    BatchItem item;
+    item.transfer = mix[i];
+    item.load = heavy_load();
+    item.done = [&, i](const PredictOutcome& outcome) {
+      ASSERT_TRUE(outcome.ok);
+      std::lock_guard lock(mutex);
+      answered.emplace_back(i, outcome.rate_mbps);
+      pending.fetch_sub(1);
+    };
+    ASSERT_EQ(batcher.submit(std::move(item)),
+              MicroBatcher::Admission::kAccepted);
+  }
+  batcher.drain_and_stop();
+  ASSERT_EQ(pending.load(), 0u);
+  ASSERT_EQ(answered.size(), mix.size());
+  for (const auto& [i, rate] : answered)
+    EXPECT_EQ(rate, model_a()->predict_rate_mbps(mix[i], heavy_load()))
+        << "row " << i;
+}
+
+TEST(MicroBatcher, ExpiredDeadlineTimesOutInsteadOfPredicting) {
+  ModelHost host(model_a());
+  MicroBatcher batcher(host, {.max_batch = 8, .queue_capacity = 8});
+  batcher.pause();
+  std::atomic<int> timeouts{0};
+  BatchItem item;
+  item.transfer = transfer_mix()[0];
+  item.deadline_us = 1;  // Monotonic clock is far past 1us already.
+  item.done = [&](const PredictOutcome& outcome) {
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_STREQ(outcome.error, kErrTimeout);
+    timeouts.fetch_add(1);
+  };
+  ASSERT_EQ(batcher.submit(std::move(item)),
+            MicroBatcher::Admission::kAccepted);
+  batcher.resume();
+  batcher.drain_and_stop();
+  EXPECT_EQ(timeouts.load(), 1);
+}
+
+TEST(MicroBatcher, RejectsWhenQueueFullAndAfterStop) {
+  ModelHost host(model_a());
+  MicroBatcher batcher(host, {.max_batch = 4, .queue_capacity = 2});
+  batcher.pause();
+  std::atomic<int> answered{0};
+  auto make_item = [&] {
+    BatchItem item;
+    item.transfer = transfer_mix()[0];
+    item.done = [&](const PredictOutcome&) { answered.fetch_add(1); };
+    return item;
+  };
+  EXPECT_EQ(batcher.submit(make_item()), MicroBatcher::Admission::kAccepted);
+  EXPECT_EQ(batcher.submit(make_item()), MicroBatcher::Admission::kAccepted);
+  EXPECT_EQ(batcher.submit(make_item()),
+            MicroBatcher::Admission::kOverloaded);
+  EXPECT_EQ(batcher.queue_depth(), 2u);
+  batcher.drain_and_stop();
+  EXPECT_EQ(answered.load(), 2);  // Drain answered the admitted two.
+  EXPECT_EQ(batcher.submit(make_item()),
+            MicroBatcher::Admission::kShuttingDown);
+}
+
+// ------------------------------------------------------------- model host
+
+TEST(ModelHost, FailedReloadKeepsServingOldModel) {
+  ModelHost host(model_a(), "/nonexistent/model.txt");
+  const auto before = host.snapshot();
+  EXPECT_THROW(host.reload_from_file(), std::runtime_error);
+  const auto after = host.snapshot();
+  EXPECT_EQ(after.predictor.get(), before.predictor.get());
+  EXPECT_EQ(after.version, before.version);
+}
+
+TEST(ModelHost, ReloadSwapsModelAndBumpsVersion) {
+  const std::string path_b = saved_model_path(model_b(), "host_reload_b.txt");
+  ModelHost host(model_a());
+  const auto before = host.snapshot();
+  EXPECT_EQ(before.version, 1u);
+  const std::uint64_t version = host.reload_from_file(path_b);
+  EXPECT_EQ(version, 2u);
+  const auto after = host.snapshot();
+  EXPECT_NE(after.predictor.get(), before.predictor.get());
+  // The reloaded model answers like B, not like A.
+  const auto planned = transfer_mix()[0];
+  EXPECT_EQ(after.predictor->predict_rate_mbps(planned),
+            model_b()->predict_rate_mbps(planned));
+}
+
+// ------------------------------------------------------------- end to end
+
+struct RunningServer {
+  explicit RunningServer(PredictionServer::Options options = {}) {
+    host = std::make_unique<ModelHost>(model_a());
+    server = std::make_unique<PredictionServer>(*host, options);
+    server->start();
+  }
+  std::unique_ptr<ModelHost> host;
+  std::unique_ptr<PredictionServer> server;
+};
+
+TEST(ServeE2E, ConcurrentClientsGetBitIdenticalAnswers) {
+  RunningServer running({.max_batch = 8, .queue_capacity = 256});
+  const auto mix = transfer_mix();
+  const auto load = heavy_load();
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 40;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PredictionClient client("127.0.0.1", running.server->port());
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const auto& planned = mix[(c + r) % mix.size()];
+        const bool with_load = r % 2 == 0;
+        const auto reply =
+            client.predict(planned, with_load ? load : features::ContentionFeatures{});
+        const double expected = model_a()->predict_rate_mbps(
+            planned, with_load ? load : features::ContentionFeatures{});
+        if (!reply.ok || reply.rate_mbps != expected) failures.fetch_add(1);
+        const bool edge =
+            model_a()->has_edge_model({planned.src, planned.dst});
+        if (reply.model != (edge ? "edge" : "global")) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServeE2E, HotReloadUnderLoadLosesNothingAndMixesNoTornState) {
+  const std::string path_a = saved_model_path(model_a(), "serve_model_a.txt");
+  const std::string path_b = saved_model_path(model_b(), "serve_model_b.txt");
+
+  // The on-disk round trip is what the server actually serves after a
+  // reload; precompute both models' expected answers from reloaded copies
+  // so bit-identity is checked against exactly what load_file() produces.
+  const auto disk_a = std::make_shared<const core::TransferPredictor>(
+      core::TransferPredictor::load_file(path_a));
+  const auto disk_b = std::make_shared<const core::TransferPredictor>(
+      core::TransferPredictor::load_file(path_b));
+
+  const auto mix = transfer_mix();
+  std::vector<double> expected_a, expected_b;
+  for (const auto& planned : mix) {
+    expected_a.push_back(disk_a->predict_rate_mbps(planned));
+    expected_b.push_back(disk_b->predict_rate_mbps(planned));
+  }
+  // The two models must actually disagree for attribution to mean much.
+  ASSERT_NE(expected_a[0], expected_b[0]);
+
+  ModelHost host(disk_a, path_a);
+  PredictionServer server(host, {.max_batch = 8, .queue_capacity = 256});
+  server.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::uint64_t> max_version_seen{1};
+  constexpr int kClients = 3;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      PredictionClient client("127.0.0.1", server.port());
+      std::size_t i = c;
+      while (!stop.load()) {
+        const std::size_t index = i++ % mix.size();
+        const auto reply = client.predict(mix[index]);
+        if (!reply.ok) {
+          failures.fetch_add(1);  // Reload must lose zero requests.
+          continue;
+        }
+        // Version 1 was published as A, every reload alternates B, A, ...
+        // A torn answer — version from one model, rate from another —
+        // fails here.
+        const double expected = reply.model_version % 2 == 1
+                                    ? expected_a[index]
+                                    : expected_b[index];
+        if (reply.rate_mbps != expected) failures.fetch_add(1);
+        std::uint64_t seen = max_version_seen.load();
+        while (reply.model_version > seen &&
+               !max_version_seen.compare_exchange_weak(seen,
+                                                       reply.model_version)) {
+        }
+      }
+    });
+  }
+
+  // Reload repeatedly while the clients hammer the server.
+  PredictionClient admin("127.0.0.1", server.port());
+  for (int reload = 0; reload < 6; ++reload) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const std::string& next = reload % 2 == 0 ? path_b : path_a;
+    EXPECT_EQ(admin.reload(next), static_cast<std::uint64_t>(reload + 2));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true);
+  for (auto& thread : clients) thread.join();
+  server.stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Both models actually served traffic during the run.
+  EXPECT_GE(max_version_seen.load(), 2u);
+}
+
+TEST(ServeE2E, QueueOverflowYieldsStructuredOverloadedResponses) {
+  RunningServer running({.max_batch = 64, .queue_capacity = 4});
+  running.server->batcher().pause();
+
+  PredictionClient client("127.0.0.1", running.server->port());
+  const auto mix = transfer_mix();
+  constexpr int kPipelined = 12;
+  for (int i = 0; i < kPipelined; ++i)
+    client.send_line(
+        predict_request_line(std::to_string(i), mix[i % mix.size()]));
+
+  // With the batcher paused, exactly queue_capacity requests are admitted
+  // and the rest are rejected immediately — read those 8 rejections first.
+  std::set<std::string> rejected_ids;
+  for (int i = 0; i < kPipelined - 4; ++i) {
+    const auto reply = PredictionClient::parse_reply(client.read_line());
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, kErrOverloaded);
+    rejected_ids.insert(reply.id);
+  }
+  EXPECT_EQ(rejected_ids.size(), static_cast<std::size_t>(kPipelined - 4));
+
+  running.server->batcher().resume();
+  std::set<std::string> served_ids;
+  for (int i = 0; i < 4; ++i) {
+    const auto reply = PredictionClient::parse_reply(client.read_line());
+    EXPECT_TRUE(reply.ok);
+    served_ids.insert(reply.id);
+  }
+  // The admitted requests are the first four sent.
+  EXPECT_EQ(served_ids, (std::set<std::string>{"0", "1", "2", "3"}));
+}
+
+TEST(ServeE2E, ExpiredDeadlineReturnsTimeoutNotAnswer) {
+  RunningServer running({.max_batch = 8, .queue_capacity = 16});
+  running.server->batcher().pause();
+  PredictionClient client("127.0.0.1", running.server->port());
+  client.send_line(predict_request_line("d", transfer_mix()[0], {},
+                                        /*deadline_ms=*/1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  running.server->batcher().resume();
+  const auto reply = PredictionClient::parse_reply(client.read_line());
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, kErrTimeout);
+  EXPECT_EQ(reply.id, "d");
+}
+
+TEST(ServeE2E, MalformedFramesGetErrorsAndServerSurvives) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  const std::vector<std::string> garbage = {
+      "this is not json",
+      "{\"src\":0}",
+      "{\"id\":\"x\",\"src\":0,\"dst\":1,\"bytes\":-5}",
+      "{\"cmd\":\"selfdestruct\"}",
+      "[]",
+  };
+  for (const auto& line : garbage) {
+    client.send_line(line);
+    const auto reply = PredictionClient::parse_reply(client.read_line());
+    EXPECT_FALSE(reply.ok) << line;
+    EXPECT_EQ(reply.error, kErrBadRequest) << line;
+  }
+
+  // The same connection still serves valid requests afterwards.
+  const auto planned = transfer_mix()[0];
+  const auto reply = client.predict(planned);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.rate_mbps, model_a()->predict_rate_mbps(planned));
+}
+
+TEST(ServeE2E, GracefulDrainAnswersEverythingAdmitted) {
+  auto running = std::make_unique<RunningServer>(
+      PredictionServer::Options{.max_batch = 64, .queue_capacity = 64});
+  running->server->batcher().pause();
+  PredictionClient client("127.0.0.1", running->server->port());
+  const auto mix = transfer_mix();
+  constexpr int kPipelined = 6;
+  for (int i = 0; i < kPipelined; ++i)
+    client.send_line(
+        predict_request_line(std::to_string(i), mix[i % mix.size()]));
+  // Give the connection thread time to admit all six into the queue, then
+  // stop: drain clears the pause and answers them before closing.
+  while (running->server->batcher().queue_depth() < kPipelined)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::thread stopper([&] { running->server->stop(); });
+  std::set<std::string> answered;
+  for (int i = 0; i < kPipelined; ++i) {
+    const auto reply = PredictionClient::parse_reply(client.read_line());
+    EXPECT_TRUE(reply.ok);
+    answered.insert(reply.id);
+  }
+  stopper.join();
+  EXPECT_EQ(answered.size(), static_cast<std::size_t>(kPipelined));
+}
+
+TEST(ServeE2E, AdminPingAndStats) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+  EXPECT_TRUE(client.ping());
+
+  const auto planned = transfer_mix()[0];
+  ASSERT_TRUE(client.predict(planned).ok);
+  const auto stats = client.stats();
+  const auto* version = stats.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, 1.0);
+  ASSERT_NE(stats.find("queue_depth"), nullptr);
+  ASSERT_NE(stats.find("requests"), nullptr);
+}
+
+TEST(ServeE2E, ReloadFailureAnswersErrorAndKeepsServing) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+  EXPECT_THROW(client.reload("/nonexistent/model.txt"), std::runtime_error);
+  const auto planned = transfer_mix()[0];
+  const auto reply = client.predict(planned);
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.rate_mbps, model_a()->predict_rate_mbps(planned));
+  EXPECT_EQ(reply.model_version, 1u);
+}
+
+}  // namespace
+}  // namespace xfl::serve

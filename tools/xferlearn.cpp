@@ -16,6 +16,19 @@
 //                       concurrency,parallelism]; header row optional;
 //                       served by the flattened batch-inference engine)
 //   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
+//   xferlearn serve    --model model.txt [--port N] [--bind ADDR]
+//                      [--max-batch N] [--queue-cap N] [--threads N]
+//                      (line-delimited JSON over TCP; SIGHUP or the
+//                       {"cmd":"reload"} admin frame hot-swaps the model)
+//   xferlearn request  --port N [--host ADDR] --src ID --dst ID
+//                      --bytes BYTES [--files N] [--dirs N]
+//                      [--concurrency C] [--parallelism P]
+//                      [--deadline-ms N] | --ping | --stats |
+//                      --reload [--path model.txt]
+//   xferlearn serve-bench (--model model.txt | --log log.csv)
+//                      [--clients 1,4,16] [--seconds 2] [--max-batch N]
+//                      [--queue-cap N] [--src ID --dst ID]
+//                      [--json-out BENCH_serve.json]
 //
 // Observability options, accepted by every subcommand (after the name):
 //   --log-level trace|debug|info|warn|error|off   (default info)
@@ -28,17 +41,24 @@
 // Every subcommand works on the Globus-schema CSV produced by `simulate`
 // or exported from a real transfer service.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/csv.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
@@ -50,11 +70,24 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
 
 using namespace xfl;
+
+/// Strict numeric flag parse: the whole token must be a number, so typos
+/// like `--transfers 12x` fail the run instead of silently truncating.
+/// Throws std::runtime_error, which main() turns into a nonzero exit.
+double parse_number(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const double parsed = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size())
+    throw std::runtime_error("bad value for " + flag + ": '" + text + "'");
+  return parsed;
+}
 
 /// Minimal --flag value parser: returns the value after `name`, if present.
 class ArgList {
@@ -81,7 +114,7 @@ class ArgList {
 
   double number_or(const std::string& name, double fallback) const {
     const auto v = value(name);
-    return v ? std::stod(*v) : fallback;
+    return v ? parse_number(name, *v) : fallback;
   }
 
  private:
@@ -91,7 +124,8 @@ class ArgList {
 int usage() {
   std::fprintf(stderr,
                "usage: xferlearn <simulate|analyze|train|evaluate|predict|"
-               "predict-batch|export-dataset> [options]\n"
+               "predict-batch|export-dataset|serve|request|serve-bench> "
+               "[options]\n"
                "observability (any command): --log-level <level> --log-json "
                "--metrics-out <file> --trace-out <file> --print-metrics\n"
                "run `xferlearn <command>` with no options for details in "
@@ -240,12 +274,9 @@ int cmd_train(const ArgList& args) {
       args.number_or("--min-edge-transfers", 100.0));
   core::TransferPredictor predictor(options);
   predictor.fit(log);
-  std::ofstream out(*out_path);
-  if (!out) {
-    std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
-    return 1;
-  }
-  predictor.save(out);
+  // Temp-file + atomic rename, so a serve daemon watching this path never
+  // reloads a half-written model.
+  predictor.save_file(*out_path);
   std::printf("trained predictor saved to %s\n", out_path->c_str());
   return 0;
 }
@@ -254,12 +285,7 @@ int cmd_train(const ArgList& args) {
 /// or train one from --log.
 core::TransferPredictor acquire_predictor(const ArgList& args) {
   if (const auto model_path = args.value("--model")) {
-    std::ifstream in(*model_path);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot open %s\n", model_path->c_str());
-      std::exit(1);
-    }
-    auto predictor = core::TransferPredictor::load(in);
+    auto predictor = core::TransferPredictor::load_file(*model_path);
     std::printf("loaded predictor from %s\n", model_path->c_str());
     return predictor;
   }
@@ -281,9 +307,11 @@ int cmd_predict(const ArgList& args) {
     std::fprintf(stderr, "error: --src, --dst and --bytes are required\n");
     return 2;
   }
-  planned.src = static_cast<endpoint::EndpointId>(std::stoul(*src));
-  planned.dst = static_cast<endpoint::EndpointId>(std::stoul(*dst));
-  planned.bytes = std::stod(*bytes);
+  planned.src =
+      static_cast<endpoint::EndpointId>(parse_number("--src", *src));
+  planned.dst =
+      static_cast<endpoint::EndpointId>(parse_number("--dst", *dst));
+  planned.bytes = parse_number("--bytes", *bytes);
   planned.files = static_cast<std::uint64_t>(args.number_or("--files", 1.0));
   planned.dirs = static_cast<std::uint64_t>(args.number_or("--dirs", 1.0));
   planned.concurrency =
@@ -412,8 +440,8 @@ int cmd_export_dataset(const ArgList& args) {
     return 2;
   }
   const logs::EdgeKey edge{
-      static_cast<endpoint::EndpointId>(std::stoul(*src)),
-      static_cast<endpoint::EndpointId>(std::stoul(*dst))};
+      static_cast<endpoint::EndpointId>(parse_number("--src", *src)),
+      static_cast<endpoint::EndpointId>(parse_number("--dst", *dst))};
   if (log.edge_count(edge) == 0) {
     std::fprintf(stderr, "error: edge %s->%s has no transfers\n", src->c_str(),
                  dst->c_str());
@@ -437,6 +465,298 @@ int cmd_export_dataset(const ArgList& args) {
   return 0;
 }
 
+// Signal flags for the serve daemon: SIGINT/SIGTERM drain and exit,
+// SIGHUP hot-reloads the model file.
+volatile std::sig_atomic_t g_serve_stop = 0;
+volatile std::sig_atomic_t g_serve_hup = 0;
+
+void serve_stop_handler(int) { g_serve_stop = 1; }
+void serve_hup_handler(int) { g_serve_hup = 1; }
+
+/// Build the resident predictor for serve/serve-bench from --model (file)
+/// or --log (train in-process).
+std::shared_ptr<const core::TransferPredictor> acquire_shared_predictor(
+    const ArgList& args, std::string& model_path_out) {
+  if (const auto model_path = args.value("--model")) {
+    model_path_out = *model_path;
+    auto predictor = std::make_shared<const core::TransferPredictor>(
+        core::TransferPredictor::load_file(*model_path));
+    std::printf("loaded predictor from %s\n", model_path->c_str());
+    return predictor;
+  }
+  const auto log = load_log(args);
+  core::TransferPredictor::Options options;
+  options.min_edge_transfers = static_cast<std::size_t>(
+      args.number_or("--min-edge-transfers", 100.0));
+  auto predictor = std::make_shared<core::TransferPredictor>(options);
+  predictor->fit(log);
+  return predictor;
+}
+
+serve::PredictionServer::Options server_options(const ArgList& args) {
+  serve::PredictionServer::Options options;
+  options.port = static_cast<std::uint16_t>(args.number_or("--port", 7070.0));
+  options.bind_address = args.value_or("--bind", "127.0.0.1");
+  options.max_batch =
+      static_cast<std::size_t>(args.number_or("--max-batch", 64.0));
+  options.queue_capacity =
+      static_cast<std::size_t>(args.number_or("--queue-cap", 1024.0));
+  options.predict_threads =
+      static_cast<std::size_t>(args.number_or("--threads", 1.0));
+  return options;
+}
+
+int cmd_serve(const ArgList& args) {
+  std::string model_path;
+  serve::ModelHost host(acquire_shared_predictor(args, model_path),
+                        model_path);
+  serve::PredictionServer server(host, server_options(args));
+  server.start();
+  std::printf("serving predictions on %s:%u (SIGHUP reloads %s)\n",
+              args.value_or("--bind", "127.0.0.1").c_str(), server.port(),
+              model_path.empty() ? "<admin reload only>" : model_path.c_str());
+
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGHUP, serve_hup_handler);
+  while (!g_serve_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (g_serve_hup) {
+      g_serve_hup = 0;
+      try {
+        const std::uint64_t version = host.reload_from_file();
+        std::printf("SIGHUP: model reloaded (version %llu)\n",
+                    static_cast<unsigned long long>(version));
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "SIGHUP reload failed: %s\n", error.what());
+      }
+    }
+  }
+  std::printf("draining...\n");
+  server.stop();
+  std::printf("stopped.\n");
+  return 0;
+}
+
+int cmd_request(const ArgList& args) {
+  const auto port_value = args.value("--port");
+  if (!port_value) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+  serve::PredictionClient client(
+      args.value_or("--host", "127.0.0.1"),
+      static_cast<std::uint16_t>(parse_number("--port", *port_value)));
+
+  if (args.flag("--ping")) {
+    if (!client.ping()) {
+      std::fprintf(stderr, "error: ping failed\n");
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (args.flag("--stats")) {
+    const auto stats = client.stats();
+    const auto* depth = stats.find("queue_depth");
+    const auto* version = stats.find("version");
+    const auto* requests = stats.find("requests");
+    const auto* rejected = stats.find("rejected");
+    std::printf("queue depth:   %.0f\nmodel version: %.0f\n"
+                "requests:      %.0f\nrejected:      %.0f\n",
+                depth ? depth->number : -1.0, version ? version->number : -1.0,
+                requests ? requests->number : -1.0,
+                rejected ? rejected->number : -1.0);
+    return 0;
+  }
+  if (args.flag("--reload")) {
+    const std::uint64_t version = client.reload(args.value_or("--path", ""));
+    std::printf("reloaded; model version %llu\n",
+                static_cast<unsigned long long>(version));
+    return 0;
+  }
+
+  const auto src = args.value("--src");
+  const auto dst = args.value("--dst");
+  const auto bytes = args.value("--bytes");
+  if (!src || !dst || !bytes) {
+    std::fprintf(stderr,
+                 "error: --src, --dst and --bytes are required (or use "
+                 "--ping/--stats/--reload)\n");
+    return 2;
+  }
+  core::PlannedTransfer planned;
+  planned.src = static_cast<endpoint::EndpointId>(parse_number("--src", *src));
+  planned.dst = static_cast<endpoint::EndpointId>(parse_number("--dst", *dst));
+  planned.bytes = parse_number("--bytes", *bytes);
+  planned.files = static_cast<std::uint64_t>(args.number_or("--files", 1.0));
+  planned.dirs = static_cast<std::uint64_t>(args.number_or("--dirs", 1.0));
+  planned.concurrency =
+      static_cast<std::uint32_t>(args.number_or("--concurrency", 4.0));
+  planned.parallelism =
+      static_cast<std::uint32_t>(args.number_or("--parallelism", 4.0));
+  const auto deadline_ms =
+      static_cast<std::uint64_t>(args.number_or("--deadline-ms", 0.0));
+
+  const auto reply = client.predict(planned, {}, deadline_ms);
+  if (!reply.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", reply.error.c_str(),
+                 reply.message.c_str());
+    return 1;
+  }
+  std::printf("predicted rate: %.1f MB/s (%s model, version %llu)\n",
+              reply.rate_mbps, reply.model.c_str(),
+              static_cast<unsigned long long>(reply.model_version));
+  std::printf("predicted duration: %.0f s for %s\n",
+              planned.bytes / mbps(reply.rate_mbps),
+              format_bytes(planned.bytes).c_str());
+  return 0;
+}
+
+/// Loadgen: in-process server on an ephemeral port, C blocking clients per
+/// level hammering it for --seconds, sustained req/s + latency quantiles.
+int cmd_serve_bench(const ArgList& args) {
+  std::string model_path;
+  serve::ModelHost host(acquire_shared_predictor(args, model_path),
+                        model_path);
+  auto options = server_options(args);
+  options.port = 0;  // Always ephemeral: the bench must not collide.
+  serve::PredictionServer server(host, options);
+  server.start();
+
+  const double seconds = args.number_or("--seconds", 2.0);
+  const auto src = static_cast<endpoint::EndpointId>(
+      args.number_or("--src", 0.0));
+  const auto dst = static_cast<endpoint::EndpointId>(
+      args.number_or("--dst", 1.0));
+  std::vector<std::size_t> levels;
+  {
+    const std::string spec = args.value_or("--clients", "1,4,16");
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string token =
+          spec.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!token.empty())
+        levels.push_back(
+            static_cast<std::size_t>(parse_number("--clients", token)));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (levels.empty()) {
+      std::fprintf(stderr, "error: --clients needs at least one level\n");
+      return 2;
+    }
+  }
+
+  // A deterministic mix of planned transfers (sizes, file counts,
+  // concurrency) so batches are not degenerate single-row repeats.
+  std::vector<core::PlannedTransfer> mix;
+  for (int i = 0; i < 16; ++i) {
+    core::PlannedTransfer planned;
+    planned.src = src;
+    planned.dst = dst;
+    planned.bytes = 1e9 * static_cast<double>(1 + (i * 7) % 50);
+    planned.files = static_cast<std::uint64_t>(1 + (i * 13) % 40);
+    planned.concurrency = static_cast<std::uint32_t>(1 + i % 8);
+    planned.parallelism = static_cast<std::uint32_t>(1 + (i * 3) % 8);
+    mix.push_back(planned);
+  }
+
+  struct LevelResult {
+    std::size_t clients = 0;
+    std::uint64_t requests = 0;
+    double seconds = 0.0;
+    double rps = 0.0;
+    double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  };
+  std::vector<LevelResult> results;
+
+  TextTable table;
+  table.set_title("serve-bench: sustained load against the micro-batching "
+                  "server (loopback)");
+  table.set_header({"clients", "req/s", "p50 us", "p95 us", "p99 us",
+                    "requests"});
+  for (const std::size_t clients : levels) {
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        serve::PredictionClient client("127.0.0.1", server.port());
+        std::size_t i = c;  // Stagger the mix across clients.
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto reply = client.predict(mix[i++ % mix.size()]);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (reply.ok)
+            latencies[c].push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true);
+    for (auto& thread : threads) thread.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+
+    std::vector<double> all;
+    for (const auto& per_client : latencies)
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    LevelResult result;
+    result.clients = clients;
+    result.requests = all.size();
+    result.seconds = elapsed;
+    result.rps = static_cast<double>(all.size()) / elapsed;
+    if (!all.empty()) {
+      result.p50_us = percentile(all, 50.0);
+      result.p95_us = percentile(all, 95.0);
+      result.p99_us = percentile(all, 99.0);
+    }
+    results.push_back(result);
+    table.add_row({std::to_string(clients), TextTable::num(result.rps, 0),
+                   TextTable::num(result.p50_us, 0),
+                   TextTable::num(result.p95_us, 0),
+                   TextTable::num(result.p99_us, 0),
+                   std::to_string(result.requests)});
+  }
+  server.stop();
+  table.print(stdout);
+
+  if (const auto out_path = args.value("--json-out")) {
+    std::ofstream out(*out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
+      return 1;
+    }
+    out << "{\n  \"description\": \"xferlearn serve-bench: blocking clients"
+           " over loopback TCP against the micro-batching prediction server"
+           " (max_batch=" << options.max_batch
+        << ", queue_capacity=" << options.queue_capacity
+        << "); latencies are per-request round trips in microseconds\",\n"
+        << "  \"seconds_per_level\": " << seconds << ",\n  \"levels\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "    {\"clients\": %zu, \"requests\": %llu, "
+                    "\"req_per_s\": %.1f, \"p50_us\": %.1f, "
+                    "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                    r.clients, static_cast<unsigned long long>(r.requests),
+                    r.rps, r.p50_us, r.p95_us, r.p99_us,
+                    i + 1 < results.size() ? "," : "");
+      out << line;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", out_path->c_str());
+  }
+  return 0;
+}
+
 int run_command(const std::string& command, const ArgList& args) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "analyze") return cmd_analyze(args);
@@ -445,6 +765,9 @@ int run_command(const std::string& command, const ArgList& args) {
   if (command == "predict") return cmd_predict(args);
   if (command == "predict-batch") return cmd_predict_batch(args);
   if (command == "export-dataset") return cmd_export_dataset(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "request") return cmd_request(args);
+  if (command == "serve-bench") return cmd_serve_bench(args);
   return usage();
 }
 
