@@ -32,6 +32,10 @@ struct PredictorMetrics {
   obs::Counter& edge_hits = obs::counter("predictor.predict.edge_hits");
   obs::Counter& global_fallbacks =
       obs::counter("predictor.predict.global_fallbacks");
+  /// Batch predict wall time, fine log buckets: its quantiles feed the
+  /// serve-path "predict" stage in the stats exposition.
+  obs::Histogram& batch_latency = obs::histogram(
+      "predictor.predict.batch_us", obs::quantile_latency_bounds_us());
 };
 
 PredictorMetrics& predictor_metrics() {
@@ -195,6 +199,7 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
   XFL_EXPECTS(expected_loads.empty() ||
               expected_loads.size() == transfers.size());
   XFL_SPAN("predictor.predict_batch");
+  const std::uint64_t start_us = obs::monotonic_us();
   std::vector<double> rates(transfers.size());
   if (transfers.empty()) return rates;
   static const features::ContentionFeatures kIdle{};
@@ -231,6 +236,8 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
     for (std::size_t k = 0; k < indices.size(); ++k)
       rates[indices[k]] = std::max(predicted[k], 0.01);
   }
+  predictor_metrics().batch_latency.record(
+      static_cast<double>(obs::monotonic_us() - start_us));
   return rates;
 }
 

@@ -64,6 +64,29 @@ void Histogram::record(double v) noexcept {
   shard.sum.fetch_add(v, std::memory_order_relaxed);
 }
 
+double Histogram::Snapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  // Target rank, 1-based: the sample such that `p`% of the mass is at or
+  // below it (matches xfl::percentile's linear interpolation closely
+  // enough for log-spaced buckets).
+  const double rank = p / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t below = cumulative;
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= upper_bounds.size()) return upper_bounds.back();  // Overflow.
+    const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+    const double hi = upper_bounds[b];
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::min(std::max(fraction, 0.0), 1.0);
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot snap;
   snap.upper_bounds = upper_bounds_;
@@ -88,6 +111,21 @@ std::span<const double> default_latency_bounds_us() {
   static const std::vector<double> bounds = {
       10.0,    30.0,    100.0,    300.0,    1.0e3,  3.0e3, 1.0e4,
       3.0e4,   1.0e5,   3.0e5,    1.0e6,    3.0e6,  1.0e7};
+  return bounds;
+}
+
+std::vector<double> log_bucket_bounds(double lo, double hi, double growth) {
+  std::vector<double> bounds;
+  if (!(lo > 0.0) || !(hi > lo) || !(growth > 1.0)) return bounds;
+  for (double bound = lo; bound < hi; bound *= growth)
+    bounds.push_back(bound);
+  bounds.push_back(hi);
+  return bounds;
+}
+
+std::span<const double> quantile_latency_bounds_us() {
+  static const std::vector<double> bounds =
+      log_bucket_bounds(1.0, 1.0e7, 1.08);
   return bounds;
 }
 
@@ -170,6 +208,12 @@ std::string Registry::to_json() const {
     out += std::to_string(snap.count);
     out += ",\"sum\":";
     append_number(out, snap.sum);
+    out += ",\"p50\":";
+    append_number(out, snap.quantile(50.0));
+    out += ",\"p95\":";
+    append_number(out, snap.quantile(95.0));
+    out += ",\"p99\":";
+    append_number(out, snap.quantile(99.0));
     out += ",\"buckets\":[";
     for (std::size_t b = 0; b < snap.counts.size(); ++b) {
       if (b != 0) out += ',';
@@ -203,7 +247,10 @@ void Registry::write_text(std::ostream& out) const {
     out << "histogram " << name << " count=" << snap.count
         << " sum=" << snap.sum;
     if (snap.count > 0)
-      out << " mean=" << snap.sum / static_cast<double>(snap.count);
+      out << " mean=" << snap.sum / static_cast<double>(snap.count)
+          << " p50=" << snap.quantile(50.0)
+          << " p95=" << snap.quantile(95.0)
+          << " p99=" << snap.quantile(99.0);
     out << '\n';
   }
 }

@@ -101,6 +101,14 @@ class Histogram {
     std::vector<std::uint64_t> counts;  ///< upper_bounds.size() + 1 entries.
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Streaming quantile extraction, p in [0, 100]: walk the cumulative
+    /// bucket counts to the target rank and interpolate linearly inside
+    /// the bucket (lower edge 0 for the first bucket). Samples landing in
+    /// the overflow bucket clamp to the highest bound — register the
+    /// histogram with log_bucket_bounds() wide enough that the overflow
+    /// bucket stays empty. Returns 0 when the histogram is empty.
+    double quantile(double p) const;
   };
   Snapshot snapshot() const;
 
@@ -118,6 +126,15 @@ class Histogram {
 /// Default latency bucket bounds in microseconds (roughly log-spaced from
 /// 10us to 10s).
 std::span<const double> default_latency_bounds_us();
+
+/// Geometric bucket bounds: lo, lo*growth, lo*growth^2, ... through hi
+/// (the last bound is >= hi). With growth 1.08 the relative quantile
+/// error from within-bucket interpolation is under ~4%.
+std::vector<double> log_bucket_bounds(double lo, double hi, double growth);
+
+/// Fine log-spaced latency bounds (1us..10s, ~4% resolution) for
+/// histograms whose quantiles are exported — the serve-path stage timers.
+std::span<const double> quantile_latency_bounds_us();
 
 /// Process-wide name -> metric registry. Lookups lock; the returned
 /// references are stable for the life of the process, so hot paths resolve

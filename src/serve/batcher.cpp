@@ -24,6 +24,16 @@ struct BatcherMetrics {
   obs::Histogram& size = obs::histogram(
       "serve.batch.size",
       std::vector<double>{1, 2, 4, 8, 16, 32, 64, 128, 256});
+  // Stage timers, fine log-spaced buckets so exported quantiles are
+  // meaningful: per-request queue wait, then the three batch stages.
+  obs::Histogram& queue_wait = obs::histogram(
+      "serve.request.queue_wait_us", obs::quantile_latency_bounds_us());
+  obs::Histogram& assemble = obs::histogram(
+      "serve.batch.assemble_us", obs::quantile_latency_bounds_us());
+  obs::Histogram& predict = obs::histogram(
+      "serve.batch.predict_us", obs::quantile_latency_bounds_us());
+  obs::Histogram& respond = obs::histogram(
+      "serve.batch.respond_us", obs::quantile_latency_bounds_us());
 };
 
 BatcherMetrics& batcher_metrics() {
@@ -61,6 +71,7 @@ MicroBatcher::Admission MicroBatcher::submit(BatchItem item) {
     if (stopping_) return Admission::kShuttingDown;
     if (queue_.size() >= options_.queue_capacity)
       return Admission::kOverloaded;
+    item.enqueue_us = obs::monotonic_us();
     queue_.push_back(std::move(item));
     batcher_metrics().depth.set(static_cast<double>(queue_.size()));
   }
@@ -127,38 +138,51 @@ void MicroBatcher::process(std::vector<BatchItem>& batch) {
   auto& metrics = batcher_metrics();
   const std::uint64_t start_us = obs::monotonic_us();
 
-  // Items whose deadline passed while queued time out here — the cost of
-  // predicting them would only push every later request further past its
-  // own deadline.
+  // Stage 1: assembly — per-request queue wait, deadline triage, and
+  // packing the surviving rows into the flat-kernel input vectors.
+  const ModelHost::Snapshot snapshot = host_.snapshot();
   std::vector<const BatchItem*> live;
-  live.reserve(batch.size());
-  for (const auto& item : batch) {
-    if (item.deadline_us != 0 && start_us > item.deadline_us) {
-      PredictOutcome timeout;
-      timeout.error = kErrTimeout;
-      timeout.message = "deadline expired before batch execution";
-      metrics.timeouts.add(1);
-      deliver(item, timeout);
-    } else {
-      live.push_back(&item);
+  std::vector<core::PlannedTransfer> transfers;
+  std::vector<features::ContentionFeatures> loads;
+  {
+    XFL_SPAN("serve.batch.assemble");
+    live.reserve(batch.size());
+    for (const auto& item : batch) {
+      if (item.enqueue_us != 0)
+        metrics.queue_wait.record(
+            static_cast<double>(start_us - item.enqueue_us));
+      // Items whose deadline passed while queued time out here — the cost
+      // of predicting them would only push every later request further
+      // past its own deadline.
+      if (item.deadline_us != 0 && start_us > item.deadline_us) {
+        PredictOutcome timeout;
+        timeout.error = kErrTimeout;
+        timeout.message = "deadline expired before batch execution";
+        metrics.timeouts.add(1);
+        deliver(item, timeout);
+      } else {
+        live.push_back(&item);
+      }
     }
+    transfers.reserve(live.size());
+    loads.reserve(live.size());
+    for (const BatchItem* item : live) {
+      transfers.push_back(item->transfer);
+      loads.push_back(item->load);
+    }
+    metrics.assemble.record(static_cast<double>(obs::monotonic_us() - start_us));
   }
   if (live.empty()) return;
 
-  const ModelHost::Snapshot snapshot = host_.snapshot();
-  std::vector<core::PlannedTransfer> transfers;
-  std::vector<features::ContentionFeatures> loads;
-  transfers.reserve(live.size());
-  loads.reserve(live.size());
-  for (const BatchItem* item : live) {
-    transfers.push_back(item->transfer);
-    loads.push_back(item->load);
-  }
-
+  // Stage 2: one flat-kernel predict call for the whole batch.
+  const std::uint64_t predict_start_us = obs::monotonic_us();
   std::vector<double> rates;
   try {
+    XFL_SPAN("serve.batch.predict");
     rates = snapshot.predictor->predict_rates_mbps(transfers, loads,
                                                    pool_.get());
+    metrics.predict.record(
+        static_cast<double>(obs::monotonic_us() - predict_start_us));
   } catch (const std::exception& error) {
     metrics.failures.add(1);
     XFL_LOG(error) << "serve batch predict failed"
@@ -171,19 +195,31 @@ void MicroBatcher::process(std::vector<BatchItem>& batch) {
     return;
   }
 
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    PredictOutcome outcome;
-    outcome.ok = true;
-    outcome.rate_mbps = rates[i];
-    outcome.edge_model = snapshot.predictor->has_edge_model(
-        {live[i]->transfer.src, live[i]->transfer.dst});
-    outcome.model_version = snapshot.version;
-    deliver(*live[i], outcome);
-  }
-
+  // Batch accounting is committed BEFORE the replies go out so a client
+  // that reads its answer and immediately asks for `stats` sees this
+  // batch's rows counted (only the whole-batch latency, which includes
+  // the respond stage itself, is recorded after).
   metrics.batches.add(1);
   metrics.rows.add(live.size());
   metrics.size.record(static_cast<double>(live.size()));
+
+  // Stage 3: serialise + write each reply (runs the done callbacks).
+  {
+    XFL_SPAN("serve.batch.respond");
+    const std::uint64_t respond_start_us = obs::monotonic_us();
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      PredictOutcome outcome;
+      outcome.ok = true;
+      outcome.rate_mbps = rates[i];
+      outcome.edge_model = snapshot.predictor->has_edge_model(
+          {live[i]->transfer.src, live[i]->transfer.dst});
+      outcome.model_version = snapshot.version;
+      deliver(*live[i], outcome);
+    }
+    metrics.respond.record(
+        static_cast<double>(obs::monotonic_us() - respond_start_us));
+  }
+
   metrics.latency.record(static_cast<double>(obs::monotonic_us() - start_us));
 }
 

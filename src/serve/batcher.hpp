@@ -46,9 +46,18 @@ struct PredictOutcome {
 struct BatchItem {
   core::PlannedTransfer transfer;
   features::ContentionFeatures load;
+  /// Server-assigned trace id; propagated through the queue into the
+  /// worker batch so the response and stage timings stay correlatable.
+  std::uint64_t trace_id = 0;
+  /// obs::monotonic_us() when the frame was received (set by the server;
+  /// the queue-wait histogram measures from submit, this one anchors the
+  /// end-to-end server_ms figure).
+  std::uint64_t received_us = 0;
   /// Absolute obs::monotonic_us() deadline; 0 = none. Checked when the
   /// batch worker picks the item up.
   std::uint64_t deadline_us = 0;
+  /// Set by submit(); queue wait is measured from here.
+  std::uint64_t enqueue_us = 0;
   std::function<void(const PredictOutcome&)> done;
 };
 

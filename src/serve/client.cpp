@@ -92,6 +92,11 @@ PredictReply PredictionClient::parse_reply(const std::string& line) {
     reply.model = model->string;
   if (const JsonValue* v = root.find("version"); v && v->is_number())
     reply.model_version = static_cast<std::uint64_t>(v->number);
+  if (const JsonValue* trace = root.find("trace_id");
+      trace && trace->is_string())
+    reply.trace_id = trace->string;
+  if (const JsonValue* ms = root.find("server_ms"); ms && ms->is_number())
+    reply.server_ms = ms->number;
   if (const JsonValue* error = root.find("error"); error && error->is_string())
     reply.error = error->string;
   if (const JsonValue* msg = root.find("message"); msg && msg->is_string())
@@ -115,6 +120,39 @@ PredictReply PredictionClient::predict(
     const features::ContentionFeatures& load, std::uint64_t deadline_ms) {
   const std::string id = std::to_string(next_id_++);
   return round_trip(predict_request_line(id, transfer, load, deadline_ms), id);
+}
+
+FeedbackReply PredictionClient::feedback(const std::string& trace_id,
+                                         double observed_mbps) {
+  const std::string id = std::to_string(next_id_++);
+  send_line(feedback_request_line(id, trace_id, observed_mbps));
+  for (;;) {
+    const JsonValue root = parse_json(read_line());
+    const JsonValue* reply_id = root.find("id");
+    if (reply_id == nullptr || !reply_id->is_string() ||
+        reply_id->string != id)
+      continue;
+    FeedbackReply reply;
+    reply.id = id;
+    if (const JsonValue* ok = root.find("ok"); ok && ok->is_bool())
+      reply.ok = ok->boolean;
+    if (const JsonValue* m = root.find("matched"); m && m->is_bool())
+      reply.matched = m->boolean;
+    if (const JsonValue* v = root.find("ape_pct"); v && v->is_number())
+      reply.ape_pct = v->number;
+    if (const JsonValue* v = root.find("predicted_mbps");
+        v && v->is_number())
+      reply.predicted_mbps = v->number;
+    if (const JsonValue* v = root.find("version"); v && v->is_number())
+      reply.model_version = static_cast<std::uint64_t>(v->number);
+    if (const JsonValue* v = root.find("mdape_pct"); v && v->is_number())
+      reply.mdape_pct = v->number;
+    if (const JsonValue* v = root.find("window"); v && v->is_number())
+      reply.window = static_cast<std::uint64_t>(v->number);
+    if (const JsonValue* a = root.find("alarm"); a && a->is_bool())
+      reply.alarm = a->boolean;
+    return reply;
+  }
 }
 
 bool PredictionClient::ping() {
@@ -141,10 +179,11 @@ std::uint64_t PredictionClient::reload(const std::string& path) {
   return reply.model_version;
 }
 
-JsonValue PredictionClient::stats() {
+JsonValue PredictionClient::stats(bool registry) {
   const std::string id = std::to_string(next_id_++);
   std::string line = "{\"cmd\":\"stats\",\"id\":";
   append_json_string(line, id);
+  if (registry) line += ",\"registry\":true";
   line += "}";
   send_line(line);
   for (;;) {

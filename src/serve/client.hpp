@@ -22,8 +22,23 @@ struct PredictReply {
   double rate_mbps = 0.0;
   std::string model;  ///< "edge" or "global" on success.
   std::uint64_t model_version = 0;
+  std::string trace_id;   ///< Server trace id ("t17"); feedback joins on it.
+  double server_ms = 0.0; ///< In-server latency reported by the server.
   std::string error;  ///< Protocol error code when !ok.
   std::string message;
+};
+
+/// One decoded feedback reply.
+struct FeedbackReply {
+  std::string id;
+  bool ok = false;
+  bool matched = false;    ///< Trace id was still in the server journal.
+  double ape_pct = 0.0;
+  double predicted_mbps = 0.0;
+  std::uint64_t model_version = 0;
+  double mdape_pct = 0.0;  ///< Windowed MdAPE for that model version.
+  std::uint64_t window = 0;
+  bool alarm = false;
 };
 
 class PredictionClient {
@@ -42,6 +57,10 @@ class PredictionClient {
                        const features::ContentionFeatures& load = {},
                        std::uint64_t deadline_ms = 0);
 
+  /// Report the observed rate of a completed transfer back to the
+  /// prediction identified by `trace_id` (from PredictReply::trace_id).
+  FeedbackReply feedback(const std::string& trace_id, double observed_mbps);
+
   /// True when the server answers the ping.
   bool ping();
 
@@ -49,8 +68,9 @@ class PredictionClient {
   /// file). Returns the new model version; throws on reload failure.
   std::uint64_t reload(const std::string& path = "");
 
-  /// Raw parsed "stats" reply.
-  JsonValue stats();
+  /// Raw parsed "stats" reply. `registry` embeds the server's full
+  /// metrics-registry snapshot under "metrics".
+  JsonValue stats(bool registry = false);
 
   // Low-level framing for pipelined use.
   void send_line(const std::string& line);  ///< Throws on transport error.

@@ -1,0 +1,143 @@
+#include "serve/monitor.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace xfl::serve {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& feedback = obs::counter("serve.feedback.count");
+  obs::Counter& unmatched = obs::counter("serve.feedback.unmatched");
+  obs::Counter& alarms = obs::counter("serve.drift.alarms");
+  obs::Gauge& alarm = obs::gauge("serve.drift.alarm");
+  obs::Gauge& mdape = obs::gauge("serve.drift.mdape_pct");
+  obs::Gauge& journal = obs::gauge("serve.monitor.journal_size");
+};
+
+MonitorMetrics& monitor_metrics() {
+  static MonitorMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+ServeMonitor::ServeMonitor() : ServeMonitor(Options()) {}
+
+ServeMonitor::ServeMonitor(Options options) : options_(options) {
+  XFL_EXPECTS(options_.journal_capacity >= 1 && options_.drift_window >= 1 &&
+              options_.drift_min_samples >= 1);
+}
+
+void ServeMonitor::record_prediction(std::uint64_t trace_id,
+                                     double rate_mbps,
+                                     std::uint64_t model_version) {
+  std::lock_guard lock(mutex_);
+  windows_[model_version].predictions += 1;
+  auto [it, inserted] = journal_.try_emplace(
+      trace_id, Pending{rate_mbps, model_version});
+  if (!inserted) return;  // Trace ids are unique; be defensive anyway.
+  journal_order_.push_back(trace_id);
+  while (journal_.size() > options_.journal_capacity) {
+    journal_.erase(journal_order_.front());
+    journal_order_.pop_front();
+  }
+  monitor_metrics().journal.set(static_cast<double>(journal_.size()));
+}
+
+ServeMonitor::FeedbackResult ServeMonitor::record_feedback(
+    std::uint64_t trace_id, double observed_mbps) {
+  auto& metrics = monitor_metrics();
+  metrics.feedback.add(1);
+  FeedbackResult result;
+  std::lock_guard lock(mutex_);
+  const auto it = journal_.find(trace_id);
+  if (it == journal_.end() || !(observed_mbps > 0.0) ||
+      !std::isfinite(observed_mbps)) {
+    metrics.unmatched.add(1);
+    return result;
+  }
+  const Pending pending = it->second;
+  journal_.erase(it);  // One feedback per prediction; frees journal space.
+
+  result.matched = true;
+  result.predicted_mbps = pending.rate_mbps;
+  result.model_version = pending.model_version;
+  // The paper's APE: error relative to the observed (actual) rate.
+  result.ape_pct =
+      std::abs(observed_mbps - pending.rate_mbps) / observed_mbps * 100.0;
+
+  Window& window = windows_[pending.model_version];
+  window.feedback += 1;
+  window.apes.push_back(result.ape_pct);
+  while (window.apes.size() > options_.drift_window) window.apes.pop_front();
+  refresh_window(pending.model_version, window);
+
+  result.mdape_pct = window.mdape_pct;
+  result.window_count = window.apes.size();
+  result.alarm = window.alarm;
+  return result;
+}
+
+void ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
+  const std::vector<double> apes(window.apes.begin(), window.apes.end());
+  window.mdape_pct = apes.empty() ? 0.0 : percentile(apes, 50.0);
+
+  const bool breach = window.apes.size() >= options_.drift_min_samples &&
+                      window.mdape_pct > options_.drift_threshold_pct;
+  auto& metrics = monitor_metrics();
+  if (breach && !window.alarm) {
+    metrics.alarms.add(1);
+    XFL_LOG(warn) << "prediction drift alarm raised"
+                  << obs::kv("model_version", version)
+                  << obs::kv("mdape_pct", window.mdape_pct)
+                  << obs::kv("threshold_pct", options_.drift_threshold_pct)
+                  << obs::kv("window", window.apes.size());
+  } else if (!breach && window.alarm) {
+    XFL_LOG(info) << "prediction drift alarm cleared"
+                  << obs::kv("model_version", version)
+                  << obs::kv("mdape_pct", window.mdape_pct);
+  }
+  window.alarm = breach;
+
+  metrics.mdape.set(window.mdape_pct);
+  bool any_alarm = false;
+  for (const auto& [v, w] : windows_) any_alarm = any_alarm || w.alarm;
+  metrics.alarm.set(any_alarm ? 1.0 : 0.0);
+}
+
+std::map<std::uint64_t, ServeMonitor::VersionStats>
+ServeMonitor::version_stats() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::uint64_t, VersionStats> out;
+  for (const auto& [version, window] : windows_) {
+    VersionStats stats;
+    stats.predictions = window.predictions;
+    stats.feedback = window.feedback;
+    stats.mdape_pct = window.mdape_pct;
+    stats.window_count = window.apes.size();
+    stats.alarm = window.alarm;
+    out.emplace(version, stats);
+  }
+  return out;
+}
+
+bool ServeMonitor::alarm_active() const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [version, window] : windows_)
+    if (window.alarm) return true;
+  return false;
+}
+
+std::size_t ServeMonitor::journal_size() const {
+  std::lock_guard lock(mutex_);
+  return journal_.size();
+}
+
+}  // namespace xfl::serve

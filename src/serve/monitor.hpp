@@ -1,0 +1,108 @@
+// Online prediction-accuracy and drift monitor for the serve path — the
+// operational analogue of the paper's §5.5 unknown-load study, where
+// offline accuracy collapsed once unmonitored load appeared. The server
+// records every answered prediction in a bounded journal keyed by trace
+// id; clients report the observed average rate after the transfer
+// completes via a `feedback` frame, and the monitor joins the two,
+// maintains a rolling window of absolute percentage errors per model
+// version, and recomputes the windowed MdAPE (the paper's accuracy
+// metric) on every join. When the window holds enough samples and its
+// MdAPE exceeds the configured threshold, a structured drift alarm is
+// raised: one warn log on the rising edge, the serve.drift.* metrics,
+// and an `alarm` field in `stats` and feedback responses.
+//
+// All entry points lock one mutex. Predictions arrive from the batch
+// worker (one journal insert per answered request) and feedback from
+// connection threads (one per completed transfer) — both orders of
+// magnitude below the contention the sharded metric cells are built for,
+// so a plain mutex keeps the window arithmetic exact and trivially
+// TSan-clean.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+namespace xfl::serve {
+
+class ServeMonitor {
+ public:
+  struct Options {
+    /// Predictions remembered while awaiting feedback; FIFO eviction.
+    std::size_t journal_capacity = 4096;
+    /// Rolling APE window per model version.
+    std::size_t drift_window = 64;
+    /// Windowed MdAPE (percent) above which the drift alarm raises.
+    double drift_threshold_pct = 30.0;
+    /// Minimum feedback samples in the window before the alarm may fire.
+    std::size_t drift_min_samples = 16;
+  };
+
+  /// Result of joining one feedback record, echoed in the response.
+  struct FeedbackResult {
+    bool matched = false;       ///< Trace id was in the journal.
+    double ape_pct = 0.0;       ///< |observed - predicted| / observed * 100.
+    double predicted_mbps = 0.0;
+    std::uint64_t model_version = 0;
+    double mdape_pct = 0.0;     ///< Windowed MdAPE for that version.
+    std::size_t window_count = 0;
+    bool alarm = false;         ///< Alarm state for that version after join.
+  };
+
+  /// Per-model-version aggregate for the `stats` admin command.
+  struct VersionStats {
+    std::uint64_t predictions = 0;  ///< Answered predict requests.
+    std::uint64_t feedback = 0;     ///< Matched feedback joins.
+    double mdape_pct = 0.0;         ///< Windowed MdAPE (0 when no feedback).
+    std::size_t window_count = 0;
+    bool alarm = false;
+  };
+
+  ServeMonitor();
+  explicit ServeMonitor(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Journal one answered prediction (batch-worker callback path).
+  void record_prediction(std::uint64_t trace_id, double rate_mbps,
+                         std::uint64_t model_version);
+
+  /// Join an observed rate to its prediction. Unknown trace ids (evicted,
+  /// duplicate, or bogus) return matched=false and change no window.
+  FeedbackResult record_feedback(std::uint64_t trace_id,
+                                 double observed_mbps);
+
+  /// Aggregates per model version, keyed by version.
+  std::map<std::uint64_t, VersionStats> version_stats() const;
+
+  /// True while any version's window breaches the threshold.
+  bool alarm_active() const;
+
+  std::size_t journal_size() const;
+
+ private:
+  struct Pending {
+    double rate_mbps = 0.0;
+    std::uint64_t model_version = 0;
+  };
+  struct Window {
+    std::uint64_t predictions = 0;
+    std::uint64_t feedback = 0;
+    std::deque<double> apes;
+    double mdape_pct = 0.0;
+    bool alarm = false;
+  };
+
+  /// Recompute the windowed MdAPE and alarm edge. Caller holds mutex_.
+  void refresh_window(std::uint64_t version, Window& window);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Pending> journal_;
+  std::deque<std::uint64_t> journal_order_;  ///< FIFO eviction order.
+  std::map<std::uint64_t, Window> windows_;  ///< Keyed by model version.
+};
+
+}  // namespace xfl::serve

@@ -77,11 +77,18 @@ Frame parse_admin(const JsonValue& root, std::string id) {
   frame.id = id;
   frame.admin.id = std::move(id);
   frame.admin.cmd = cmd->string;
+  bool saw_registry = false;
   for (const auto& [key, value] : root.object) {
     if (key == "cmd" || key == "id") continue;
     if (key == "path") {
       if (!value.is_string()) reject("'path' must be a string");
       frame.admin.path = value.string;
+      continue;
+    }
+    if (key == "registry") {
+      if (!value.is_bool()) reject("'registry' must be a boolean");
+      frame.admin.registry = value.boolean;
+      saw_registry = true;
       continue;
     }
     reject("unknown field '" + key + "'");
@@ -91,6 +98,29 @@ Frame parse_admin(const JsonValue& root, std::string id) {
     reject("unknown cmd '" + frame.admin.cmd + "'");
   if (!frame.admin.path.empty() && frame.admin.cmd != "reload")
     reject("'path' is only valid with cmd 'reload'");
+  if (saw_registry && frame.admin.cmd != "stats")
+    reject("'registry' is only valid with cmd 'stats'");
+  return frame;
+}
+
+Frame parse_feedback(const JsonValue& root, std::string id) {
+  Frame frame;
+  frame.kind = Frame::Kind::kFeedback;
+  frame.id = id;
+  frame.feedback.id = std::move(id);
+  for (const auto& [key, value] : root.object) {
+    (void)value;
+    if (key != "id" && key != "feedback" && key != "observed_mbps")
+      reject("unknown field '" + key + "'");
+  }
+  const JsonValue* trace = root.find("feedback");
+  if (!trace->is_string()) reject("'feedback' must be a trace-id string");
+  if (!parse_trace_id(trace->string, frame.feedback.trace_id))
+    reject("'feedback' must look like \"t<number>\"");
+  frame.feedback.observed_mbps = require_number(root, "observed_mbps");
+  if (!std::isfinite(frame.feedback.observed_mbps) ||
+      !(frame.feedback.observed_mbps > 0.0))
+    reject("'observed_mbps' must be finite and positive");
   return frame;
 }
 
@@ -175,11 +205,31 @@ Frame parse_frame(const std::string& line) {
     std::string id = extract_id(root);
     bad.id = id;  // Preserved for the error response if parsing fails below.
     if (root.find("cmd") != nullptr) return parse_admin(root, std::move(id));
+    if (root.find("feedback") != nullptr)
+      return parse_feedback(root, std::move(id));
     return parse_predict(root, std::move(id));
   } catch (const FrameError& error) {
     bad.error = error.what();
     return bad;
   }
+}
+
+std::string trace_id_string(std::uint64_t trace_id) {
+  std::string out = "t";
+  out += std::to_string(trace_id);
+  return out;
+}
+
+bool parse_trace_id(const std::string& text, std::uint64_t& trace_id) {
+  if (text.size() < 2 || text.size() > 21 || text[0] != 't') return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  trace_id = value;
+  return true;
 }
 
 std::string predict_request_line(const std::string& id,
@@ -216,14 +266,28 @@ std::string predict_request_line(const std::string& id,
   return out;
 }
 
+std::string feedback_request_line(const std::string& id,
+                                  const std::string& trace_id,
+                                  double observed_mbps) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "feedback", trace_id, /*quote=*/true);
+  append_field(out, "observed_mbps", json_number(observed_mbps));
+  out += "}\n";
+  return out;
+}
+
 std::string predict_response(const std::string& id, double rate_mbps,
-                             bool edge_model, std::uint64_t model_version) {
+                             bool edge_model, std::uint64_t model_version,
+                             std::uint64_t trace_id, double server_ms) {
   std::string out = "{";
   append_field(out, "id", id, /*quote=*/true);
   append_field(out, "ok", "true");
   append_field(out, "rate_mbps", json_number(rate_mbps));
   append_field(out, "model", edge_model ? "edge" : "global", /*quote=*/true);
   append_field(out, "version", std::to_string(model_version));
+  append_field(out, "trace_id", trace_id_string(trace_id), /*quote=*/true);
+  append_field(out, "server_ms", json_number(server_ms));
   out += "}\n";
   return out;
 }
@@ -235,6 +299,40 @@ std::string error_response(const std::string& id, const char* code,
   append_field(out, "ok", "false");
   append_field(out, "error", code, /*quote=*/true);
   append_field(out, "message", message, /*quote=*/true);
+  out += "}\n";
+  return out;
+}
+
+std::string error_response(const std::string& id, const char* code,
+                           const std::string& message,
+                           std::uint64_t trace_id, double server_ms) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "false");
+  append_field(out, "error", code, /*quote=*/true);
+  append_field(out, "message", message, /*quote=*/true);
+  append_field(out, "trace_id", trace_id_string(trace_id), /*quote=*/true);
+  append_field(out, "server_ms", json_number(server_ms));
+  out += "}\n";
+  return out;
+}
+
+std::string feedback_response(const std::string& id,
+                              const std::string& trace_id,
+                              const ServeMonitor::FeedbackResult& result) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "trace_id", trace_id, /*quote=*/true);
+  append_field(out, "matched", result.matched ? "true" : "false");
+  if (result.matched) {
+    append_field(out, "ape_pct", json_number(result.ape_pct));
+    append_field(out, "predicted_mbps", json_number(result.predicted_mbps));
+    append_field(out, "version", std::to_string(result.model_version));
+    append_field(out, "mdape_pct", json_number(result.mdape_pct));
+    append_field(out, "window", std::to_string(result.window_count));
+    append_field(out, "alarm", result.alarm ? "true" : "false");
+  }
   out += "}\n";
   return out;
 }
@@ -260,16 +358,71 @@ std::string reload_response(const std::string& id,
   return out;
 }
 
-std::string stats_response(const std::string& id, std::size_t queue_depth,
-                           std::uint64_t model_version,
-                           std::uint64_t requests, std::uint64_t rejected) {
+namespace {
+
+std::string quantiles_object(const StageQuantiles& q) {
+  std::string out = "{";
+  append_field(out, "count", std::to_string(q.count));
+  append_field(out, "p50", json_number(q.p50));
+  append_field(out, "p95", json_number(q.p95));
+  append_field(out, "p99", json_number(q.p99));
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string stats_response(const std::string& id, const StatsReport& report) {
   std::string out = "{";
   append_field(out, "id", id, /*quote=*/true);
   append_field(out, "ok", "true");
-  append_field(out, "queue_depth", std::to_string(queue_depth));
-  append_field(out, "version", std::to_string(model_version));
-  append_field(out, "requests", std::to_string(requests));
-  append_field(out, "rejected", std::to_string(rejected));
+  append_field(out, "queue_depth", std::to_string(report.queue_depth));
+  append_field(out, "version", std::to_string(report.model_version));
+  append_field(out, "requests", std::to_string(report.requests));
+  append_field(out, "rejected", std::to_string(report.rejected));
+
+  std::string latency = "{";
+  for (const auto& [stage, quantiles] : report.latency_us)
+    append_field(latency, stage.c_str(), quantiles_object(quantiles));
+  latency.push_back('}');
+  append_field(out, "latency_us", latency);
+
+  std::string batch = "{";
+  append_field(batch, "batches", std::to_string(report.batches));
+  append_field(batch, "rows", std::to_string(report.batch_rows));
+  append_field(batch, "size", quantiles_object(report.batch_size));
+  batch.push_back('}');
+  append_field(out, "batch", batch);
+
+  std::string versions = "{";
+  for (const auto& [version, stats] : report.versions) {
+    std::string entry = "{";
+    append_field(entry, "predictions", std::to_string(stats.predictions));
+    append_field(entry, "feedback", std::to_string(stats.feedback));
+    append_field(entry, "mdape_pct", json_number(stats.mdape_pct));
+    append_field(entry, "window", std::to_string(stats.window_count));
+    append_field(entry, "alarm", stats.alarm ? "true" : "false");
+    entry.push_back('}');
+    append_field(versions, std::to_string(version).c_str(), entry);
+  }
+  versions.push_back('}');
+  append_field(out, "versions", versions);
+
+  std::string drift = "{";
+  append_field(drift, "alarm", report.drift_alarm ? "true" : "false");
+  append_field(drift, "alarms_total", std::to_string(report.drift_alarms_total));
+  append_field(drift, "window", std::to_string(report.drift_options.drift_window));
+  append_field(drift, "threshold_pct",
+               json_number(report.drift_options.drift_threshold_pct));
+  append_field(drift, "min_samples",
+               std::to_string(report.drift_options.drift_min_samples));
+  append_field(drift, "feedback", std::to_string(report.feedback_count));
+  append_field(drift, "unmatched", std::to_string(report.feedback_unmatched));
+  drift.push_back('}');
+  append_field(out, "drift", drift);
+
+  if (!report.registry_json.empty())
+    append_field(out, "metrics", report.registry_json);
   out += "}\n";
   return out;
 }

@@ -5,14 +5,22 @@
 //   {"id":"1","ok":true,"rate_mbps":312.5,"model":"edge","version":1}
 //
 // Request frames:
-//   predict: {"id":ID, "src":N, "dst":N, "bytes":X, ["files":N],
-//             ["dirs":N], ["concurrency":N], ["parallelism":N],
-//             ["deadline_ms":N], ["load":{"k_sout":X, ... }]}
-//   admin:   {"cmd":"ping"|"stats"|"reload", ["id":ID], ["path":"m.txt"]}
+//   predict:  {"id":ID, "src":N, "dst":N, "bytes":X, ["files":N],
+//              ["dirs":N], ["concurrency":N], ["parallelism":N],
+//              ["deadline_ms":N], ["load":{"k_sout":X, ... }]}
+//   feedback: {"id":ID, "feedback":"t17", "observed_mbps":X}
+//             (reports the observed average rate of a completed transfer
+//              back to the prediction it was scheduled on, by trace id)
+//   admin:    {"cmd":"ping"|"stats"|"reload", ["id":ID], ["path":"m.txt"],
+//              ["registry":true]}   (registry: stats embeds the full
+//              metrics-registry snapshot under "metrics")
 //
 // Response frames always carry "ok". Success echoes the request id;
 // failures carry a machine-readable "error" code (kErr* below) plus a
-// human-readable "message". Responses on one connection may be reordered
+// human-readable "message". Predict responses (success and failure alike)
+// also carry "trace_id" — the server-assigned request trace id feedback
+// joins on — and "server_ms", the in-server latency from frame receipt to
+// response serialisation. Responses on one connection may be reordered
 // relative to requests (micro-batching), so clients match on "id".
 //
 // Parsing is strict: unknown keys, wrong types, and out-of-range values
@@ -24,9 +32,12 @@
 #include <cstdint>
 #include <string>
 
+#include <vector>
+
 #include "core/predictor.hpp"
 #include "features/contention.hpp"
 #include "serve/json.hpp"
+#include "serve/monitor.hpp"
 
 namespace xfl::serve {
 
@@ -52,21 +63,34 @@ struct AdminRequest {
   std::string id;
   std::string cmd;   ///< "ping", "stats", or "reload".
   std::string path;  ///< reload only; empty = server's configured path.
+  bool registry = false;  ///< stats only; embed the metrics registry.
+};
+
+struct FeedbackRequest {
+  std::string id;
+  std::uint64_t trace_id = 0;   ///< Parsed from the "feedback" field.
+  double observed_mbps = 0.0;   ///< Observed average rate; finite, > 0.
 };
 
 /// One parsed request line. kBad carries the reason (and the id when it
 /// could still be extracted, so the error response stays correlatable).
 struct Frame {
-  enum class Kind { kPredict, kAdmin, kBad };
+  enum class Kind { kPredict, kFeedback, kAdmin, kBad };
   Kind kind = Kind::kBad;
   std::string id;
   PredictRequest predict;
+  FeedbackRequest feedback;
   AdminRequest admin;
   std::string error;
 };
 
 /// Parse one request line. Never throws: malformed input yields kBad.
 Frame parse_frame(const std::string& line);
+
+/// Trace ids travel as "t<decimal>" strings ("t17") so they are visually
+/// distinct from request ids. parse_trace_id accepts exactly that form.
+std::string trace_id_string(std::uint64_t trace_id);
+bool parse_trace_id(const std::string& text, std::uint64_t& trace_id);
 
 /// Serialise a predict request (client side). `load` is emitted only when
 /// any field is non-zero; ids are always emitted as JSON strings.
@@ -75,18 +99,63 @@ std::string predict_request_line(const std::string& id,
                                  const features::ContentionFeatures& load = {},
                                  std::uint64_t deadline_ms = 0);
 
+/// Serialise a feedback request (client side).
+std::string feedback_request_line(const std::string& id,
+                                  const std::string& trace_id,
+                                  double observed_mbps);
+
+/// Quantile summary of one stage histogram, embedded in stats responses.
+struct StageQuantiles {
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Everything the `stats` admin command reports. The server fills this
+/// from the live registry + monitor; the builder only serialises.
+struct StatsReport {
+  std::size_t queue_depth = 0;
+  std::uint64_t model_version = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t rejected = 0;
+  /// Stage latency quantiles, microseconds: name -> summary.
+  std::vector<std::pair<std::string, StageQuantiles>> latency_us;
+  /// Batch size distribution (rows per predict batch).
+  StageQuantiles batch_size;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_rows = 0;
+  // Drift monitor block.
+  ServeMonitor::Options drift_options;
+  bool drift_alarm = false;
+  std::uint64_t drift_alarms_total = 0;
+  std::uint64_t feedback_count = 0;
+  std::uint64_t feedback_unmatched = 0;
+  std::map<std::uint64_t, ServeMonitor::VersionStats> versions;
+  /// Raw Registry::to_json() output, spliced under "metrics" when the
+  /// request set "registry":true. Empty = omitted.
+  std::string registry_json;
+};
+
 // Response builders (server side). Each returns one newline-terminated
 // frame. rate_mbps uses %.17g so the client's strtod reproduces the
-// server's double bit-identically.
+// server's double bit-identically. server_ms is in-server latency from
+// frame receipt to response serialisation (fractional milliseconds).
 std::string predict_response(const std::string& id, double rate_mbps,
-                             bool edge_model, std::uint64_t model_version);
+                             bool edge_model, std::uint64_t model_version,
+                             std::uint64_t trace_id, double server_ms);
 std::string error_response(const std::string& id, const char* code,
                            const std::string& message);
+/// Predict-path error: carries the trace id + server time like a success.
+std::string error_response(const std::string& id, const char* code,
+                           const std::string& message,
+                           std::uint64_t trace_id, double server_ms);
+std::string feedback_response(const std::string& id,
+                              const std::string& trace_id,
+                              const ServeMonitor::FeedbackResult& result);
 std::string pong_response(const std::string& id, std::uint64_t model_version);
 std::string reload_response(const std::string& id,
                             std::uint64_t model_version);
-std::string stats_response(const std::string& id, std::size_t queue_depth,
-                           std::uint64_t model_version,
-                           std::uint64_t requests, std::uint64_t rejected);
+std::string stats_response(const std::string& id, const StatsReport& report);
 
 }  // namespace xfl::serve

@@ -25,16 +25,35 @@ struct ServerMetrics {
   obs::Gauge& active = obs::gauge("serve.conn.active");
   obs::Counter& requests = obs::counter("serve.request.count");
   obs::Counter& admin = obs::counter("serve.request.admin");
+  obs::Counter& feedback = obs::counter("serve.request.feedback");
   obs::Counter& bad = obs::counter("serve.request.bad");
   obs::Counter& overloaded = obs::counter("serve.request.overloaded");
   obs::Counter& shutting_down = obs::counter("serve.request.shutting_down");
   obs::Counter& ok = obs::counter("serve.response.ok");
   obs::Counter& errors = obs::counter("serve.response.error");
+  // Stage timers with fine log-spaced buckets (quantiles are exported).
+  obs::Histogram& parse = obs::histogram("serve.request.parse_us",
+                                         obs::quantile_latency_bounds_us());
+  obs::Histogram& server_time = obs::histogram(
+      "serve.request.server_us", obs::quantile_latency_bounds_us());
 };
 
 ServerMetrics& server_metrics() {
   static ServerMetrics metrics;
   return metrics;
+}
+
+/// Stage quantile summary for the stats report, resolved by name so the
+/// batcher's TU-local histograms are reachable too.
+StageQuantiles stage_quantiles(const char* name) {
+  const auto snap =
+      obs::Registry::instance().histogram(name, {}).snapshot();
+  StageQuantiles q;
+  q.count = snap.count;
+  q.p50 = snap.quantile(50.0);
+  q.p95 = snap.quantile(95.0);
+  q.p99 = snap.quantile(99.0);
+  return q;
 }
 
 }  // namespace
@@ -92,7 +111,8 @@ PredictionServer::PredictionServer(ModelHost& host, Options options)
       options_(std::move(options)),
       batcher_(host, MicroBatcher::Options{options_.max_batch,
                                            options_.queue_capacity,
-                                           options_.predict_threads}) {}
+                                           options_.predict_threads}),
+      monitor_(options_.monitor) {}
 
 PredictionServer::~PredictionServer() { stop(); }
 
@@ -257,8 +277,11 @@ void PredictionServer::connection_loop(
 
 void PredictionServer::handle_line(const std::shared_ptr<Connection>& conn,
                                    const std::string& line) {
+  XFL_SPAN("serve.request");
+  const std::uint64_t received_us = obs::monotonic_us();
   const Frame frame = parse_frame(line);
   auto& metrics = server_metrics();
+  metrics.parse.record(static_cast<double>(obs::monotonic_us() - received_us));
 
   switch (frame.kind) {
     case Frame::Kind::kBad:
@@ -271,45 +294,80 @@ void PredictionServer::handle_line(const std::shared_ptr<Connection>& conn,
       handle_admin(conn, frame.admin);
       return;
 
+    case Frame::Kind::kFeedback:
+      metrics.feedback.add(1);
+      handle_feedback(conn, frame.feedback);
+      return;
+
     case Frame::Kind::kPredict:
       break;
   }
 
   metrics.requests.add(1);
+  const std::uint64_t trace_id =
+      next_trace_.fetch_add(1, std::memory_order_relaxed);
   BatchItem item;
   item.transfer = frame.predict.transfer;
   item.load = frame.predict.load;
+  item.trace_id = trace_id;
+  item.received_us = received_us;
   if (frame.predict.deadline_ms > 0)
     item.deadline_us =
         obs::monotonic_us() + frame.predict.deadline_ms * 1000;
   const std::string id = frame.predict.id;
-  item.done = [conn, id](const PredictOutcome& outcome) {
+  // `this` outlives every callback: stop() drains the batcher before the
+  // server (and its monitor) is torn down.
+  item.done = [this, conn, id, trace_id,
+               received_us](const PredictOutcome& outcome) {
     auto& m = server_metrics();
+    const std::uint64_t server_us = obs::monotonic_us() - received_us;
+    m.server_time.record(static_cast<double>(server_us));
+    const double server_ms = static_cast<double>(server_us) / 1000.0;
     if (outcome.ok) {
       m.ok.add(1);
+      monitor_.record_prediction(trace_id, outcome.rate_mbps,
+                                 outcome.model_version);
       conn->write_line(predict_response(id, outcome.rate_mbps,
                                         outcome.edge_model,
-                                        outcome.model_version));
+                                        outcome.model_version, trace_id,
+                                        server_ms));
     } else {
       m.errors.add(1);
-      conn->write_line(error_response(id, outcome.error, outcome.message));
+      conn->write_line(error_response(id, outcome.error, outcome.message,
+                                      trace_id, server_ms));
     }
   };
 
+  const auto rejected_ms = [received_us] {
+    return static_cast<double>(obs::monotonic_us() - received_us) / 1000.0;
+  };
   switch (batcher_.submit(std::move(item))) {
     case MicroBatcher::Admission::kAccepted:
       return;
     case MicroBatcher::Admission::kOverloaded:
       metrics.overloaded.add(1);
-      conn->write_line(
-          error_response(id, kErrOverloaded, "prediction queue full"));
+      conn->write_line(error_response(id, kErrOverloaded,
+                                      "prediction queue full", trace_id,
+                                      rejected_ms()));
       return;
     case MicroBatcher::Admission::kShuttingDown:
       metrics.shutting_down.add(1);
-      conn->write_line(
-          error_response(id, kErrShuttingDown, "server draining"));
+      conn->write_line(error_response(id, kErrShuttingDown,
+                                      "server draining", trace_id,
+                                      rejected_ms()));
       return;
   }
+}
+
+void PredictionServer::handle_feedback(
+    const std::shared_ptr<Connection>& conn,
+    const FeedbackRequest& feedback) {
+  // Joined inline on the connection thread: one mutex-guarded map join,
+  // far cheaper than a predict — no reason to batch it.
+  const ServeMonitor::FeedbackResult result =
+      monitor_.record_feedback(feedback.trace_id, feedback.observed_mbps);
+  conn->write_line(feedback_response(
+      feedback.id, trace_id_string(feedback.trace_id), result));
 }
 
 void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
@@ -320,10 +378,32 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
   }
   if (admin.cmd == "stats") {
     auto& metrics = server_metrics();
-    conn->write_line(stats_response(
-        admin.id, batcher_.queue_depth(), host_.version(),
-        metrics.requests.value(),
-        metrics.overloaded.value() + metrics.bad.value()));
+    StatsReport report;
+    report.queue_depth = batcher_.queue_depth();
+    report.model_version = host_.version();
+    report.requests = metrics.requests.value();
+    report.rejected = metrics.overloaded.value() + metrics.bad.value();
+    report.latency_us = {
+        {"server", stage_quantiles("serve.request.server_us")},
+        {"parse", stage_quantiles("serve.request.parse_us")},
+        {"queue_wait", stage_quantiles("serve.request.queue_wait_us")},
+        {"assemble", stage_quantiles("serve.batch.assemble_us")},
+        {"predict", stage_quantiles("serve.batch.predict_us")},
+        {"respond", stage_quantiles("serve.batch.respond_us")},
+    };
+    report.batch_size = stage_quantiles("serve.batch.size");
+    report.batches = obs::counter("serve.batch.count").value();
+    report.batch_rows = obs::counter("serve.batch.rows").value();
+    report.drift_options = monitor_.options();
+    report.drift_alarm = monitor_.alarm_active();
+    report.drift_alarms_total = obs::counter("serve.drift.alarms").value();
+    report.feedback_count = obs::counter("serve.feedback.count").value();
+    report.feedback_unmatched =
+        obs::counter("serve.feedback.unmatched").value();
+    report.versions = monitor_.version_stats();
+    if (admin.registry)
+      report.registry_json = obs::Registry::instance().to_json();
+    conn->write_line(stats_response(admin.id, report));
     return;
   }
   // reload: runs on this connection's thread — off the batch hot path, so

@@ -21,6 +21,7 @@
 
 #include "serve/batcher.hpp"
 #include "serve/model_host.hpp"
+#include "serve/monitor.hpp"
 #include "serve/protocol.hpp"
 
 namespace xfl::serve {
@@ -33,6 +34,8 @@ class PredictionServer {
     std::size_t max_batch = 64;
     std::size_t queue_capacity = 1024;
     std::size_t predict_threads = 1;
+    /// Drift-monitor tuning (journal size, window, alarm threshold).
+    ServeMonitor::Options monitor;
   };
 
   // Two overloads instead of one defaulted parameter: a nested aggregate
@@ -59,6 +62,8 @@ class PredictionServer {
   ModelHost& host() { return host_; }
   /// Exposed for ops levers and tests (pause/resume, queue_depth).
   MicroBatcher& batcher() { return batcher_; }
+  /// The online accuracy/drift monitor fed by feedback frames.
+  ServeMonitor& monitor() { return monitor_; }
 
  private:
   struct Connection;
@@ -70,11 +75,17 @@ class PredictionServer {
                    const std::string& line);
   void handle_admin(const std::shared_ptr<Connection>& conn,
                     const AdminRequest& admin);
+  void handle_feedback(const std::shared_ptr<Connection>& conn,
+                       const FeedbackRequest& feedback);
   void reap_finished_workers();
 
   ModelHost& host_;
   Options options_;
   MicroBatcher batcher_;
+  ServeMonitor monitor_;
+  /// Trace ids are per-server-instance, dense from 1; id 0 is reserved
+  /// so "t0" can never match a journalled prediction.
+  std::atomic<std::uint64_t> next_trace_{1};
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

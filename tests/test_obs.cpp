@@ -170,6 +170,78 @@ TEST(Metrics, CountersCompactListsNonzero) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantile extraction (the serve-path latency exposition rides on this).
+
+TEST(Metrics, LogBucketBoundsAreGeometricAndCoverTheRange) {
+  const auto bounds = xfl::obs::log_bucket_bounds(1.0, 1000.0, 2.0);
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1.0);
+  // Geometric interior; the final bound is clamped to hi exactly so the
+  // overflow clamp never reports beyond the instrumented range.
+  EXPECT_EQ(bounds.back(), 1000.0);
+  for (std::size_t i = 1; i + 1 < bounds.size(); ++i)
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 2.0);
+  // Degenerate arguments yield no bounds rather than an infinite loop.
+  EXPECT_TRUE(xfl::obs::log_bucket_bounds(0.0, 1000.0, 2.0).empty());
+  EXPECT_TRUE(xfl::obs::log_bucket_bounds(1.0, 1000.0, 1.0).empty());
+  EXPECT_TRUE(xfl::obs::log_bucket_bounds(1000.0, 1.0, 2.0).empty());
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBucketResolution) {
+  xfl::obs::Histogram hist(xfl::obs::log_bucket_bounds(1.0, 1.0e6, 1.08));
+  // Uniform 1..10000: exact quantiles are known, so the estimator must
+  // land within one bucket's relative width (~8%, interpolation halves
+  // that in expectation; assert the conservative bound).
+  for (int v = 1; v <= 10000; ++v) hist.record(static_cast<double>(v));
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_EQ(snap.counts.back(), 0u) << "overflow bucket must stay empty";
+  for (const double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double exact = p / 100.0 * 10000.0;
+    const double estimate = snap.quantile(p);
+    EXPECT_NEAR(estimate, exact, exact * 0.08 + 1.0) << "p" << p;
+  }
+  // Quantiles are monotone in p.
+  EXPECT_LE(snap.quantile(50.0), snap.quantile(95.0));
+  EXPECT_LE(snap.quantile(95.0), snap.quantile(99.0));
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  xfl::obs::Histogram hist(xfl::obs::log_bucket_bounds(1.0, 100.0, 2.0));
+  EXPECT_EQ(hist.snapshot().quantile(50.0), 0.0) << "empty histogram";
+  // A single sample: every quantile resolves inside its bucket.
+  hist.record(10.0);
+  const auto one = hist.snapshot();
+  EXPECT_GT(one.quantile(50.0), 0.0);
+  EXPECT_LE(one.quantile(50.0), 16.0);  // Bucket (8, 16] holds the sample.
+  EXPECT_GT(one.quantile(50.0), 8.0);
+  // Overflow samples clamp to the highest finite bound instead of
+  // inventing a value beyond the instrumented range.
+  xfl::obs::Histogram overflow(xfl::obs::log_bucket_bounds(1.0, 100.0, 2.0));
+  for (int i = 0; i < 10; ++i) overflow.record(1.0e9);
+  const auto snap = overflow.snapshot();
+  EXPECT_EQ(snap.quantile(50.0), snap.upper_bounds.back());
+  EXPECT_EQ(snap.quantile(99.0), snap.upper_bounds.back());
+}
+
+TEST(Metrics, RegistryExportsCarryQuantilesForPopulatedHistograms) {
+  Registry::instance().reset();
+  auto& hist = xfl::obs::histogram(
+      "test.obs.quantile_hist",
+      xfl::obs::quantile_latency_bounds_us());
+  for (int i = 1; i <= 100; ++i) hist.record(static_cast<double>(i));
+  const std::string json = Registry::instance().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  std::ostringstream text;
+  Registry::instance().write_text(text);
+  EXPECT_NE(text.str().find("p50="), std::string::npos);
+  EXPECT_NE(text.str().find("p99="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Tracing.
 
 /// Serialises the trace tests (tracing state is process-global) and

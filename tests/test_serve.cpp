@@ -12,18 +12,23 @@
 // -DXFL_SANITIZE=thread like the other concurrency suites.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "common/units.hpp"
 #include "core/predictor.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/client.hpp"
 #include "serve/model_host.hpp"
@@ -178,12 +183,52 @@ TEST(ServeProtocol, RequestLineRoundTripsThroughParser) {
 
 TEST(ServeProtocol, ResponseRatePreservesDoubleBits) {
   const double rate = 123.45678901234567;
-  const std::string line = predict_response("1", rate, true, 3);
+  const std::string line =
+      predict_response("1", rate, true, 3, /*trace_id=*/17, /*server_ms=*/0.25);
   const PredictReply reply = PredictionClient::parse_reply(line);
   EXPECT_TRUE(reply.ok);
   EXPECT_EQ(reply.rate_mbps, rate);  // Exact: %.17g round-trips doubles.
   EXPECT_EQ(reply.model, "edge");
   EXPECT_EQ(reply.model_version, 3u);
+  EXPECT_EQ(reply.trace_id, "t17");
+  EXPECT_DOUBLE_EQ(reply.server_ms, 0.25);
+}
+
+TEST(ServeProtocol, TraceIdStringsRoundTrip) {
+  std::uint64_t parsed = 0;
+  EXPECT_TRUE(parse_trace_id(trace_id_string(17), parsed));
+  EXPECT_EQ(parsed, 17u);
+  EXPECT_FALSE(parse_trace_id("17", parsed));   // Missing prefix.
+  EXPECT_FALSE(parse_trace_id("t", parsed));    // No digits.
+  EXPECT_FALSE(parse_trace_id("t1x", parsed));  // Trailing junk.
+}
+
+TEST(ServeProtocol, FeedbackFramesParse) {
+  const Frame frame =
+      parse_frame(R"({"id":"9","feedback":"t42","observed_mbps":212.5})");
+  ASSERT_EQ(frame.kind, Frame::Kind::kFeedback);
+  EXPECT_EQ(frame.feedback.id, "9");
+  EXPECT_EQ(frame.feedback.trace_id, 42u);
+  EXPECT_DOUBLE_EQ(frame.feedback.observed_mbps, 212.5);
+
+  // Strictness: bad trace ids, non-positive rates, unknown keys.
+  EXPECT_EQ(parse_frame(R"({"feedback":"42","observed_mbps":1})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"feedback":"t42","observed_mbps":0})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"feedback":"t42","observed_mbps":1,"x":1})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"feedback":"t42"})").kind, Frame::Kind::kBad);
+}
+
+TEST(ServeProtocol, RegistryFlagOnlyValidWithStats) {
+  const Frame stats = parse_frame(R"({"cmd":"stats","registry":true})");
+  ASSERT_EQ(stats.kind, Frame::Kind::kAdmin);
+  EXPECT_TRUE(stats.admin.registry);
+  EXPECT_EQ(parse_frame(R"({"cmd":"ping","registry":true})").kind,
+            Frame::Kind::kBad);
+  EXPECT_EQ(parse_frame(R"({"cmd":"stats","registry":1})").kind,
+            Frame::Kind::kBad);
 }
 
 // ----------------------------------------------------------- micro-batcher
@@ -298,7 +343,7 @@ struct RunningServer {
 };
 
 TEST(ServeE2E, ConcurrentClientsGetBitIdenticalAnswers) {
-  RunningServer running({.max_batch = 8, .queue_capacity = 256});
+  RunningServer running({.max_batch = 8, .queue_capacity = 256, .monitor = {}});
   const auto mix = transfer_mix();
   const auto load = heavy_load();
   constexpr int kClients = 4;
@@ -349,7 +394,8 @@ TEST(ServeE2E, HotReloadUnderLoadLosesNothingAndMixesNoTornState) {
   ASSERT_NE(expected_a[0], expected_b[0]);
 
   ModelHost host(disk_a, path_a);
-  PredictionServer server(host, {.max_batch = 8, .queue_capacity = 256});
+  PredictionServer server(
+      host, {.max_batch = 8, .queue_capacity = 256, .monitor = {}});
   server.start();
 
   std::atomic<bool> stop{false};
@@ -402,7 +448,7 @@ TEST(ServeE2E, HotReloadUnderLoadLosesNothingAndMixesNoTornState) {
 }
 
 TEST(ServeE2E, QueueOverflowYieldsStructuredOverloadedResponses) {
-  RunningServer running({.max_batch = 64, .queue_capacity = 4});
+  RunningServer running({.max_batch = 64, .queue_capacity = 4, .monitor = {}});
   running.server->batcher().pause();
 
   PredictionClient client("127.0.0.1", running.server->port());
@@ -435,7 +481,7 @@ TEST(ServeE2E, QueueOverflowYieldsStructuredOverloadedResponses) {
 }
 
 TEST(ServeE2E, ExpiredDeadlineReturnsTimeoutNotAnswer) {
-  RunningServer running({.max_batch = 8, .queue_capacity = 16});
+  RunningServer running({.max_batch = 8, .queue_capacity = 16, .monitor = {}});
   running.server->batcher().pause();
   PredictionClient client("127.0.0.1", running.server->port());
   client.send_line(predict_request_line("d", transfer_mix()[0], {},
@@ -475,7 +521,8 @@ TEST(ServeE2E, MalformedFramesGetErrorsAndServerSurvives) {
 
 TEST(ServeE2E, GracefulDrainAnswersEverythingAdmitted) {
   auto running = std::make_unique<RunningServer>(
-      PredictionServer::Options{.max_batch = 64, .queue_capacity = 64});
+      PredictionServer::Options{
+          .max_batch = 64, .queue_capacity = 64, .monitor = {}});
   running->server->batcher().pause();
   PredictionClient client("127.0.0.1", running->server->port());
   const auto mix = transfer_mix();
@@ -522,6 +569,95 @@ TEST(ServeE2E, ReloadFailureAnswersErrorAndKeepsServing) {
   ASSERT_TRUE(reply.ok);
   EXPECT_EQ(reply.rate_mbps, model_a()->predict_rate_mbps(planned));
   EXPECT_EQ(reply.model_version, 1u);
+}
+
+// Satellite of the telemetry PR: the serve-path spans recorded while
+// concurrent clients hammer the server must export as well-formed Chrome
+// trace JSON with well-nested (interval-contained) spans per thread.
+// Per-thread begin/end pairs are monotone, so within one tid every event
+// either contains or is disjoint from its successors — checkable with an
+// end-time stack.
+TEST(ServeE2E, ChromeTraceFromConcurrentLoadIsWellFormedAndWellNested) {
+  obs::clear_trace();
+  obs::set_tracing_enabled(true);
+  {
+    auto running = std::make_unique<RunningServer>(
+        PredictionServer::Options{
+            .max_batch = 8, .queue_capacity = 256, .monitor = {}});
+    const auto mix = transfer_mix();
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 24;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        PredictionClient client("127.0.0.1", running->server->port());
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto reply = client.predict(mix[(t + i) % mix.size()]);
+          if (!reply.ok) {
+            ++failures;
+            continue;
+          }
+          // Exercise the feedback path under concurrency too.
+          const auto fb = client.feedback(reply.trace_id, reply.rate_mbps);
+          if (!fb.ok || !fb.matched) ++failures;
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    EXPECT_EQ(failures.load(), 0);
+    running->server->stop();
+  }
+  obs::set_tracing_enabled(false);
+
+  // Export is parseable JSON with the trace_event envelope.
+  std::ostringstream trace_out;
+  obs::write_chrome_trace(trace_out);
+  const auto doc = parse_json(trace_out.str());
+  const auto* events_json = doc.find("traceEvents");
+  ASSERT_NE(events_json, nullptr);
+  EXPECT_FALSE(events_json->array.empty());
+
+  // Per-tid well-nestedness: rebuild the span stack from the recorded
+  // depths (sorted by start; parents before children on timestamp ties)
+  // and assert every span's interval lies inside its enclosing span's.
+  // Comparisons are <= on purpose — the clock has 1us granularity, so a
+  // sub-microsecond child legitimately shares its parent's endpoints.
+  auto events = obs::trace_events();
+  ASSERT_FALSE(events.empty());
+  std::map<std::uint32_t, std::vector<obs::TraceEvent>> by_tid;
+  for (const auto& event : events) by_tid[event.tid].push_back(event);
+  bool saw_request = false;
+  bool saw_batch_stage = false;
+  for (auto& [tid, tid_events] : by_tid) {
+    std::stable_sort(tid_events.begin(), tid_events.end(),
+                     [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+                       return a.ts_us != b.ts_us ? a.ts_us < b.ts_us
+                                                 : a.depth < b.depth;
+                     });
+    std::vector<obs::TraceEvent> open;
+    for (const auto& event : tid_events) {
+      saw_request |= std::string_view(event.name) == "serve.request";
+      saw_batch_stage |= std::string_view(event.name) == "serve.batch.predict";
+      ASSERT_GE(event.depth, 0) << event.name << " on tid " << tid;
+      ASSERT_LE(event.depth, static_cast<std::int32_t>(open.size()))
+          << event.name << " on tid " << tid
+          << " claims a depth with no enclosing span";
+      open.resize(static_cast<std::size_t>(event.depth));
+      if (!open.empty()) {
+        const auto& parent = open.back();
+        EXPECT_LE(parent.ts_us, event.ts_us)
+            << event.name << " starts before enclosing " << parent.name;
+        EXPECT_LE(event.ts_us + event.dur_us, parent.ts_us + parent.dur_us)
+            << event.name << " on tid " << tid << " outlives enclosing "
+            << parent.name;
+      }
+      open.push_back(event);
+    }
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_batch_stage);
+  obs::clear_trace();
 }
 
 }  // namespace

@@ -1,0 +1,419 @@
+// Contracts for the online prediction-accuracy/drift monitor and the
+// serve-path telemetry it feeds:
+//   - the windowed MdAPE the server reports after each feedback join is
+//     EXACTLY the offline xfl::percentile computation over the same
+//     window (both sides share one double pipeline end to end — %.17g
+//     keeps the wire lossless);
+//   - the drift alarm fires iff the windowed MdAPE exceeds the
+//     configured threshold with enough samples, and clears again;
+//   - the prediction journal is bounded with FIFO eviction, and windows
+//     are isolated per model version;
+//   - the `stats` admin command on a live server reports nonzero
+//     counters, queue/batch histograms, and stage latency quantiles that
+//     agree with client-side measurement within noise.
+// The suite carries the tier2-monitor label; run it under
+// -DXFL_SANITIZE=thread like the other serve suites.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "core/predictor.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/model_host.hpp"
+#include "serve/monitor.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::serve {
+namespace {
+
+const logs::LogStore& shared_log() {
+  static const logs::LogStore log = [] {
+    sim::EsnetConfig config;
+    config.transfers = 1200;
+    config.duration_s = 2.0 * 86400.0;
+    config.seed = 17;
+    return sim::make_esnet_testbed(config).run().log;
+  }();
+  return log;
+}
+
+std::shared_ptr<const core::TransferPredictor> shared_model() {
+  static const auto predictor = [] {
+    core::TransferPredictor::Options options;
+    options.min_edge_transfers = 50;
+    options.gbt.trees = 40;
+    auto p = std::make_shared<core::TransferPredictor>(options);
+    p->fit(shared_log());
+    return p;
+  }();
+  return predictor;
+}
+
+std::vector<core::PlannedTransfer> transfer_mix() {
+  std::vector<core::PlannedTransfer> mix;
+  for (int i = 0; i < 12; ++i) {
+    core::PlannedTransfer planned;
+    planned.src = static_cast<endpoint::EndpointId>(i % 2 == 0 ? 0 : 2);
+    planned.dst = static_cast<endpoint::EndpointId>(i % 3 == 0 ? 1 : 3);
+    planned.bytes = (1.0 + i) * 5.0 * kGB;
+    planned.files = static_cast<std::uint64_t>(1 + i * 3);
+    planned.dirs = static_cast<std::uint64_t>(1 + i % 4);
+    planned.concurrency = static_cast<std::uint32_t>(1 + i % 8);
+    planned.parallelism = static_cast<std::uint32_t>(1 + (i * 5) % 8);
+    mix.push_back(planned);
+  }
+  return mix;
+}
+
+/// The exact server-side APE arithmetic, repeated offline.
+double offline_ape(double observed, double predicted) {
+  return std::abs(observed - predicted) / observed * 100.0;
+}
+
+/// Offline windowed MdAPE: the last `window` APEs through
+/// xfl::percentile, exactly as ServeMonitor::refresh_window does it.
+double offline_mdape(const std::vector<double>& apes, std::size_t window) {
+  const std::size_t n = std::min(apes.size(), window);
+  const std::vector<double> tail(apes.end() - static_cast<long>(n),
+                                 apes.end());
+  return percentile(tail, 50.0);
+}
+
+// ------------------------------------------------------------ unit level
+
+TEST(ServeMonitor, WindowedMdapeMatchesOfflineComputationExactly) {
+  ServeMonitor::Options options;
+  options.drift_window = 5;
+  options.drift_threshold_pct = 1e9;  // Never alarm in this test.
+  ServeMonitor monitor(options);
+
+  // Irregular predicted/observed pairs; APEs are "ugly" doubles on
+  // purpose so only bit-exact agreement passes.
+  const std::vector<double> predicted = {100.0, 250.5,  80.25, 333.33,
+                                         60.0,  500.75, 120.5, 90.125};
+  const std::vector<double> observed = {111.3,  199.99, 88.8, 400.1,
+                                        57.125, 777.7,  119.9, 45.0625};
+  std::vector<double> apes;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    monitor.record_prediction(i + 1, predicted[i], /*model_version=*/1);
+    const auto result = monitor.record_feedback(i + 1, observed[i]);
+    ASSERT_TRUE(result.matched);
+    apes.push_back(offline_ape(observed[i], predicted[i]));
+    // EXPECT_EQ, not NEAR: the monitor must reproduce the offline
+    // computation bit for bit.
+    EXPECT_EQ(result.ape_pct, apes.back());
+    EXPECT_EQ(result.mdape_pct, offline_mdape(apes, options.drift_window));
+    EXPECT_EQ(result.window_count,
+              std::min(apes.size(), options.drift_window));
+  }
+  const auto stats = monitor.version_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats.at(1).feedback, predicted.size());
+  EXPECT_EQ(stats.at(1).mdape_pct,
+            offline_mdape(apes, options.drift_window));
+}
+
+TEST(ServeMonitor, AlarmFiresIffWindowedMdapeExceedsThreshold) {
+  ServeMonitor::Options options;
+  options.drift_window = 6;
+  options.drift_threshold_pct = 30.0;
+  options.drift_min_samples = 4;
+  ServeMonitor monitor(options);
+
+  std::uint64_t trace = 0;
+  std::vector<double> apes;
+  const auto feed = [&](double ape_pct) {
+    // predicted chosen so offline_ape(observed=100, predicted) == ape_pct.
+    monitor.record_prediction(++trace, 100.0 + ape_pct, 1);
+    const auto result = monitor.record_feedback(trace, 100.0);
+    apes.push_back(offline_ape(100.0, 100.0 + ape_pct));
+    return result;
+  };
+
+  // Accurate feedback: below threshold, no alarm regardless of count.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(feed(10.0).alarm);
+  EXPECT_FALSE(monitor.alarm_active());
+
+  // Drift in: the alarm must rise exactly when the offline windowed
+  // MdAPE first crosses the threshold — no earlier, no later.
+  for (int i = 0; i < 6; ++i) {
+    const auto result = feed(80.0);
+    const double mdape = offline_mdape(apes, options.drift_window);
+    EXPECT_EQ(result.alarm, mdape > options.drift_threshold_pct)
+        << "after " << apes.size() << " feedbacks (mdape " << mdape << ")";
+  }
+  EXPECT_TRUE(monitor.alarm_active());
+  const auto raised = monitor.version_stats().at(1);
+  EXPECT_TRUE(raised.alarm);
+  EXPECT_GT(raised.mdape_pct, options.drift_threshold_pct);
+
+  // Accuracy recovers: the alarm clears when the window drops back.
+  for (int i = 0; i < 6; ++i) feed(5.0);
+  EXPECT_FALSE(monitor.alarm_active());
+  EXPECT_FALSE(monitor.version_stats().at(1).alarm);
+}
+
+TEST(ServeMonitor, AlarmWaitsForMinimumSamples) {
+  ServeMonitor::Options options;
+  options.drift_window = 8;
+  options.drift_threshold_pct = 20.0;
+  options.drift_min_samples = 5;
+  ServeMonitor monitor(options);
+  // Wildly wrong from the first sample, but the alarm may not fire until
+  // drift_min_samples joins have accumulated.
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    monitor.record_prediction(i, 500.0, 1);
+    const auto result = monitor.record_feedback(i, 100.0);
+    EXPECT_EQ(result.alarm, i >= options.drift_min_samples);
+  }
+}
+
+TEST(ServeMonitor, JournalEvictsOldestPredictionsFirst) {
+  ServeMonitor::Options options;
+  options.journal_capacity = 4;
+  ServeMonitor monitor(options);
+  for (std::uint64_t trace = 1; trace <= 6; ++trace)
+    monitor.record_prediction(trace, 100.0, 1);
+  EXPECT_EQ(monitor.journal_size(), 4u);
+  // Traces 1 and 2 were evicted FIFO; 3..6 still join.
+  EXPECT_FALSE(monitor.record_feedback(1, 90.0).matched);
+  EXPECT_FALSE(monitor.record_feedback(2, 90.0).matched);
+  for (std::uint64_t trace = 3; trace <= 6; ++trace)
+    EXPECT_TRUE(monitor.record_feedback(trace, 90.0).matched);
+  EXPECT_EQ(monitor.journal_size(), 0u);
+  // One feedback per prediction: the second report is unmatched.
+  EXPECT_FALSE(monitor.record_feedback(3, 90.0).matched);
+}
+
+TEST(ServeMonitor, WindowsAreIsolatedPerModelVersion) {
+  ServeMonitor monitor;
+  monitor.record_prediction(1, 100.0, /*version=*/1);
+  monitor.record_prediction(2, 100.0, /*version=*/2);
+  monitor.record_prediction(3, 100.0, /*version=*/2);
+  EXPECT_TRUE(monitor.record_feedback(1, 50.0).matched);   // APE 100%.
+  EXPECT_TRUE(monitor.record_feedback(2, 100.0).matched);  // APE 0%.
+  const auto stats = monitor.version_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at(1).predictions, 1u);
+  EXPECT_EQ(stats.at(2).predictions, 2u);
+  EXPECT_EQ(stats.at(1).mdape_pct, 100.0);
+  EXPECT_EQ(stats.at(2).mdape_pct, 0.0);
+  EXPECT_EQ(stats.at(2).feedback, 1u);
+}
+
+TEST(ServeMonitor, InvalidObservedRatesDoNotConsumeTheJournal) {
+  ServeMonitor monitor;
+  monitor.record_prediction(7, 100.0, 1);
+  EXPECT_FALSE(monitor.record_feedback(7, 0.0).matched);
+  EXPECT_FALSE(monitor.record_feedback(7, -5.0).matched);
+  // The entry survives bad reports and still joins a valid one.
+  EXPECT_TRUE(monitor.record_feedback(7, 90.0).matched);
+}
+
+// ------------------------------------------------------------- end to end
+
+struct RunningServer {
+  explicit RunningServer(PredictionServer::Options options = {}) {
+    host = std::make_unique<ModelHost>(shared_model());
+    server = std::make_unique<PredictionServer>(*host, options);
+    server->start();
+  }
+  std::unique_ptr<ModelHost> host;
+  std::unique_ptr<PredictionServer> server;
+};
+
+TEST(ServeMonitorE2E, FeedbackRepliesMatchOfflineMdapeExactly) {
+  PredictionServer::Options options;
+  options.monitor.drift_window = 8;
+  options.monitor.drift_threshold_pct = 1e9;  // Alarm stays out of frame.
+  RunningServer running(options);
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  const auto mix = transfer_mix();
+  // Observed = predicted * factor: a spread of accuracies, all on exact
+  // doubles that round-trip through the %.17g wire format.
+  const std::vector<double> factors = {1.0,  0.75, 1.5,  0.9, 2.0,
+                                       0.25, 1.1,  0.625, 1.25, 0.5};
+  std::vector<double> apes;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    const auto reply = client.predict(mix[i % mix.size()]);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_FALSE(reply.trace_id.empty());
+    EXPECT_GE(reply.server_ms, 0.0);
+
+    const double observed = reply.rate_mbps * factors[i];
+    const auto feedback = client.feedback(reply.trace_id, observed);
+    ASSERT_TRUE(feedback.ok);
+    ASSERT_TRUE(feedback.matched);
+    apes.push_back(offline_ape(observed, reply.rate_mbps));
+    // The acceptance bar: EXACT agreement with the offline computation,
+    // not within-epsilon.
+    EXPECT_EQ(feedback.ape_pct, apes.back());
+    EXPECT_EQ(feedback.mdape_pct,
+              offline_mdape(apes, options.monitor.drift_window));
+    EXPECT_EQ(feedback.predicted_mbps, reply.rate_mbps);
+    EXPECT_EQ(feedback.model_version, 1u);
+  }
+
+  // An unknown trace id is reported unmatched, not an error.
+  const auto unmatched = client.feedback("t999999", 100.0);
+  EXPECT_TRUE(unmatched.ok);
+  EXPECT_FALSE(unmatched.matched);
+}
+
+TEST(ServeMonitorE2E, DriftAlarmFiresIffWindowExceedsThreshold) {
+  PredictionServer::Options options;
+  options.monitor.drift_window = 6;
+  options.monitor.drift_threshold_pct = 30.0;
+  options.monitor.drift_min_samples = 4;
+  RunningServer running(options);
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  const auto mix = transfer_mix();
+  std::vector<double> apes;
+  const auto feed = [&](double factor) {
+    const auto reply = client.predict(mix[apes.size() % mix.size()]);
+    EXPECT_TRUE(reply.ok);
+    const double observed = reply.rate_mbps * factor;
+    const auto feedback = client.feedback(reply.trace_id, observed);
+    EXPECT_TRUE(feedback.matched);
+    apes.push_back(offline_ape(observed, reply.rate_mbps));
+    return feedback;
+  };
+
+  // Accurate phase: no alarm.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(feed(1.05).alarm);
+  {
+    const auto stats = client.stats();
+    const auto* drift = stats.find("drift");
+    ASSERT_NE(drift, nullptr);
+    EXPECT_FALSE(drift->find("alarm")->boolean);
+  }
+
+  // Drift phase: observed collapses to half the prediction (APE 100%).
+  // The alarm must track the offline windowed MdAPE edge exactly.
+  bool alarmed = false;
+  for (int i = 0; i < 6; ++i) {
+    const auto feedback = feed(0.5);
+    const double mdape = offline_mdape(apes, options.monitor.drift_window);
+    EXPECT_EQ(feedback.alarm, mdape > options.monitor.drift_threshold_pct);
+    alarmed = alarmed || feedback.alarm;
+  }
+  ASSERT_TRUE(alarmed);
+  {
+    const auto stats = client.stats();
+    const auto* drift = stats.find("drift");
+    ASSERT_NE(drift, nullptr);
+    EXPECT_TRUE(drift->find("alarm")->boolean);
+    EXPECT_GE(drift->find("feedback")->number, 11.0);
+    // The per-version block reports the breaching window too.
+    const auto* versions = stats.find("versions");
+    ASSERT_NE(versions, nullptr);
+    const auto* v1 = versions->find("1");
+    ASSERT_NE(v1, nullptr);
+    EXPECT_TRUE(v1->find("alarm")->boolean);
+    EXPECT_GT(v1->find("mdape_pct")->number, 30.0);
+  }
+  // The registry gauge mirrors the alarm state for scrapers.
+  EXPECT_EQ(obs::gauge("serve.drift.alarm").value(), 1.0);
+
+  // Recovery: accurate feedback pushes the window back under threshold.
+  for (int i = 0; i < 6; ++i) feed(1.0);
+  EXPECT_FALSE(client.stats().find("drift")->find("alarm")->boolean);
+  EXPECT_EQ(obs::gauge("serve.drift.alarm").value(), 0.0);
+}
+
+TEST(ServeMonitorE2E, StatsReportsCountersHistogramsAndQuantiles) {
+  obs::Registry::instance().reset();
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  const auto mix = transfer_mix();
+  constexpr int kRequests = 60;
+  std::vector<double> client_us;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto reply = client.predict(mix[i % mix.size()]);
+    const auto t1 = std::chrono::steady_clock::now();
+    ASSERT_TRUE(reply.ok);
+    client_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  const auto stats = client.stats(/*registry=*/true);
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  EXPECT_EQ(stats.find("requests")->number, kRequests);
+  EXPECT_EQ(stats.find("version")->number, 1.0);
+
+  // Stage latency quantiles: present, populated, ordered.
+  const auto* latency = stats.find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  const auto* server_stage = latency->find("server");
+  ASSERT_NE(server_stage, nullptr);
+  EXPECT_EQ(server_stage->find("count")->number, kRequests);
+  const double p50 = server_stage->find("p50")->number;
+  const double p95 = server_stage->find("p95")->number;
+  const double p99 = server_stage->find("p99")->number;
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Server time is a subset of the client round trip, so its p50 cannot
+  // exceed the client-side p50 by more than estimator resolution (~4%)
+  // plus scheduling noise.
+  const double client_p50 = percentile(client_us, 50.0);
+  EXPECT_LE(p50, client_p50 * 1.10 + 100.0);
+  for (const char* stage : {"queue_wait", "assemble", "predict", "respond"}) {
+    const auto* entry = latency->find(stage);
+    ASSERT_NE(entry, nullptr) << stage;
+    EXPECT_GT(entry->find("count")->number, 0.0) << stage;
+  }
+
+  // Batch block: every request went through the batcher.
+  const auto* batch = stats.find("batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_GT(batch->find("batches")->number, 0.0);
+  EXPECT_EQ(batch->find("rows")->number, kRequests);
+  // A synchronous client yields single-row batches; p50 interpolates
+  // inside the (0, 1] bucket, so assert populated rather than a value.
+  EXPECT_GT(batch->find("size")->find("p50")->number, 0.0);
+  EXPECT_EQ(batch->find("size")->find("count")->number,
+            batch->find("batches")->number);
+
+  // Per-version request attribution.
+  const auto* versions = stats.find("versions");
+  ASSERT_NE(versions, nullptr);
+  ASSERT_NE(versions->find("1"), nullptr);
+  EXPECT_EQ(versions->find("1")->find("predictions")->number, kRequests);
+
+  // registry=true splices the raw metrics registry: counters nonzero,
+  // histograms with quantile fields.
+  const auto* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const auto* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("serve.request.count")->number, kRequests);
+  EXPECT_EQ(counters->find("serve.response.ok")->number, kRequests);
+  const auto* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const auto* server_hist = histograms->find("serve.request.server_us");
+  ASSERT_NE(server_hist, nullptr);
+  EXPECT_EQ(server_hist->find("count")->number, kRequests);
+  ASSERT_NE(server_hist->find("p50"), nullptr);
+  ASSERT_NE(server_hist->find("p95"), nullptr);
+  ASSERT_NE(server_hist->find("p99"), nullptr);
+  // Registry and stats read the same estimator: identical p50.
+  EXPECT_EQ(server_hist->find("p50")->number, p50);
+}
+
+}  // namespace
+}  // namespace xfl::serve

@@ -1,0 +1,201 @@
+// Graceful-drain contract for SIGINT/SIGTERM (satellite of the serve
+// telemetry PR): a server with requests already admitted to the batcher
+// queue, on receiving SIGTERM, answers every one of them (each either a
+// prediction or a structured shutting_down rejection — nothing vanishes),
+// closes the listener, and exits 0.
+//
+// Signal disposition is process-global state; flipping it inside the
+// gtest process would race other suites and the harness itself. So this
+// suite forks and IMMEDIATELY execs the real `xferlearn serve` binary
+// (path injected as XFL_XFERLEARN_BIN at configure time) — fork+exec with
+// nothing between them is safe even from a multithreaded test runner.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/predictor.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::serve {
+namespace {
+
+std::string saved_model_path() {
+  static const std::string path = [] {
+    sim::EsnetConfig config;
+    config.transfers = 1200;
+    config.duration_s = 2.0 * 86400.0;
+    config.seed = 17;
+    const auto log = sim::make_esnet_testbed(config).run().log;
+    core::TransferPredictor::Options options;
+    options.min_edge_transfers = 50;
+    options.gbt.trees = 40;
+    core::TransferPredictor predictor(options);
+    predictor.fit(log);
+    const std::string out = testing::TempDir() + "serve_signal_model.txt";
+    predictor.save_file(out);
+    return out;
+  }();
+  return path;
+}
+
+core::PlannedTransfer planned_transfer(int i) {
+  core::PlannedTransfer planned;
+  planned.src = static_cast<endpoint::EndpointId>(i % 2 == 0 ? 0 : 2);
+  planned.dst = static_cast<endpoint::EndpointId>(i % 3 == 0 ? 1 : 3);
+  planned.bytes = (1.0 + i % 12) * 5.0e9;
+  planned.files = static_cast<std::uint64_t>(1 + (i % 12) * 3);
+  planned.dirs = static_cast<std::uint64_t>(1 + i % 4);
+  planned.concurrency = static_cast<std::uint32_t>(1 + i % 8);
+  planned.parallelism = static_cast<std::uint32_t>(1 + (i * 5) % 8);
+  return planned;
+}
+
+/// A `xferlearn serve` child process whose stdout we read through a pipe.
+struct ServeProcess {
+  pid_t pid = -1;
+  std::FILE* out = nullptr;
+
+  ~ServeProcess() {
+    if (out != nullptr) std::fclose(out);
+    if (pid > 0) {
+      kill(pid, SIGKILL);
+      int status = 0;
+      waitpid(pid, &status, 0);
+    }
+  }
+
+  void spawn(const std::string& model_path) {
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0) << std::strerror(errno);
+    pid = fork();
+    ASSERT_GE(pid, 0) << std::strerror(errno);
+    if (pid == 0) {
+      // Child: route stdout through the pipe, then exec immediately —
+      // no allocation or locking between fork and exec.
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      execl(XFL_XFERLEARN_BIN, "xferlearn", "serve", "--model",
+            model_path.c_str(), "--port", "0", static_cast<char*>(nullptr));
+      _exit(127);  // exec failed.
+    }
+    close(fds[1]);
+    out = fdopen(fds[0], "r");
+    ASSERT_NE(out, nullptr);
+  }
+
+  /// Blocks until the startup banner arrives and returns the bound port.
+  std::uint16_t wait_for_port() {
+    char line[512];
+    while (std::fgets(line, sizeof line, out) != nullptr) {
+      unsigned port = 0;
+      if (std::sscanf(line, "serving predictions on %*[0-9.]:%u", &port) == 1)
+        return static_cast<std::uint16_t>(port);
+    }
+    ADD_FAILURE() << "server banner never arrived";
+    return 0;
+  }
+
+  /// Reaps the child and returns its exit status; -1 if it did not exit
+  /// cleanly within ~10s.
+  int wait_for_exit() {
+    for (int i = 0; i < 1000; ++i) {
+      int status = 0;
+      const pid_t done = waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        pid = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return -1;
+  }
+};
+
+TEST(ServeSignal, SigtermDrainsAdmittedRequestsAndExitsZero) {
+  ServeProcess child;
+  child.spawn(saved_model_path());
+  if (HasFatalFailure()) return;
+  const std::uint16_t port = child.wait_for_port();
+  ASSERT_NE(port, 0);
+
+  PredictionClient client("127.0.0.1", port);
+  ASSERT_TRUE(client.ping());
+
+  // Pipeline a burst without reading replies, so a prefix is still
+  // sitting in the batcher queue when the signal lands.
+  constexpr int kRequests = 64;
+  std::set<std::string> outstanding;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string id = "sig-" + std::to_string(i);
+    client.send_line(predict_request_line(id, planned_transfer(i)));
+    outstanding.insert(id);
+  }
+  // Give the connection thread a moment to admit the burst, then signal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(kill(child.pid, SIGTERM), 0) << std::strerror(errno);
+
+  // Every admitted request must still be answered: a prediction, or a
+  // structured shutting_down/overloaded rejection. Nothing may vanish.
+  int answered_ok = 0;
+  while (!outstanding.empty()) {
+    std::string line;
+    try {
+      line = client.read_line();
+    } catch (const std::exception&) {
+      break;  // EOF after drain.
+    }
+    const auto reply = PredictionClient::parse_reply(line);
+    ASSERT_EQ(outstanding.erase(reply.id), 1u)
+        << "unexpected or duplicate reply id " << reply.id;
+    if (reply.ok) {
+      ++answered_ok;
+      EXPECT_GT(reply.rate_mbps, 0.0);
+      EXPECT_FALSE(reply.trace_id.empty());
+    } else {
+      EXPECT_TRUE(reply.error == "shutting_down" ||
+                  reply.error == "overloaded")
+          << reply.error;
+    }
+  }
+  EXPECT_TRUE(outstanding.empty())
+      << outstanding.size() << " requests were never answered";
+  EXPECT_GT(answered_ok, 0) << "drain answered nothing successfully";
+
+  EXPECT_EQ(child.wait_for_exit(), 0);
+}
+
+TEST(ServeSignal, SigintAlsoStopsTheServerCleanly) {
+  ServeProcess child;
+  child.spawn(saved_model_path());
+  if (HasFatalFailure()) return;
+  const std::uint16_t port = child.wait_for_port();
+  ASSERT_NE(port, 0);
+
+  {
+    PredictionClient client("127.0.0.1", port);
+    const auto reply = client.predict(planned_transfer(0));
+    ASSERT_TRUE(reply.ok);
+  }
+  ASSERT_EQ(kill(child.pid, SIGINT), 0) << std::strerror(errno);
+  EXPECT_EQ(child.wait_for_exit(), 0);
+}
+
+}  // namespace
+}  // namespace xfl::serve

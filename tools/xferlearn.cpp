@@ -18,17 +18,28 @@
 //   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
 //   xferlearn serve    --model model.txt [--port N] [--bind ADDR]
 //                      [--max-batch N] [--queue-cap N] [--threads N]
+//                      [--drift-window N] [--drift-threshold PCT]
+//                      [--drift-min-samples N]
 //                      (line-delimited JSON over TCP; SIGHUP or the
-//                       {"cmd":"reload"} admin frame hot-swaps the model)
+//                       {"cmd":"reload"} admin frame hot-swaps the model;
+//                       SIGINT/SIGTERM drain gracefully)
 //   xferlearn request  --port N [--host ADDR] --src ID --dst ID
 //                      --bytes BYTES [--files N] [--dirs N]
 //                      [--concurrency C] [--parallelism P]
 //                      [--deadline-ms N] | --ping | --stats |
-//                      --reload [--path model.txt]
+//                      --reload [--path model.txt] |
+//                      --feedback TRACE --observed-mbps X
+//                      (--stats prints a summary plus a Prometheus-style
+//                       dump of the server's live metrics registry;
+//                       --feedback joins an observed rate to the
+//                       prediction whose reply carried trace id TRACE)
 //   xferlearn serve-bench (--model model.txt | --log log.csv)
 //                      [--clients 1,4,16] [--seconds 2] [--max-batch N]
 //                      [--queue-cap N] [--src ID --dst ID]
 //                      [--json-out BENCH_serve.json]
+//                      (reports client round-trip quantiles next to the
+//                       server's own serve.request.server_us histogram
+//                       quantiles — the same estimator live stats use)
 //
 // Observability options, accepted by every subcommand (after the name):
 //   --log-level trace|debug|info|warn|error|off   (default info)
@@ -503,6 +514,12 @@ serve::PredictionServer::Options server_options(const ArgList& args) {
       static_cast<std::size_t>(args.number_or("--queue-cap", 1024.0));
   options.predict_threads =
       static_cast<std::size_t>(args.number_or("--threads", 1.0));
+  options.monitor.drift_window = static_cast<std::size_t>(
+      args.number_or("--drift-window", 64.0));
+  options.monitor.drift_threshold_pct =
+      args.number_or("--drift-threshold", 30.0);
+  options.monitor.drift_min_samples = static_cast<std::size_t>(
+      args.number_or("--drift-min-samples", 16.0));
   return options;
 }
 
@@ -511,14 +528,20 @@ int cmd_serve(const ArgList& args) {
   serve::ModelHost host(acquire_shared_predictor(args, model_path),
                         model_path);
   serve::PredictionServer server(host, server_options(args));
+  // Handlers must be live before the startup banner goes out: a parent
+  // scripting us through a pipe may signal the instant it sees the port,
+  // and the default disposition would kill us without draining.
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+  std::signal(SIGHUP, serve_hup_handler);
   server.start();
   std::printf("serving predictions on %s:%u (SIGHUP reloads %s)\n",
               args.value_or("--bind", "127.0.0.1").c_str(), server.port(),
               model_path.empty() ? "<admin reload only>" : model_path.c_str());
+  // Parents driving us through a pipe (the signal-drain test) need the
+  // port line before the first request, not at buffer-flush time.
+  std::fflush(stdout);
 
-  std::signal(SIGINT, serve_stop_handler);
-  std::signal(SIGTERM, serve_stop_handler);
-  std::signal(SIGHUP, serve_hup_handler);
   while (!g_serve_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
     if (g_serve_hup) {
@@ -536,6 +559,76 @@ int cmd_serve(const ArgList& args) {
   server.stop();
   std::printf("stopped.\n");
   return 0;
+}
+
+/// Prometheus metric name: "serve.batch.latency_us" -> "xfl_serve_batch_latency_us".
+std::string prometheus_name(const std::string& name) {
+  std::string out = "xfl_";
+  for (const char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+/// Prometheus-style text exposition of a Registry::to_json() snapshot
+/// (the "metrics" field of a stats reply): counters and gauges as-is,
+/// histograms as cumulative _bucket/_sum/_count series plus quantile
+/// lines extracted by the server's streaming estimator.
+void print_prometheus(const serve::JsonValue& metrics) {
+  if (const auto* counters = metrics.find("counters");
+      counters && counters->is_object()) {
+    for (const auto& [name, value] : counters->object) {
+      if (!value.is_number()) continue;
+      const std::string prom = prometheus_name(name);
+      std::printf("# TYPE %s counter\n%s %.0f\n", prom.c_str(), prom.c_str(),
+                  value.number);
+    }
+  }
+  if (const auto* gauges = metrics.find("gauges");
+      gauges && gauges->is_object()) {
+    for (const auto& [name, entry] : gauges->object) {
+      const auto* value = entry.find("value");
+      if (value == nullptr || !value->is_number()) continue;
+      const std::string prom = prometheus_name(name);
+      std::printf("# TYPE %s gauge\n%s %.17g\n", prom.c_str(), prom.c_str(),
+                  value->number);
+      if (const auto* max = entry.find("max"); max && max->is_number())
+        std::printf("%s_max %.17g\n", prom.c_str(), max->number);
+    }
+  }
+  if (const auto* histograms = metrics.find("histograms");
+      histograms && histograms->is_object()) {
+    for (const auto& [name, entry] : histograms->object) {
+      const std::string prom = prometheus_name(name);
+      std::printf("# TYPE %s histogram\n", prom.c_str());
+      double cumulative = 0.0;
+      if (const auto* buckets = entry.find("buckets");
+          buckets && buckets->is_array()) {
+        for (const auto& bucket : buckets->array) {
+          const auto* le = bucket.find("le");
+          const auto* count = bucket.find("count");
+          if (le == nullptr || count == nullptr || !count->is_number())
+            continue;
+          cumulative += count->number;
+          if (le->is_number())
+            std::printf("%s_bucket{le=\"%.17g\"} %.0f\n", prom.c_str(),
+                        le->number, cumulative);
+          else
+            std::printf("%s_bucket{le=\"+Inf\"} %.0f\n", prom.c_str(),
+                        cumulative);
+        }
+      }
+      if (const auto* sum = entry.find("sum"); sum && sum->is_number())
+        std::printf("%s_sum %.17g\n", prom.c_str(), sum->number);
+      if (const auto* count = entry.find("count"); count && count->is_number())
+        std::printf("%s_count %.0f\n", prom.c_str(), count->number);
+      const std::pair<const char*, const char*> quantiles[] = {
+          {"p50", "0.5"}, {"p95", "0.95"}, {"p99", "0.99"}};
+      for (const auto& [field, quantile] : quantiles) {
+        if (const auto* q = entry.find(field); q && q->is_number())
+          std::printf("%s{quantile=\"%s\"} %.17g\n", prom.c_str(), quantile,
+                      q->number);
+      }
+    }
+  }
 }
 
 int cmd_request(const ArgList& args) {
@@ -557,7 +650,7 @@ int cmd_request(const ArgList& args) {
     return 0;
   }
   if (args.flag("--stats")) {
-    const auto stats = client.stats();
+    const auto stats = client.stats(/*registry=*/true);
     const auto* depth = stats.find("queue_depth");
     const auto* version = stats.find("version");
     const auto* requests = stats.find("requests");
@@ -567,6 +660,60 @@ int cmd_request(const ArgList& args) {
                 depth ? depth->number : -1.0, version ? version->number : -1.0,
                 requests ? requests->number : -1.0,
                 rejected ? rejected->number : -1.0);
+    if (const auto* latency = stats.find("latency_us")) {
+      if (const auto* server = latency->find("server")) {
+        const auto* p50 = server->find("p50");
+        const auto* p95 = server->find("p95");
+        const auto* p99 = server->find("p99");
+        std::printf("server latency: p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
+                    p50 ? p50->number : 0.0, p95 ? p95->number : 0.0,
+                    p99 ? p99->number : 0.0);
+      }
+    }
+    if (const auto* drift = stats.find("drift")) {
+      const auto* alarm = drift->find("alarm");
+      const auto* feedback = drift->find("feedback");
+      const auto* threshold = drift->find("threshold_pct");
+      std::printf("drift alarm:   %s (feedback %.0f, threshold %.1f%%)\n",
+                  alarm && alarm->is_bool() && alarm->boolean ? "RAISED"
+                                                              : "clear",
+                  feedback ? feedback->number : 0.0,
+                  threshold ? threshold->number : 0.0);
+    }
+    if (const auto* metrics = stats.find("metrics")) {
+      std::printf("-- prometheus --\n");
+      print_prometheus(*metrics);
+    }
+    return 0;
+  }
+  if (const auto trace = args.value("--feedback")) {
+    const auto observed = args.value("--observed-mbps");
+    if (!observed) {
+      std::fprintf(stderr,
+                   "error: --feedback requires --observed-mbps <rate>\n");
+      return 2;
+    }
+    const auto reply =
+        client.feedback(*trace, parse_number("--observed-mbps", *observed));
+    if (!reply.ok) {
+      std::fprintf(stderr, "error: feedback rejected\n");
+      return 1;
+    }
+    if (!reply.matched) {
+      std::printf("trace %s not found (evicted or already reported)\n",
+                  trace->c_str());
+      return 1;
+    }
+    std::printf("trace %s: predicted %.1f MB/s, observed %s MB/s, "
+                "APE %.1f%%\n",
+                trace->c_str(), reply.predicted_mbps, observed->c_str(),
+                reply.ape_pct);
+    std::printf("model version %llu: windowed MdAPE %.1f%% over %llu "
+                "samples, drift alarm %s\n",
+                static_cast<unsigned long long>(reply.model_version),
+                reply.mdape_pct,
+                static_cast<unsigned long long>(reply.window),
+                reply.alarm ? "RAISED" : "clear");
     return 0;
   }
   if (args.flag("--reload")) {
@@ -610,6 +757,11 @@ int cmd_request(const ArgList& args) {
   std::printf("predicted duration: %.0f s for %s\n",
               planned.bytes / mbps(reply.rate_mbps),
               format_bytes(planned.bytes).c_str());
+  if (!reply.trace_id.empty())
+    std::printf("trace id: %s (server %.3f ms; report the observed rate "
+                "with `request --feedback %s --observed-mbps X`)\n",
+                reply.trace_id.c_str(), reply.server_ms,
+                reply.trace_id.c_str());
   return 0;
 }
 
@@ -669,15 +821,21 @@ int cmd_serve_bench(const ArgList& args) {
     double seconds = 0.0;
     double rps = 0.0;
     double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+    /// Server-side quantiles from the live serve.request.server_us
+    /// histogram — the same estimator the stats admin command exposes.
+    double server_p50_us = 0.0, server_p95_us = 0.0, server_p99_us = 0.0;
   };
   std::vector<LevelResult> results;
 
   TextTable table;
   table.set_title("serve-bench: sustained load against the micro-batching "
-                  "server (loopback)");
+                  "server (loopback; srv = server-side histogram quantiles)");
   table.set_header({"clients", "req/s", "p50 us", "p95 us", "p99 us",
-                    "requests"});
+                    "srv p50", "srv p95", "srv p99", "requests"});
   for (const std::size_t clients : levels) {
+    // Zero the registry so each level's server-side histogram covers
+    // exactly that level's requests.
+    obs::Registry::instance().reset();
     std::atomic<bool> stop{false};
     std::vector<std::vector<double>> latencies(clients);
     std::vector<std::thread> threads;
@@ -717,11 +875,19 @@ int cmd_serve_bench(const ArgList& args) {
       result.p95_us = percentile(all, 95.0);
       result.p99_us = percentile(all, 99.0);
     }
+    const auto server_snapshot =
+        obs::histogram("serve.request.server_us").snapshot();
+    result.server_p50_us = server_snapshot.quantile(50.0);
+    result.server_p95_us = server_snapshot.quantile(95.0);
+    result.server_p99_us = server_snapshot.quantile(99.0);
     results.push_back(result);
     table.add_row({std::to_string(clients), TextTable::num(result.rps, 0),
                    TextTable::num(result.p50_us, 0),
                    TextTable::num(result.p95_us, 0),
                    TextTable::num(result.p99_us, 0),
+                   TextTable::num(result.server_p50_us, 0),
+                   TextTable::num(result.server_p95_us, 0),
+                   TextTable::num(result.server_p99_us, 0),
                    std::to_string(result.requests)});
   }
   server.stop();
@@ -737,17 +903,23 @@ int cmd_serve_bench(const ArgList& args) {
            " over loopback TCP against the micro-batching prediction server"
            " (max_batch=" << options.max_batch
         << ", queue_capacity=" << options.queue_capacity
-        << "); latencies are per-request round trips in microseconds\",\n"
+        << "); latencies are per-request round trips in microseconds; "
+           "server_* quantiles come from the in-server "
+           "serve.request.server_us histogram (the live stats "
+           "estimator)\",\n"
         << "  \"seconds_per_level\": " << seconds << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
-      char line[256];
+      char line[384];
       std::snprintf(line, sizeof line,
                     "    {\"clients\": %zu, \"requests\": %llu, "
                     "\"req_per_s\": %.1f, \"p50_us\": %.1f, "
-                    "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                    "\"p95_us\": %.1f, \"p99_us\": %.1f, "
+                    "\"server_p50_us\": %.1f, \"server_p95_us\": %.1f, "
+                    "\"server_p99_us\": %.1f}%s\n",
                     r.clients, static_cast<unsigned long long>(r.requests),
-                    r.rps, r.p50_us, r.p95_us, r.p99_us,
+                    r.rps, r.p50_us, r.p95_us, r.p99_us, r.server_p50_us,
+                    r.server_p95_us, r.server_p99_us,
                     i + 1 < results.size() ? "," : "");
       out << line;
     }
