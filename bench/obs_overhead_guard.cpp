@@ -22,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "ml/gbt.hpp"
+#include "ml/gbt_flat.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -157,6 +158,10 @@ int main() {
 
   ml::GradientBoostedTrees model;  // Default config: 200 trees, depth 4.
   model.fit(train.x, train.y);
+  // Dispatch is host-dependent; name the measured kernel so recorded
+  // numbers (BENCH_predict.json) stay comparable across hosts.
+  std::printf("predict kernel = %s\n",
+              ml::kernel_name(model.flat().effective_kernel()));
   std::vector<double> out(train.x.rows());
   time_predict_ms(model, train, out, 2);
   const bool predict_ok =

@@ -4,13 +4,17 @@
 // boosting training, and MIC estimation.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "features/contention.hpp"
 #include "logs/log_store.hpp"
 #include "ml/gbt.hpp"
+#include "ml/gbt_flat.hpp"
 #include "ml/mic.hpp"
 #include "sim/resources.hpp"
 
@@ -154,6 +158,48 @@ void BM_GbtPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GbtPredict)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// Kernel-family ablation on the BM_GbtPredict workload: arg 0 is the
+// forced ml::Kernel (1 = scalar, 2 = avx2, 3 = quantized), arg 1 selects
+// serial (0) or a hardware-concurrency pool (1). Rows whose kernel this
+// host/build cannot run (e.g. avx2 under XFL_DISABLE_SIMD) are skipped
+// rather than silently measuring the fallback; every runnable row is
+// bit-identical to BM_GbtPredict/2, so the times are directly comparable.
+void BM_GbtPredictKernel(benchmark::State& state) {
+  Rng rng(4);
+  ml::Matrix x(2000, 15);
+  std::vector<double> y(2000);
+  for (std::size_t i = 0; i < 2000; ++i) {
+    for (std::size_t c = 0; c < 15; ++c) x.at(i, c) = rng.normal();
+    y[i] = x.at(i, 2) + rng.normal(0.0, 0.1);
+  }
+  ml::GradientBoostedTrees model;
+  model.fit(x, y);
+  const auto kernel = static_cast<ml::Kernel>(state.range(0));
+  if (model.flat().effective_kernel(kernel) != kernel) {
+    state.SkipWithError("kernel unavailable on this host/build");
+    return;
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (state.range(1) != 0) pool = std::make_unique<ThreadPool>();
+  std::vector<double> out(x.rows());
+  for (auto _ : state) {
+    model.flat().predict_batch(x, out, pool.get(), kernel);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(ml::kernel_name(kernel));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(x.rows()));
+}
+BENCHMARK(BM_GbtPredictKernel)
+    ->ArgNames({"kernel", "pool"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({3, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({3, 1});
+
 // Batch prediction over row blocks; arg is GbtConfig::threads.
 void BM_GbtPredictBatch(benchmark::State& state) {
   Rng rng(4);
@@ -189,4 +235,33 @@ BENCHMARK(BM_Mic)->Arg(250)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a --kernel {auto,scalar,avx2,quantized} flag: forces
+// the process-wide default kernel (the same lever as XFL_KERNEL) before
+// any benchmark runs, so the non-kernel rows can be A/B-ed too.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--kernel=", 9) == 0) {
+      const auto kernel = xfl::ml::parse_kernel(arg + 9);
+      if (!kernel) {
+        std::fprintf(stderr,
+                     "unknown --kernel value '%s' "
+                     "(want auto|scalar|avx2|quantized)\n",
+                     arg + 9);
+        return 1;
+      }
+      xfl::ml::set_active_kernel(*kernel);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

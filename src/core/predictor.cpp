@@ -14,6 +14,7 @@
 #include "common/thread_pool.hpp"
 #include "common/units.hpp"
 #include "features/dataset.hpp"
+#include "ml/gbt_flat.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -125,7 +126,13 @@ void TransferPredictor::fit(const logs::LogStore& log) {
   XFL_LOG(info) << "predictor fit complete"
                 << obs::kv("records", log.size())
                 << obs::kv("edge_models", edge_models_.size())
-                << obs::kv("global_rows", global_dataset.rows());
+                << obs::kv("global_rows", global_dataset.rows())
+                << obs::kv("kernel", serving_kernel());
+}
+
+const char* TransferPredictor::serving_kernel() const {
+  XFL_EXPECTS(fitted_);
+  return ml::kernel_name(global_model_.boosted->flat().effective_kernel());
 }
 
 bool TransferPredictor::has_edge_model(const logs::EdgeKey& edge) const {

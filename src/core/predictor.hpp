@@ -113,6 +113,13 @@ class TransferPredictor {
       const PlannedTransfer& transfer,
       const features::ContentionFeatures& expected_load = {}) const;
 
+  /// Name of the batch-inference kernel the serving path would run right
+  /// now ("scalar" / "avx2" / "quantized"): the process-wide dispatch
+  /// (XFL_KERNEL / --kernel / CPU detection) resolved against the global
+  /// model's compiled ensemble. Surfaced in the serve startup log and the
+  /// `stats` admin reply. Requires fit() (or load()).
+  const char* serving_kernel() const;
+
   /// Feature importances of the model serving this edge (name, weight),
   /// most important first. Requires fit().
   std::vector<std::pair<std::string, double>> explain(

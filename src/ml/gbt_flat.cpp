@@ -1,13 +1,102 @@
 #include "ml/gbt_flat.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "common/contracts.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
+// The vectorized kernels are x86-only and gated: gcc/clang `target("avx2")`
+// function attributes let one TU carry AVX2 bodies without -mavx2 on the
+// whole build, and runtime dispatch (CPUID, probed once) keeps them off
+// the execution path on older CPUs. -DXFL_DISABLE_SIMD compiles them out
+// entirely (forced-scalar builds; the quantized kernel keeps its portable
+// scalar form).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(XFL_DISABLE_SIMD)
+#define XFL_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define XFL_X86_KERNELS 0
+#endif
+
 namespace xfl::ml {
+
+const char* kernel_name(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kAvx2:
+      return "avx2";
+    case Kernel::kQuantized:
+      return "quantized";
+    case Kernel::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+std::optional<Kernel> parse_kernel(std::string_view text) {
+  if (text == "auto") return Kernel::kAuto;
+  if (text == "scalar") return Kernel::kScalar;
+  if (text == "avx2") return Kernel::kAvx2;
+  if (text == "quantized") return Kernel::kQuantized;
+  return std::nullopt;
+}
+
+bool cpu_supports_avx2() noexcept {
+#if XFL_X86_KERNELS
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+Kernel resolve_kernel(Kernel requested) noexcept {
+  // Auto picks the fastest exact kernel this host runs: the quantized
+  // walk when its AVX2 form is available, the scalar oracle otherwise
+  // (the portable scalar-quantized walk stays opt-in — explicit requests
+  // pass through).
+  if (requested == Kernel::kAuto)
+    return cpu_supports_avx2() ? Kernel::kQuantized : Kernel::kScalar;
+  if (requested == Kernel::kAvx2 && !cpu_supports_avx2())
+    return Kernel::kScalar;
+  return requested;
+}
+
+namespace {
+
+Kernel kernel_from_env() {
+  const char* env = std::getenv("XFL_KERNEL");
+  if (env == nullptr || *env == '\0') return Kernel::kAuto;
+  if (const auto parsed = parse_kernel(env)) return *parsed;
+  XFL_LOG(warn) << "unknown XFL_KERNEL value; using auto"
+                << obs::kv("value", env);
+  return Kernel::kAuto;
+}
+
+std::atomic<Kernel>& active_kernel_slot() {
+  static std::atomic<Kernel> slot{kernel_from_env()};
+  return slot;
+}
+
+}  // namespace
+
+Kernel active_kernel() noexcept {
+  return active_kernel_slot().load(std::memory_order_relaxed);
+}
+
+void set_active_kernel(Kernel kernel) noexcept {
+  active_kernel_slot().store(kernel, std::memory_order_relaxed);
+}
 
 namespace {
 /// Serving observability. Instrumentation sits on the batch entry point
@@ -22,11 +111,31 @@ struct ServeMetrics {
   obs::Histogram& batch_rows =
       obs::histogram("gbt.predict.batch_rows", kBatchRowBounds);
   obs::Histogram& batch_us = obs::histogram("gbt.predict.batch_us");
+  /// Which kernel served the last batch (Kernel enum value) — the serve
+  /// stats `kernel` field and startup log read the same dispatch state.
+  obs::Gauge& kernel_active = obs::gauge("gbt.kernel.active");
 };
 
 ServeMetrics& serve_metrics() {
   static ServeMetrics metrics;
   return metrics;
+}
+
+/// Per-kernel row counters, so A/B runs (--kernel / XFL_KERNEL) show up
+/// in the registry without parsing logs.
+obs::Counter& kernel_rows_counter(Kernel kernel) {
+  static obs::Counter& scalar = obs::counter("gbt.predict.kernel.scalar.rows");
+  static obs::Counter& avx2 = obs::counter("gbt.predict.kernel.avx2.rows");
+  static obs::Counter& quantized =
+      obs::counter("gbt.predict.kernel.quantized.rows");
+  switch (kernel) {
+    case Kernel::kAvx2:
+      return avx2;
+    case Kernel::kQuantized:
+      return quantized;
+    default:
+      return scalar;
+  }
 }
 }  // namespace
 
@@ -94,7 +203,197 @@ FlatEnsemble FlatEnsemble::Builder::build() && {
     flat.depth_.push_back(tree_depth);
     flat.max_depth_ = std::max(flat.max_depth_, static_cast<int>(tree_depth));
   }
+  flat.build_quantized();
   return flat;
+}
+
+namespace {
+/// Quantized-form limits: feature ids and per-feature distinct-threshold
+/// counts stay in a sane range, and the complete-tree padding must not
+/// explode on degenerate deep trees.
+constexpr std::int32_t kMaxQuantFeature = 32766;
+constexpr std::int32_t kMaxTableEntries = 32766;
+constexpr std::int32_t kMaxQuantTreeDepth = 19;
+constexpr std::int64_t kMaxQuantPaddedSlots = std::int64_t{1} << 20;
+/// Deepest tree the gather-free AVX2 quantized walk handles (its node
+/// masks for one tree must fit a 16-entry shuffle table: 2^d - 1 <= 15).
+constexpr std::int32_t kMaxVectorQuantDepth = 4;
+
+/// Cell of value v in a feature's rank-search acceleration grid. Only
+/// monotonicity in v matters for correctness (clamping keeps it so under
+/// any lo/scale, including the 0 * inf = NaN corner), because cells are
+/// assigned to thresholds with this same mapping at build time.
+inline std::int32_t quant_grid_cell(double v, double lo, double scale,
+                                    std::int32_t cells) noexcept {
+  const double u = (v - lo) * scale;
+  if (!(u > 0.0)) return 0;
+  if (u >= static_cast<double>(cells)) return cells - 1;
+  return static_cast<std::int32_t>(u);
+}
+}  // namespace
+
+void FlatEnsemble::build_quantized() {
+  quantized_ok_ = false;
+  quant_reject_.clear();
+  const auto reject = [&](std::string reason) {
+    quant_reject_ = std::move(reason);
+    qmask_idx_.clear();
+    qleaf_.clear();
+    qsplit_off_.clear();
+    qleaf_off_.clear();
+    qtable_.clear();
+    qtable_off_.clear();
+    qmask_off_.clear();
+    qgrid_off_.clear();
+    qgrid_lo_.clear();
+    qgrid_scale_.clear();
+    qgridrank_.clear();
+    obs::counter("gbt.flat.quantize_fallback").add(1);
+    XFL_LOG(warn) << "quantized kernel unavailable for this ensemble; "
+                     "dispatch falls back to the exact kernel"
+                  << obs::kv("reason", quant_reject_)
+                  << obs::kv("trees", roots_.size())
+                  << obs::kv("nodes", feature_.size());
+  };
+
+  // Distinct split thresholds per feature; ranks are table positions.
+  std::int32_t max_feature = -1;
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    if (feature_[i] < 0) continue;
+    if (std::isnan(value_[i])) return reject("nan split threshold");
+    max_feature = std::max(max_feature, feature_[i]);
+  }
+  if (max_feature > kMaxQuantFeature)
+    return reject("feature id exceeds int16 code range");
+  quant_features_ = max_feature + 1;
+
+  std::vector<std::vector<double>> tables(
+      static_cast<std::size_t>(quant_features_));
+  for (std::size_t i = 0; i < feature_.size(); ++i)
+    if (feature_[i] >= 0)
+      tables[static_cast<std::size_t>(feature_[i])].push_back(value_[i]);
+  for (auto& table : tables) {
+    std::sort(table.begin(), table.end());
+    table.erase(std::unique(table.begin(), table.end()), table.end());
+    if (table.size() > static_cast<std::size_t>(kMaxTableEntries))
+      return reject("threshold table exceeds int16 rank space");
+  }
+
+  // Padded complete-tree size check before allocating anything.
+  std::int64_t padded = 0;
+  for (const std::int32_t d : depth_) {
+    if (d > kMaxQuantTreeDepth) return reject("tree too deep to pad");
+    padded += (std::int64_t{1} << (d + 1)) - 1;
+  }
+  if (padded > kMaxQuantPaddedSlots)
+    return reject("padded form exceeds size cap");
+
+  // Threshold tables (padded to a power-of-two size with at least one
+  // +inf terminator, so the rank scan needs no bounds check) and
+  // per-feature predicate-mask regions: one mask rank per distinct
+  // threshold.
+  qtable_off_.assign(1, 0);
+  qmask_off_.assign(1, 0);
+  for (const auto& table : tables) {
+    qmask_off_.push_back(qmask_off_.back() +
+                         static_cast<std::int32_t>(table.size()));
+    const std::size_t pow2 = std::bit_ceil(table.size() + 1);
+    qtable_.insert(qtable_.end(), table.begin(), table.end());
+    qtable_.insert(qtable_.end(), pow2 - table.size(),
+                   std::numeric_limits<double>::infinity());
+    qtable_off_.push_back(static_cast<std::int32_t>(qtable_.size()));
+  }
+  const std::int32_t pad_mask = qmask_off_.back();
+
+  // Rank-search acceleration grid: ~2 uniform cells per threshold (capped
+  // for huge tables), each storing the rank of its first threshold. The
+  // block binarizer starts its linear scan there, so a lookup costs one
+  // multiply plus a step or two instead of a full binary search. Cells
+  // are assigned by pushing the thresholds through quant_grid_cell — the
+  // identical mapping the lookup uses — so monotonicity alone guarantees
+  // the start rank never overshoots, whatever floating-point rounding
+  // does.
+  qgrid_off_.assign(1, 0);
+  for (const auto& table : tables) {
+    if (table.empty()) {
+      qgrid_lo_.push_back(0.0);
+      qgrid_scale_.push_back(0.0);
+      qgrid_off_.push_back(qgrid_off_.back());
+      continue;
+    }
+    const auto cells = static_cast<std::int32_t>(
+        std::min<std::size_t>(2048, std::bit_ceil(4 * table.size())));
+    const double lo = table.front();
+    const double hi = table.back();
+    const double scale =
+        hi > lo ? static_cast<double>(cells) / (hi - lo) : 0.0;
+    qgrid_lo_.push_back(lo);
+    qgrid_scale_.push_back(scale);
+    std::size_t rank = 0;
+    for (std::int32_t c = 0; c < cells; ++c) {
+      while (rank < table.size() &&
+             quant_grid_cell(table[rank], lo, scale, cells) < c)
+        ++rank;
+      qgridrank_.push_back(static_cast<std::int16_t>(rank));
+    }
+    qgrid_off_.push_back(static_cast<std::int32_t>(qgridrank_.size()));
+  }
+
+  qsplit_off_.reserve(roots_.size());
+  qleaf_off_.reserve(roots_.size());
+  for (std::size_t t = 0; t < roots_.size(); ++t) {
+    const std::int32_t d = depth_[t];
+    const std::int32_t internal = (1 << d) - 1;
+    const std::int32_t soff = static_cast<std::int32_t>(qmask_idx_.size());
+    const std::int32_t loff = static_cast<std::int32_t>(qleaf_.size());
+    qsplit_off_.push_back(soff);
+    qleaf_off_.push_back(loff);
+    qmask_idx_.resize(qmask_idx_.size() + static_cast<std::size_t>(internal),
+                      pad_mask);
+    qleaf_.resize(qleaf_.size() + (std::size_t{1} << d), 0.0);
+
+    // Copy the tree into its padded slots. A leaf shallower than d turns
+    // into a virtual split (feature 0, rank 0) whose two children are the
+    // same leaf, so routing through the padding cannot change the reached
+    // value; nodes at depth d are always leaves (d is the deepest split
+    // path).
+    const auto fill = [&](auto&& self, std::int32_t orig,
+                          std::int32_t slot) -> void {
+      if (slot >= internal) {
+        XFL_EXPECTS(feature_[static_cast<std::size_t>(orig)] < 0);
+        qleaf_[static_cast<std::size_t>(loff + slot - internal)] =
+            value_[static_cast<std::size_t>(orig)];
+        return;
+      }
+      const std::int32_t f = feature_[static_cast<std::size_t>(orig)];
+      if (f >= 0) {
+        const auto& table = tables[static_cast<std::size_t>(f)];
+        const auto rank = static_cast<std::int32_t>(
+            std::lower_bound(table.begin(), table.end(),
+                             value_[static_cast<std::size_t>(orig)]) -
+            table.begin());
+        qmask_idx_[static_cast<std::size_t>(soff + slot)] =
+            qmask_off_[static_cast<std::size_t>(f)] + rank;
+        self(self, left_[static_cast<std::size_t>(orig)], 2 * slot + 1);
+        self(self, left_[static_cast<std::size_t>(orig)] + 1, 2 * slot + 2);
+      } else {
+        // Virtual padding split: both children are the same leaf, so the
+        // predicate is irrelevant — point it at the zeroed pad mask.
+        self(self, orig, 2 * slot + 1);
+        self(self, orig, 2 * slot + 2);
+      }
+    };
+    fill(fill, roots_[t], 0);
+  }
+  quantized_ok_ = true;
+}
+
+Kernel FlatEnsemble::effective_kernel(Kernel requested) const {
+  Kernel kernel =
+      resolve_kernel(requested == Kernel::kAuto ? active_kernel() : requested);
+  if (kernel == Kernel::kQuantized && !quantized_ok_)
+    kernel = cpu_supports_avx2() ? Kernel::kAvx2 : Kernel::kScalar;
+  return kernel;
 }
 
 double FlatEnsemble::predict_one(std::span<const double> features) const {
@@ -124,10 +423,13 @@ namespace {
 /// (row pointers, node cursors, accumulators) stays in registers / L1;
 /// large enough that the dependent-load chains of the walks overlap.
 constexpr std::size_t kRowBlock = 16;
+/// Features whose per-block scratch (transposed values / rank codes) fits
+/// on the stack; wider models fall back to a per-call heap buffer.
+constexpr std::size_t kStackFeatures = 64;
 }  // namespace
 
-void FlatEnsemble::predict_rows(const Matrix& x, std::size_t begin,
-                                std::size_t end, double* out) const {
+void FlatEnsemble::predict_rows_scalar(const Matrix& x, std::size_t begin,
+                                       std::size_t end, double* out) const {
   const std::int32_t* feat = feature_.data();
   const double* val = value_.data();
   const std::int32_t* left = left_.data();
@@ -168,29 +470,481 @@ void FlatEnsemble::predict_rows(const Matrix& x, std::size_t begin,
   }
 }
 
+namespace {
+/// Suffix-OR mf[k] |= mf[k + 1] over mf[0 .. ranks - 1], high to low.
+/// SSE2 is x86-64 baseline, so the vector form needs no dispatch: eight
+/// lanes per step — an in-vector suffix by element shifts, then an OR of
+/// the carry from the already-processed higher blocks.
+inline void suffix_or_u16(std::uint16_t* mf, std::int32_t ranks) {
+#if XFL_X86_KERNELS
+  const std::int32_t nb8 = ranks & ~std::int32_t{7};
+  for (std::int32_t k = ranks - 2; k >= nb8; --k) mf[k] |= mf[k + 1];
+  __m128i carry = _mm_set1_epi16(
+      nb8 < ranks ? static_cast<short>(mf[nb8]) : short{0});
+  for (std::int32_t b = nb8 - 8; b >= 0; b -= 8) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mf + b));
+    v = _mm_or_si128(v, _mm_srli_si128(v, 2));
+    v = _mm_or_si128(v, _mm_srli_si128(v, 4));
+    v = _mm_or_si128(v, _mm_srli_si128(v, 8));
+    v = _mm_or_si128(v, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(mf + b), v);
+    // Lane 0 now holds the OR of everything from this block up.
+    carry = _mm_shuffle_epi32(_mm_shufflelo_epi16(v, 0), 0);
+  }
+#else
+  for (std::int32_t k = ranks - 2; k >= 0; --k) mf[k] |= mf[k + 1];
+#endif
+}
+}  // namespace
+
+void FlatEnsemble::build_block_masks(const Matrix& x, std::size_t block,
+                                     std::size_t count,
+                                     std::uint16_t* masks) const {
+  const double* rows[kRowBlock];
+  for (std::size_t r = 0; r < count; ++r) rows[r] = x.row(block + r).data();
+  for (std::int32_t f = 0; f < quant_features_; ++f) {
+    const std::int32_t moff = qmask_off_[static_cast<std::size_t>(f)];
+    const std::int32_t ranks =
+        qmask_off_[static_cast<std::size_t>(f) + 1] - moff;
+    if (ranks == 0) continue;  // Feature never split — no masks to build.
+    std::uint16_t* mf = masks + moff;
+    for (std::int32_t k = 0; k < ranks; ++k) mf[k] = 0;
+    const double* table = qtable_.data() + qtable_off_[f];
+    const double lo = qgrid_lo_[static_cast<std::size_t>(f)];
+    const double scale = qgrid_scale_[static_cast<std::size_t>(f)];
+    const std::int32_t goff = qgrid_off_[static_cast<std::size_t>(f)];
+    const std::int32_t cells =
+        qgrid_off_[static_cast<std::size_t>(f) + 1] - goff;
+    const std::int16_t* grid = qgridrank_.data() + goff;
+    for (std::size_t r = 0; r < count; ++r) {
+      const double v = rows[r][static_cast<std::size_t>(f)];
+      // code = #thresholds < v in [0, ranks]. The grid cell's start rank
+      // can only undershoot (build time assigned cells with the same
+      // mapping), and the +inf table terminator stops the scan without a
+      // bounds check. The grid is ~4 cells per threshold, so one
+      // branchless step almost always lands and the residual loop stays
+      // predictably untaken.
+      std::size_t code;
+      if (std::isnan(v)) {
+        code = static_cast<std::size_t>(ranks);  // Right of every split.
+      } else {
+        code = static_cast<std::size_t>(
+            grid[quant_grid_cell(v, lo, scale, cells)]);
+        code += static_cast<std::size_t>(table[code] < v);
+        while (table[code] < v) ++code;
+      }
+      // A row with code c routes right at ranks 0..c-1: bucket its bit at
+      // rank c-1, then suffix-OR below spreads it down.
+      if (code > 0) mf[code - 1] |= static_cast<std::uint16_t>(1u << r);
+    }
+    suffix_or_u16(mf, ranks);
+  }
+  masks[mask_count()] = 0;  // Virtual padding splits read this entry.
+}
+
+namespace {
+
+/// Raw views of the SoA arrays for the kernel bodies (free functions:
+/// the target("avx2") attribute stays off the class interface).
+struct FlatView {
+  const std::int32_t* feat;
+  const double* val;
+  const std::int32_t* left;
+  const std::int32_t* roots;
+  const std::int32_t* depth;
+  std::size_t tree_count;
+  double scale;
+};
+
+struct QuantView {
+  const std::int32_t* qmask_idx;
+  const double* qleaf;
+  const std::int32_t* qsplit_off;
+  const std::int32_t* qleaf_off;
+  const std::int32_t* depth;
+  std::size_t tree_count;
+  double scale;
+};
+
+/// Portable walk of one padded tree for one block — the whole quantized
+/// kernel on non-SIMD builds, and the deep-tree fallback inside the AVX2
+/// form. `masks` is this block's predicate-mask table: bit r of
+/// masks[qmask_idx[s]] says row r routes right at slot s.
+inline void quant_tree_scalar(const QuantView& m, std::size_t t,
+                              const std::uint16_t* masks, std::size_t count,
+                              double* acc) {
+  const std::int32_t d = m.depth[t];
+  const double* ql = m.qleaf + m.qleaf_off[t];
+  if (d == 0) {  // Lone-leaf tree: every row lands on the same value.
+    for (std::size_t r = 0; r < count; ++r) acc[r] += m.scale * ql[0];
+    return;
+  }
+  const std::int32_t* qi = m.qmask_idx + m.qsplit_off[t];
+  const std::int32_t internal = (1 << d) - 1;
+  std::int32_t slot[kRowBlock];
+  for (std::size_t r = 0; r < count; ++r) slot[r] = 0;
+  for (std::int32_t level = 0; level < d; ++level) {
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::int32_t s = slot[r];
+      slot[r] = 2 * s + 1 +
+                static_cast<std::int32_t>((masks[qi[s]] >> r) & 1u);
+    }
+  }
+  for (std::size_t r = 0; r < count; ++r)
+    acc[r] += m.scale * ql[slot[r] - internal];
+}
+
+}  // namespace
+
+#if XFL_X86_KERNELS
+
+namespace {
+
+/// One 16-row block through every tree, AVX2 double form. `xs` is the
+/// block-transposed feature scratch (xs[f * 16 + r]); `acc` holds all 16
+/// lane accumulators (callers seed base_score and store only live lanes).
+// GCC's unmasked-gather intrinsics source an undefined vector internally
+// (`__Y = __Y`), which trips -Wmaybe-uninitialized; there is no actual
+// read of uninitialized state.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+__attribute__((target("avx2"))) void flat_block_avx2(const FlatView& m,
+                                                     const double* xs,
+                                                     double* acc) {
+  const __m128i one = _mm_set1_epi32(1);
+  const __m128i neg_one = _mm_set1_epi32(-1);
+  // Narrows a 4x64-bit compare mask to its 4x32-bit low halves.
+  const __m256i narrow = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  const __m128i lanes[4] = {
+      _mm_setr_epi32(0, 1, 2, 3), _mm_setr_epi32(4, 5, 6, 7),
+      _mm_setr_epi32(8, 9, 10, 11), _mm_setr_epi32(12, 13, 14, 15)};
+  double leaf[kRowBlock];
+  for (std::size_t t = 0; t < m.tree_count; ++t) {
+    const std::int32_t steps = m.depth[t];
+    __m128i idx[4];
+    for (int q = 0; q < 4; ++q) idx[q] = _mm_set1_epi32(m.roots[t]);
+    for (std::int32_t s = 0; s < steps; ++s) {
+      for (int q = 0; q < 4; ++q) {
+        const __m128i i = idx[q];
+        const __m128i f = _mm_i32gather_epi32(m.feat, i, 4);
+        // Internal lanes step; leaf lanes hold. The feature-value gather
+        // is masked on internal lanes only, so a leaf's f = -1 never
+        // forms an address (masked-off gather elements do not fault).
+        const __m128i internal = _mm_cmpgt_epi32(f, neg_one);
+        const __m256d threshold = _mm256_i32gather_pd(m.val, i, 8);
+        const __m128i fidx =
+            _mm_add_epi32(_mm_slli_epi32(f, 4), lanes[q]);
+        const __m256d mask =
+            _mm256_castsi256_pd(_mm256_cvtepi32_epi64(internal));
+        const __m256d value = _mm256_mask_i32gather_pd(
+            _mm256_setzero_pd(), xs, fidx, mask, 8);
+        // Same predicate as the scalar walk: x <= t left, NaN right
+        // (ordered compare is false on NaN).
+        const __m256d le = _mm256_cmp_pd(value, threshold, _CMP_LE_OQ);
+        const __m128i lf = _mm_i32gather_epi32(m.left, i, 4);
+        const __m128i le32 = _mm256_castsi256_si128(
+            _mm256_permutevar8x32_epi32(_mm256_castpd_si256(le), narrow));
+        // le32 is -1 for left: left + 1 + (-1) = left; 0 for right.
+        const __m128i stepped =
+            _mm_add_epi32(lf, _mm_add_epi32(one, le32));
+        idx[q] = _mm_blendv_epi8(i, stepped, internal);
+      }
+    }
+    for (int q = 0; q < 4; ++q)
+      _mm256_storeu_pd(leaf + 4 * q, _mm256_i32gather_pd(m.val, idx[q], 8));
+    // Scalar accumulation in tree order: the identical mul-then-add
+    // sequence as the scalar kernel, hence bit-identical outputs.
+    for (std::size_t r = 0; r < kRowBlock; ++r)
+      acc[r] += m.scale * leaf[r];
+  }
+}
+#pragma GCC diagnostic pop
+
+/// Pass 1 of the AVX2 quantized block: resolve every vector-walkable
+/// tree's node masks out of the block's predicate-mask table into that
+/// tree's 16-entry shuffle table (plain scalar L1 loads, contiguous
+/// stores). Separated from the walk so the stores drain before the walk
+/// loads them back as vectors — fusing the two stalls every tree on
+/// store-to-load forwarding.
+inline void quant_fill_bits(const QuantView& m, const std::uint16_t* masks,
+                            std::uint16_t* qbits) {
+  for (std::size_t t = 0; t < m.tree_count; ++t) {
+    const std::int32_t d = m.depth[t];
+    if (d == 0 || d > kMaxVectorQuantDepth) continue;
+    const std::int32_t* qi = m.qmask_idx + m.qsplit_off[t];
+    std::uint16_t* bt = qbits + t * kRowBlock;
+    const std::int32_t internal = (1 << d) - 1;
+    // Paired 32-bit stores (x86 is little-endian and this TU is x86-only):
+    // a complete tree has an odd internal count, so one tail entry remains.
+    std::int32_t n = 0;
+    for (; n + 1 < internal; n += 2) {
+      const std::uint32_t pair =
+          static_cast<std::uint32_t>(masks[qi[n]]) |
+          (static_cast<std::uint32_t>(masks[qi[n + 1]]) << 16);
+      std::memcpy(bt + n, &pair, sizeof(pair));
+    }
+    if (n < internal) bt[n] = masks[qi[n]];
+  }
+}
+
+/// Pass 2: one 16-row block through every tree, quantized integer form.
+/// Zero memory gathers (hardware gathers are microcode-crippled on many
+/// production x86 hosts): each tree loads its prefilled shuffle table
+/// and walks all 16 rows as int16 lanes — the per-level mask lookup is
+/// an in-register byte shuffle, and the branch-free step is child =
+/// 2i + 1 + predicate.
+__attribute__((target("avx2"))) void quant_block_avx2(
+    const QuantView& m, const std::uint16_t* masks,
+    const std::uint16_t* qbits, std::size_t count, double* acc) {
+  const __m256i one = _mm256_set1_epi16(1);
+  const __m256i seven = _mm256_set1_epi16(7);
+  // Shuffle control mapping slot s to the byte pair (2s, 2s + 1) of the
+  // mask table: (s << 1 | s << 9) + 0x0100 (no byte carries: 2s + 1 < 64).
+  const __m256i ctl_add = _mm256_set1_epi16(0x0100);
+  // Lane r selects bit r of its slot's row mask.
+  const __m256i row_bit = _mm256_setr_epi16(
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+      static_cast<std::int16_t>(-32768));
+  const __m256d scale = _mm256_set1_pd(m.scale);
+  alignas(32) std::int16_t rel[kRowBlock];
+  // All 16 lane accumulators stay in registers across the tree loop (the
+  // caller seeds every lane; dead tail lanes are walked but never stored).
+  // Accumulation is mul-then-add per lane — the identical operation
+  // sequence as the scalar kernel (FMA is not enabled in this target, so
+  // nothing contracts), hence bit-identical outputs.
+  __m256d a0 = _mm256_loadu_pd(acc);
+  __m256d a1 = _mm256_loadu_pd(acc + 4);
+  __m256d a2 = _mm256_loadu_pd(acc + 8);
+  __m256d a3 = _mm256_loadu_pd(acc + 12);
+  for (std::size_t t = 0; t < m.tree_count; ++t) {
+    const std::int32_t d = m.depth[t];
+    const double* ql = m.qleaf + m.qleaf_off[t];
+    if (d == 0) {  // Lone-leaf tree: every row lands on the same value.
+      const __m256d v = _mm256_set1_pd(ql[0]);
+      const __m256d p = _mm256_mul_pd(scale, v);
+      a0 = _mm256_add_pd(a0, p);
+      a1 = _mm256_add_pd(a1, p);
+      a2 = _mm256_add_pd(a2, p);
+      a3 = _mm256_add_pd(a3, p);
+      continue;
+    }
+    if (d > kMaxVectorQuantDepth) {  // Shuffle table would overflow.
+      // The scalar fallback works on the in-memory accumulators: spill
+      // around the call (deep trees are the rare case).
+      _mm256_storeu_pd(acc, a0);
+      _mm256_storeu_pd(acc + 4, a1);
+      _mm256_storeu_pd(acc + 8, a2);
+      _mm256_storeu_pd(acc + 12, a3);
+      quant_tree_scalar(m, t, masks, count, acc);
+      a0 = _mm256_loadu_pd(acc);
+      a1 = _mm256_loadu_pd(acc + 4);
+      a2 = _mm256_loadu_pd(acc + 8);
+      a3 = _mm256_loadu_pd(acc + 12);
+      continue;
+    }
+    const std::int32_t internal = (1 << d) - 1;
+    // 16 int16 lanes walk the complete tree. Levels 0 and 1 have one and
+    // two candidate masks, so a broadcast (and a blend on the level-0
+    // choice) replaces the table shuffle outright.
+    const std::uint16_t* bt = qbits + t * kRowBlock;
+    __m256i word = _mm256_set1_epi16(static_cast<std::int16_t>(bt[0]));
+    __m256i hit = _mm256_and_si256(word, row_bit);
+    // go is -1 when row r routes right: 2s + 1 - (-1) = 2s + 2.
+    __m256i go = _mm256_cmpeq_epi16(hit, row_bit);
+    __m256i slot = _mm256_sub_epi16(one, go);
+    if (d >= 2) {
+      word = _mm256_blendv_epi8(
+          _mm256_set1_epi16(static_cast<std::int16_t>(bt[1])),
+          _mm256_set1_epi16(static_cast<std::int16_t>(bt[2])), go);
+      hit = _mm256_and_si256(word, row_bit);
+      go = _mm256_cmpeq_epi16(hit, row_bit);
+      slot = _mm256_sub_epi16(
+          _mm256_add_epi16(_mm256_add_epi16(slot, slot), one), go);
+    }
+    // Deeper levels: the mask table is two broadcast 128-bit halves;
+    // pshufb indexes bytes mod 16, so one control vector serves both
+    // halves and a lane blend on slot > 7 picks the right one. (Entries
+    // >= internal are never indexed, so their contents don't matter.)
+    if (d >= 3) {
+      const __m256i table_lo = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bt)));
+      const __m256i table_hi = _mm256_broadcastsi128_si256(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bt + 8)));
+      for (std::int32_t level = 2; level < d; ++level) {
+        const __m256i ctl = _mm256_add_epi16(
+            _mm256_or_si256(_mm256_slli_epi16(slot, 1),
+                            _mm256_slli_epi16(slot, 9)),
+            ctl_add);
+        const __m256i word_lo = _mm256_shuffle_epi8(table_lo, ctl);
+        const __m256i word_hi = _mm256_shuffle_epi8(table_hi, ctl);
+        word = _mm256_blendv_epi8(word_lo, word_hi,
+                                  _mm256_cmpgt_epi16(slot, seven));
+        hit = _mm256_and_si256(word, row_bit);
+        go = _mm256_cmpeq_epi16(hit, row_bit);
+        slot = _mm256_sub_epi16(
+            _mm256_add_epi16(_mm256_add_epi16(slot, slot), one), go);
+      }
+    }
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(rel),
+        _mm256_sub_epi16(slot, _mm256_set1_epi16(
+                                   static_cast<std::int16_t>(internal))));
+    // Leaf fetch stays scalar (indexed loads — no hardware gathers) and
+    // the vectors assemble in registers (no store/wide-reload round trip);
+    // the accumulate is vector mul-then-add in tree order.
+    const __m256d l0 =
+        _mm256_setr_pd(ql[rel[0]], ql[rel[1]], ql[rel[2]], ql[rel[3]]);
+    const __m256d l1 =
+        _mm256_setr_pd(ql[rel[4]], ql[rel[5]], ql[rel[6]], ql[rel[7]]);
+    const __m256d l2 =
+        _mm256_setr_pd(ql[rel[8]], ql[rel[9]], ql[rel[10]], ql[rel[11]]);
+    const __m256d l3 =
+        _mm256_setr_pd(ql[rel[12]], ql[rel[13]], ql[rel[14]], ql[rel[15]]);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(scale, l0));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(scale, l1));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(scale, l2));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(scale, l3));
+  }
+  _mm256_storeu_pd(acc, a0);
+  _mm256_storeu_pd(acc + 4, a1);
+  _mm256_storeu_pd(acc + 8, a2);
+  _mm256_storeu_pd(acc + 12, a3);
+}
+
+}  // namespace
+
+#endif  // XFL_X86_KERNELS
+
+void FlatEnsemble::predict_rows_avx2(const Matrix& x, std::size_t begin,
+                                     std::size_t end, double* out) const {
+#if XFL_X86_KERNELS
+  const FlatView view{feature_.data(), value_.data(),  left_.data(),
+                      roots_.data(),   depth_.data(),  roots_.size(),
+                      scale_};
+  const std::size_t features = x.cols();
+  double xs_stack[kStackFeatures * kRowBlock];
+  std::vector<double> xs_heap;
+  double* xs = xs_stack;
+  if (features > kStackFeatures) {
+    xs_heap.resize(features * kRowBlock);
+    xs = xs_heap.data();
+  }
+  double acc[kRowBlock];
+  for (std::size_t block = begin; block < end; block += kRowBlock) {
+    const std::size_t count = std::min(kRowBlock, end - block);
+    // Block transpose: one shared base for the per-level value gathers.
+    for (std::size_t r = 0; r < count; ++r) {
+      const double* row = x.row(block + r).data();
+      for (std::size_t f = 0; f < features; ++f) xs[f * kRowBlock + r] = row[f];
+    }
+    if (count < kRowBlock)  // Pad tail lanes: walked but never stored.
+      for (std::size_t f = 0; f < features; ++f)
+        for (std::size_t r = count; r < kRowBlock; ++r)
+          xs[f * kRowBlock + r] = 0.0;
+    for (std::size_t r = 0; r < kRowBlock; ++r) acc[r] = base_score_;
+    flat_block_avx2(view, xs, acc);
+    for (std::size_t r = 0; r < count; ++r) out[block + r] = acc[r];
+  }
+#else
+  predict_rows_scalar(x, begin, end, out);
+#endif
+}
+
+void FlatEnsemble::predict_rows_quantized(const Matrix& x, std::size_t begin,
+                                          std::size_t end, double* out) const {
+  XFL_EXPECTS(quantized_ok_);
+  const QuantView view{qmask_idx_.data(),  qleaf_.data(),
+                       qsplit_off_.data(), qleaf_off_.data(),
+                       depth_.data(),      roots_.size(),
+                       scale_};
+  // The block's predicate-mask table (+1 zeroed pad entry for virtual
+  // padding splits). A few hundred entries for histogram-trained models.
+  constexpr std::size_t kStackMasks = 4096;
+  std::uint16_t masks_stack[kStackMasks];
+  std::vector<std::uint16_t> masks_heap;
+  std::uint16_t* masks = masks_stack;
+  if (mask_count() + 1 > kStackMasks) {
+    masks_heap.resize(mask_count() + 1);
+    masks = masks_heap.data();
+  }
+#if XFL_X86_KERNELS
+  const bool use_avx2 = cpu_supports_avx2();
+  // Per-tree shuffle tables for the vector walk (16 entries per tree).
+  constexpr std::size_t kStackTreeBits = 256 * kRowBlock;
+  alignas(32) std::uint16_t qbits_stack[kStackTreeBits];
+  std::vector<std::uint16_t> qbits_heap;
+  std::uint16_t* qbits = qbits_stack;
+  if (use_avx2 && roots_.size() * kRowBlock > kStackTreeBits) {
+    qbits_heap.resize(roots_.size() * kRowBlock);
+    qbits = qbits_heap.data();
+  }
+#endif
+  double acc[kRowBlock];
+  for (std::size_t block = begin; block < end; block += kRowBlock) {
+    const std::size_t count = std::min(kRowBlock, end - block);
+    build_block_masks(x, block, count, masks);
+    // Seed every lane: the vector form accumulates dead tail lanes too
+    // (walked but never stored), so they must hold defined values.
+    for (std::size_t r = 0; r < kRowBlock; ++r) acc[r] = base_score_;
+#if XFL_X86_KERNELS
+    if (use_avx2) {
+      quant_fill_bits(view, masks, qbits);
+      quant_block_avx2(view, masks, qbits, count, acc);
+    } else
+#endif
+    {
+      // Portable scalar walk of the same padded integer form.
+      for (std::size_t t = 0; t < view.tree_count; ++t)
+        quant_tree_scalar(view, t, masks, count, acc);
+    }
+    for (std::size_t r = 0; r < count; ++r) out[block + r] = acc[r];
+  }
+}
+
+void FlatEnsemble::predict_rows(const Matrix& x, std::size_t begin,
+                                std::size_t end, double* out,
+                                Kernel kernel) const {
+  switch (effective_kernel(kernel)) {
+    case Kernel::kAvx2:
+      predict_rows_avx2(x, begin, end, out);
+      return;
+    case Kernel::kQuantized:
+      predict_rows_quantized(x, begin, end, out);
+      return;
+    default:
+      predict_rows_scalar(x, begin, end, out);
+      return;
+  }
+}
+
 void FlatEnsemble::predict_batch(const Matrix& x, std::span<double> out,
-                                 ThreadPool* pool) const {
+                                 ThreadPool* pool, Kernel kernel) const {
   XFL_EXPECTS(out.size() == x.rows());
   if (x.rows() == 0) return;
   XFL_SPAN("gbt.predict.batch");
   auto& metrics = serve_metrics();
   const std::uint64_t start_us = obs::monotonic_us();
+  // Resolve once: the whole batch runs one kernel even if the process
+  // default flips mid-flight (a resolved kernel re-resolves to itself).
+  const Kernel resolved = effective_kernel(kernel);
   // Blocks of at least 128 rows: each index owns its output slot, so the
   // block boundaries (and hence the worker count) cannot change results.
   if (pool != nullptr && pool->thread_count() > 1 && x.rows() >= 256) {
     pool->parallel_for_blocks(
         x.rows(),
         [&](std::size_t begin, std::size_t end) {
-          predict_rows(x, begin, end, out.data());
+          predict_rows(x, begin, end, out.data(), resolved);
         },
         128);
   } else {
-    predict_rows(x, 0, x.rows(), out.data());
+    predict_rows(x, 0, x.rows(), out.data(), resolved);
   }
   metrics.rows.add(x.rows());
   metrics.batches.add(1);
   metrics.batch_rows.record(static_cast<double>(x.rows()));
   metrics.batch_us.record(static_cast<double>(obs::monotonic_us() - start_us));
+  metrics.kernel_active.set(static_cast<double>(static_cast<int>(resolved)));
+  kernel_rows_counter(resolved).add(x.rows());
 }
 
 }  // namespace xfl::ml

@@ -28,10 +28,59 @@
 // (NaN features route right, exactly like the node walk's `x <= t ?
 // left : right`), and each row accumulates `base + scale * leaf` in tree
 // order, so the floating-point operation sequence per row is unchanged.
+//
+// Kernel family (PR 6): the lockstep walk above is the `scalar` kernel and
+// stays the oracle. Two explicitly vectorized kernels sit beside it behind
+// runtime dispatch (CPUID probed once; compile-time on non-x86):
+//
+//   * `avx2` — walks the same SoA arrays, but a 16-row block's features
+//     are first transposed into a contiguous scratch so every per-level
+//     load is a single-base AVX2 gather: node features/thresholds/links
+//     are gathered by node index, compares run 4 doubles per vector, and
+//     the index update is a compare/blend — no per-lane branches. Leaf
+//     accumulation stays scalar (`acc += scale * leaf` per row in tree
+//     order), so outputs remain bit-identical to the scalar kernel.
+//   * `quantized` — built at FlatEnsemble compile time: each feature's
+//     distinct split thresholds are sorted into a rank table and every
+//     split node stores one int32 index into a *global predicate-mask
+//     table* keyed by (feature, threshold rank). Per 16-row block those
+//     masks are computed once for the whole ensemble: each row's feature
+//     value is ranked against the threshold table (a uniform grid maps
+//     the value to a starting rank in one multiply, then a short linear
+//     scan finishes — typically 0–2 steps for histogram-trained models),
+//     scattered into a per-rank row bucket, and a suffix-OR turns the
+//     buckets into masks[k] = 16-bit set of rows with code > k. A NaN ranks above every threshold, so it routes
+//     right exactly like the `!(x <= t)` predicate. Because ensembles
+//     share thresholds heavily (histogram training draws them from at
+//     most max_bins-1 bin edges per feature), thousands of tree nodes
+//     collapse onto a few hundred masks — every split predicate of every
+//     tree is evaluated once per block instead of once per node visit.
+//     Each tree is padded to a complete binary tree of its depth (child =
+//     2*i+1+predicate, branch-free, no left links) and walked over all 16
+//     rows as int16 lanes; the per-level mask lookup is an in-register
+//     byte shuffle of the tree's (at most 16-entry) mask table, so the
+//     hot loop performs *zero* hardware gathers — which are microcode-
+//     crippled on many production x86 hosts. Reached leaf doubles are
+//     accumulated scalar in tree order; trees deeper than 4 walk a
+//     portable scalar form of the same layout.
+//
+// Quantization error bound: rank codes preserve the `x <= t` predicate
+// exactly whenever every threshold is representable in the table — which
+// build() guarantees by construction — so the quantized kernel routes
+// every row to the very same leaf and its predictions are bit-identical
+// (error bound zero). When an ensemble cannot be quantized losslessly
+// (more than 32766 distinct thresholds on one feature, a feature id
+// beyond the int16 code space, or a padded form over the size cap),
+// build() *refuses* the quantized form — structured warn log plus the
+// `gbt.flat.quantize_fallback` counter — and dispatch falls back to the
+// exact avx2/scalar kernel instead of silently degrading accuracy.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ml/matrix.hpp"
@@ -41,6 +90,38 @@ class ThreadPool;
 }
 
 namespace xfl::ml {
+
+/// Batch-inference kernel selector. kAuto defers to the process-wide
+/// active kernel (XFL_KERNEL env / set_active_kernel), which itself
+/// resolves to the best kernel this CPU and build support.
+enum class Kernel : std::uint8_t { kAuto = 0, kScalar, kAvx2, kQuantized };
+
+/// "auto" / "scalar" / "avx2" / "quantized".
+const char* kernel_name(Kernel kernel);
+
+/// Parse a kernel name (the CLI --kernel / XFL_KERNEL vocabulary).
+std::optional<Kernel> parse_kernel(std::string_view text);
+
+/// True when this build carries the AVX2 kernels and the CPU executes
+/// them (CPUID probed once, cached). Always false under XFL_DISABLE_SIMD
+/// and on non-x86 hosts.
+bool cpu_supports_avx2() noexcept;
+
+/// Collapse a request onto what this CPU/build can run: kAuto becomes
+/// kQuantized on SIMD hosts (the fastest exact kernel) and kScalar
+/// otherwise; kAvx2 degrades to kScalar when unsupported. kScalar and
+/// kQuantized pass through (the quantized kernel has a portable scalar
+/// form; per-ensemble quantization failures degrade later, in
+/// FlatEnsemble::effective_kernel).
+Kernel resolve_kernel(Kernel requested) noexcept;
+
+/// Process-wide default kernel, initialised once from the XFL_KERNEL
+/// environment variable (unset or invalid = kAuto, invalid warns).
+Kernel active_kernel() noexcept;
+
+/// Override the process-wide default (CLI --kernel). kAuto restores
+/// detection.
+void set_active_kernel(Kernel kernel) noexcept;
 
 /// Immutable compiled form of a fitted ensemble. Thread-safe to query
 /// concurrently; rebuild (via Builder) whenever the source model refits.
@@ -86,23 +167,68 @@ class FlatEnsemble {
   /// Deepest split path over all trees (0 = every tree is a lone leaf).
   int max_depth() const { return max_depth_; }
 
-  /// Ensemble prediction for one row. Bit-identical to the node walk.
+  /// True when build() produced the lossless quantized form (rank-coded
+  /// thresholds, padded complete trees). False means the quantized kernel
+  /// silently degrades — to dispatch, never in accuracy: requests for it
+  /// fall back to the exact avx2/scalar kernel.
+  bool quantized_supported() const { return quantized_ok_; }
+  /// Why quantization was refused ("" when quantized_supported()).
+  const std::string& quantize_reject_reason() const { return quant_reject_; }
+
+  /// The kernel a predict call with this request would actually run:
+  /// kAuto reads the process-wide active kernel, CPU support collapses
+  /// avx2 on non-SIMD hosts, and an unquantizable ensemble degrades
+  /// kQuantized to the best exact kernel.
+  Kernel effective_kernel(Kernel requested = Kernel::kAuto) const;
+
+  /// Ensemble prediction for one row. Bit-identical to the node walk
+  /// (always the scalar walk: one row has no lanes to vectorise).
   double predict_one(std::span<const double> features) const;
 
   /// Predict rows [begin, end) of x into out[begin, end) — the row-blocked
   /// kernel. `out` is indexed by absolute row so concurrent callers over
-  /// disjoint ranges never touch the same slot.
+  /// disjoint ranges never touch the same slot. `kernel` forces a family
+  /// member (kAuto = process default); every kernel returns bit-identical
+  /// results, so forcing is a perf lever, never a correctness one.
   void predict_rows(const Matrix& x, std::size_t begin, std::size_t end,
-                    double* out) const;
+                    double* out, Kernel kernel = Kernel::kAuto) const;
 
   /// Predict every row of x into out (out.size() == x.rows()), blocking
   /// rows across `pool` when provided. Block boundaries never change
   /// results: each row owns its output slot and its own walk.
   void predict_batch(const Matrix& x, std::span<double> out,
-                     ThreadPool* pool = nullptr) const;
+                     ThreadPool* pool = nullptr,
+                     Kernel kernel = Kernel::kAuto) const;
 
  private:
   FlatEnsemble() = default;
+
+  /// Attempt the lossless quantized compile (see file header); sets
+  /// quantized_ok_ or records the refusal.
+  void build_quantized();
+
+  // Kernel bodies behind predict_rows' dispatch.
+  void predict_rows_scalar(const Matrix& x, std::size_t begin,
+                           std::size_t end, double* out) const;
+  void predict_rows_avx2(const Matrix& x, std::size_t begin, std::size_t end,
+                         double* out) const;
+  void predict_rows_quantized(const Matrix& x, std::size_t begin,
+                              std::size_t end, double* out) const;
+
+  /// Build the per-block predicate-mask table: for every feature f and
+  /// threshold rank k, masks[qmask_off_[f] + k] has bit r set iff row r of
+  /// the block routes right at any split on (f, k) — i.e. #thresholds of
+  /// f strictly below x(r, f) exceeds k (NaN above all ranks). The final
+  /// pad entry masks[mask_count()] is zeroed (virtual padding splits
+  /// point there).
+  void build_block_masks(const Matrix& x, std::size_t block,
+                         std::size_t count, std::uint16_t* masks) const;
+
+  /// Total predicate-mask entries per block (sum of per-feature distinct
+  /// threshold counts); buffers hold one extra pad entry.
+  std::size_t mask_count() const {
+    return qmask_off_.empty() ? 0 : static_cast<std::size_t>(qmask_off_.back());
+  }
 
   double base_score_ = 0.0;
   double scale_ = 1.0;
@@ -115,6 +241,39 @@ class FlatEnsemble {
   /// Per-tree depth: the lockstep kernel steps exactly this many times.
   std::vector<std::int32_t> depth_;
   int max_depth_ = 0;
+
+  // Quantized form (present iff quantized_ok_). Trees are padded to
+  // complete binary trees: tree t's internal slots are qmask_idx_
+  // [qsplit_off_[t] .. +2^d-1) in level order (each a global predicate-
+  // mask index), its leaves are qleaf_[qleaf_off_[t] .. +2^d); in-tree
+  // child of slot s is 2s+1 / 2s+2. Virtual padding splits point at the
+  // zeroed pad mask (index mask_count()).
+  bool quantized_ok_ = false;
+  std::string quant_reject_;
+  std::int32_t quant_features_ = 0;  ///< 1 + max feature id seen in splits.
+  std::vector<std::int32_t> qmask_idx_;
+  std::vector<double> qleaf_;
+  std::vector<std::int32_t> qsplit_off_;
+  std::vector<std::int32_t> qleaf_off_;
+  /// Per-feature ascending distinct thresholds, padded with at least one
+  /// +inf terminator (to a power-of-two size) so the rank scan needs no
+  /// bounds check: qtable_[qtable_off_[f] .. qtable_off_[f + 1]).
+  std::vector<double> qtable_;
+  std::vector<std::int32_t> qtable_off_;
+  /// Per-feature predicate-mask regions: feature f owns mask ranks
+  /// [qmask_off_[f], qmask_off_[f + 1]) — one per *distinct* threshold
+  /// (the unpadded table size).
+  std::vector<std::int32_t> qmask_off_;
+  /// Per-feature uniform acceleration grid for the rank search: a value v
+  /// of feature f maps to cell c = clamp((v - qgrid_lo_[f]) *
+  /// qgrid_scale_[f]), and qgridrank_[qgrid_off_[f] + c] is a rank at or
+  /// below rank(v) where the linear scan starts. Cells are assigned by
+  /// running the *same* cell mapping over the thresholds at build time, so
+  /// the start rank is a valid lower bound under any rounding.
+  std::vector<std::int32_t> qgrid_off_;
+  std::vector<double> qgrid_lo_;
+  std::vector<double> qgrid_scale_;
+  std::vector<std::int16_t> qgridrank_;
 };
 
 }  // namespace xfl::ml

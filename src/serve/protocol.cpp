@@ -378,6 +378,7 @@ std::string stats_response(const std::string& id, const StatsReport& report) {
   append_field(out, "ok", "true");
   append_field(out, "queue_depth", std::to_string(report.queue_depth));
   append_field(out, "version", std::to_string(report.model_version));
+  append_field(out, "kernel", report.kernel, /*quote=*/true);
   append_field(out, "requests", std::to_string(report.requests));
   append_field(out, "rejected", std::to_string(report.rejected));
 

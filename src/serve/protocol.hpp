@@ -117,6 +117,10 @@ struct StageQuantiles {
 struct StatsReport {
   std::size_t queue_depth = 0;
   std::uint64_t model_version = 0;
+  /// Batch-inference kernel the serving model dispatches to ("scalar" /
+  /// "avx2" / "quantized") — names the hardware path behind the latency
+  /// numbers so stats are comparable across hosts and XFL_KERNEL runs.
+  std::string kernel;
   std::uint64_t requests = 0;
   std::uint64_t rejected = 0;
   /// Stage latency quantiles, microseconds: name -> summary.

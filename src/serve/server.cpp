@@ -160,7 +160,9 @@ void PredictionServer::start() {
                 << obs::kv("address", options_.bind_address)
                 << obs::kv("port", port_)
                 << obs::kv("max_batch", options_.max_batch)
-                << obs::kv("queue_capacity", options_.queue_capacity);
+                << obs::kv("queue_capacity", options_.queue_capacity)
+                << obs::kv("kernel",
+                           host_.snapshot().predictor->serving_kernel());
 }
 
 void PredictionServer::stop() {
@@ -381,6 +383,7 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
     StatsReport report;
     report.queue_depth = batcher_.queue_depth();
     report.model_version = host_.version();
+    report.kernel = host_.snapshot().predictor->serving_kernel();
     report.requests = metrics.requests.value();
     report.rejected = metrics.overloaded.value() + metrics.bad.value();
     report.latency_us = {

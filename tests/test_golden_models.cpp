@@ -13,9 +13,13 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/csv.hpp"
 #include "core/predictor.hpp"
 #include "ml/gbt.hpp"
+#include "ml/gbt_flat.hpp"
 
 namespace xfl {
 namespace {
@@ -75,6 +79,62 @@ TEST(GoldenGbt, PredictionsMatchCommitted) {
     EXPECT_EQ(model.predict(x.row(r)), expected[r]) << "row " << r;
     EXPECT_EQ(model.predict_nodewalk(x.row(r)), expected[r]) << "row " << r;
     EXPECT_EQ(batch[r], expected[r]) << "row " << r;
+  }
+}
+
+/// Median absolute percentage error of `got` against `want` (both > 0 in
+/// the fixtures; guard anyway so a zero fixture fails loudly, not by /0).
+double mdape_pct(const std::vector<double>& got,
+                 const std::vector<double>& want) {
+  EXPECT_EQ(got.size(), want.size());
+  std::vector<double> ape;
+  ape.reserve(got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NE(want[i], 0.0) << "degenerate fixture row " << i;
+    ape.push_back(std::fabs(got[i] - want[i]) / std::fabs(want[i]) * 100.0);
+  }
+  std::sort(ape.begin(), ape.end());
+  const std::size_t n = ape.size();
+  return n % 2 == 1 ? ape[n / 2] : 0.5 * (ape[n / 2 - 1] + ape[n / 2]);
+}
+
+// Kernel-family accuracy sweep on the committed fixture: every kernel the
+// host can run must land within 0.1% absolute MdAPE of the exact scalar
+// kernel. The family is in fact bit-identical (the quantized form is
+// lossless), so the per-row assertion is EXPECT_EQ and the MdAPE gap is
+// exactly zero — the 0.1% ceiling is the documented contract this test
+// would still enforce if a future kernel traded bits for speed.
+TEST(GoldenGbt, KernelFamilyMatchesCommittedPredictions) {
+  std::istringstream in(slurp(data_path("golden_gbt.txt")));
+  const auto model = ml::GradientBoostedTrees::load(in);
+
+  const auto rows = read_csv_file(data_path("golden_gbt_predictions.csv"));
+  ASSERT_GT(rows.size(), 1u);
+  ml::Matrix x;
+  std::vector<double> expected;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    std::vector<double> features(6);
+    for (std::size_t c = 0; c < 6; ++c) features[c] = std::stod(rows[r][c]);
+    x.push_row(features);
+    expected.push_back(std::stod(rows[r][6]));
+  }
+
+  const ml::FlatEnsemble& flat = model.flat();
+  std::vector<double> exact(x.rows());
+  flat.predict_batch(x, exact, nullptr, ml::Kernel::kScalar);
+  const double exact_mdape = mdape_pct(exact, expected);
+  EXPECT_EQ(exact_mdape, 0.0);  // %.17g fixtures round-trip exactly.
+
+  for (const ml::Kernel kernel :
+       {ml::Kernel::kAvx2, ml::Kernel::kQuantized}) {
+    if (flat.effective_kernel(kernel) != kernel) continue;
+    std::vector<double> got(x.rows());
+    flat.predict_batch(x, got, nullptr, kernel);
+    EXPECT_LE(std::fabs(mdape_pct(got, expected) - exact_mdape), 0.1)
+        << ml::kernel_name(kernel);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+      EXPECT_EQ(got[r], exact[r])
+          << ml::kernel_name(kernel) << " row " << r;
   }
 }
 

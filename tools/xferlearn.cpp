@@ -12,6 +12,7 @@
 //                      [--parallelism P]
 //   xferlearn predict-batch (--log log.csv | --model model.txt)
 //                      --transfers planned.csv [--out predictions.csv]
+//                      [--kernel auto|scalar|avx2|quantized]
 //                      (planned.csv: src,dst,bytes[,files,dirs,
 //                       concurrency,parallelism]; header row optional;
 //                       served by the flattened batch-inference engine)
@@ -20,6 +21,7 @@
 //                      [--max-batch N] [--queue-cap N] [--threads N]
 //                      [--drift-window N] [--drift-threshold PCT]
 //                      [--drift-min-samples N]
+//                      [--kernel auto|scalar|avx2|quantized]
 //                      (line-delimited JSON over TCP; SIGHUP or the
 //                       {"cmd":"reload"} admin frame hot-swaps the model;
 //                       SIGINT/SIGTERM drain gracefully)
@@ -37,9 +39,18 @@
 //                      [--clients 1,4,16] [--seconds 2] [--max-batch N]
 //                      [--queue-cap N] [--src ID --dst ID]
 //                      [--json-out BENCH_serve.json]
+//                      [--kernel auto|scalar|avx2|quantized]
 //                      (reports client round-trip quantiles next to the
 //                       server's own serve.request.server_us histogram
 //                       quantiles — the same estimator live stats use)
+//
+// Inference options, accepted by every subcommand (after the name):
+//   --kernel auto|scalar|avx2|quantized  pin the process-wide batch-
+//                              inference kernel dispatch before any model
+//                              is built or loaded. Same effect as the
+//                              XFL_KERNEL environment variable; the flag
+//                              wins when both are set. "auto" (default)
+//                              picks the fastest kernel the CPU supports.
 //
 // Observability options, accepted by every subcommand (after the name):
 //   --log-level trace|debug|info|warn|error|off   (default info)
@@ -78,6 +89,7 @@
 #include "core/predictor.hpp"
 #include "features/dataset.hpp"
 #include "logs/anonymize.hpp"
+#include "ml/gbt_flat.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -653,11 +665,15 @@ int cmd_request(const ArgList& args) {
     const auto stats = client.stats(/*registry=*/true);
     const auto* depth = stats.find("queue_depth");
     const auto* version = stats.find("version");
+    const auto* kernel = stats.find("kernel");
     const auto* requests = stats.find("requests");
     const auto* rejected = stats.find("rejected");
     std::printf("queue depth:   %.0f\nmodel version: %.0f\n"
+                "kernel:        %s\n"
                 "requests:      %.0f\nrejected:      %.0f\n",
                 depth ? depth->number : -1.0, version ? version->number : -1.0,
+                kernel && kernel->is_string() ? kernel->string.c_str()
+                                              : "unknown",
                 requests ? requests->number : -1.0,
                 rejected ? rejected->number : -1.0);
     if (const auto* latency = stats.find("latency_us")) {
@@ -907,6 +923,8 @@ int cmd_serve_bench(const ArgList& args) {
            "server_* quantiles come from the in-server "
            "serve.request.server_us histogram (the live stats "
            "estimator)\",\n"
+        << "  \"kernel\": \""
+        << host.snapshot().predictor->serving_kernel() << "\",\n"
         << "  \"seconds_per_level\": " << seconds << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
@@ -941,6 +959,24 @@ int run_command(const std::string& command, const ArgList& args) {
   if (command == "request") return cmd_request(args);
   if (command == "serve-bench") return cmd_serve_bench(args);
   return usage();
+}
+
+/// Apply --kernel: pins the process-wide batch-inference dispatch before
+/// any model is compiled, overriding XFL_KERNEL. Returns false (after
+/// printing the accepted names) on an unknown kernel.
+bool setup_kernel(const ArgList& args) {
+  const auto name = args.value("--kernel");
+  if (!name) return true;
+  const auto kernel = ml::parse_kernel(*name);
+  if (!kernel) {
+    std::fprintf(stderr,
+                 "error: bad --kernel '%s' (want auto|scalar|avx2|"
+                 "quantized)\n",
+                 name->c_str());
+    return false;
+  }
+  ml::set_active_kernel(*kernel);
+  return true;
 }
 
 /// Install logging/tracing from the observability flags. Returns false on
@@ -998,6 +1034,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const ArgList args(argc - 2, argv + 2);
   if (!setup_observability(args)) return 2;
+  if (!setup_kernel(args)) return 2;
   int rc;
   try {
     rc = run_command(command, args);
