@@ -1,5 +1,7 @@
 #include "serve/batcher.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -18,6 +20,7 @@ struct BatcherMetrics {
   obs::Counter& rows = obs::counter("serve.batch.rows");
   obs::Counter& timeouts = obs::counter("serve.request.timeout");
   obs::Counter& failures = obs::counter("serve.batch.failures");
+  obs::Counter& steals = obs::counter("serve.batch.steals");
   obs::Gauge& depth = obs::gauge("serve.queue.depth");
   obs::Histogram& latency =
       obs::histogram("serve.batch.latency_us", obs::default_latency_bounds_us());
@@ -57,86 +60,227 @@ void deliver(const BatchItem& item, const PredictOutcome& outcome) {
 
 MicroBatcher::MicroBatcher(ModelHost& host, Options options)
     : host_(host), options_(options) {
-  XFL_EXPECTS(options_.max_batch >= 1 && options_.queue_capacity >= 1);
-  if (options_.predict_threads > 1)
-    pool_ = std::make_unique<ThreadPool>(options_.predict_threads);
-  worker_ = std::thread([this] { worker_loop(); });
+  XFL_EXPECTS(options_.max_batch >= 1 && options_.queue_capacity >= 1 &&
+              options_.shards >= 1);
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    if (options_.predict_threads > 1)
+      shard->pool = std::make_unique<ThreadPool>(options_.predict_threads);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
 }
 
 MicroBatcher::~MicroBatcher() { drain_and_stop(); }
 
-MicroBatcher::Admission MicroBatcher::submit(BatchItem item) {
+MicroBatcher::Admission MicroBatcher::submit(BatchItem item,
+                                             std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  bool imbalance = false;
   {
-    std::lock_guard lock(mutex_);
-    if (stopping_) return Admission::kShuttingDown;
-    if (queue_.size() >= options_.queue_capacity)
+    std::lock_guard lock(shard.mutex);
+    if (stopping_.load(std::memory_order_relaxed))
+      return Admission::kShuttingDown;
+    if (shard.queue.size() >= options_.queue_capacity)
       return Admission::kOverloaded;
     item.enqueue_us = obs::monotonic_us();
-    queue_.push_back(std::move(item));
-    batcher_metrics().depth.set(static_cast<double>(queue_.size()));
+    shard.queue.push_back(std::move(item));
+    shard.size.store(shard.queue.size(), std::memory_order_relaxed);
+    imbalance = shard.queue.size() > options_.max_batch;
+    batcher_metrics().depth.set(static_cast<double>(
+        total_depth_.fetch_add(1, std::memory_order_relaxed) + 1));
   }
-  cv_.notify_all();
+  shard.cv.notify_one();
+  // A backlog deeper than one batch is the steal signal: wake every idle
+  // sibling so it can take half. Cheap — only fired past the threshold.
+  if (imbalance && shards_.size() > 1) notify_all_shards();
   return Admission::kAccepted;
 }
 
+std::size_t MicroBatcher::submit_burst(std::vector<BatchItem>& items,
+                                       std::size_t shard_index,
+                                       Admission& status) {
+  status = Admission::kAccepted;
+  if (items.empty()) return 0;
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  std::size_t admitted = 0;
+  bool imbalance = false;
+  {
+    std::lock_guard lock(shard.mutex);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      status = Admission::kShuttingDown;
+      return 0;
+    }
+    const std::size_t room =
+        options_.queue_capacity -
+        std::min(options_.queue_capacity, shard.queue.size());
+    admitted = std::min(room, items.size());
+    const std::uint64_t now_us = obs::monotonic_us();
+    for (std::size_t i = 0; i < admitted; ++i) {
+      items[i].enqueue_us = now_us;
+      shard.queue.push_back(std::move(items[i]));
+    }
+    shard.size.store(shard.queue.size(), std::memory_order_relaxed);
+    imbalance = shard.queue.size() > options_.max_batch;
+    if (admitted != 0)
+      batcher_metrics().depth.set(static_cast<double>(
+          total_depth_.fetch_add(admitted, std::memory_order_relaxed) +
+          admitted));
+    if (admitted != items.size()) status = Admission::kOverloaded;
+  }
+  if (admitted != 0) shard.cv.notify_one();
+  if (imbalance && shards_.size() > 1) notify_all_shards();
+  return admitted;
+}
+
+void MicroBatcher::notify_all_shards() {
+  for (auto& shard : shards_) {
+    // Taking the mutex (and dropping it) before notify pairs the flag
+    // write with the predicate check — a worker mid-check cannot miss it.
+    { std::lock_guard lock(shard->mutex); }
+    shard->cv.notify_all();
+  }
+}
+
 void MicroBatcher::pause() {
-  std::lock_guard lock(mutex_);
-  paused_ = true;
+  paused_.store(true);
+  notify_all_shards();
 }
 
 void MicroBatcher::resume() {
-  {
-    std::lock_guard lock(mutex_);
-    paused_ = false;
-  }
-  cv_.notify_all();
+  paused_.store(false);
+  notify_all_shards();
 }
 
 void MicroBatcher::drain_and_stop() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-    paused_ = false;  // Drain must terminate even if someone paused us.
-  }
-  cv_.notify_all();
-  // A second mutex serialises concurrent stop callers around the join.
+  stopping_.store(true);
+  paused_.store(false);  // Drain must terminate even if someone paused us.
+  notify_all_shards();
+  // A second mutex serialises concurrent stop callers around the joins.
   std::lock_guard stop_lock(stop_mutex_);
-  if (worker_.joinable()) worker_.join();
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
 }
 
 std::size_t MicroBatcher::queue_depth() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += shard->queue.size();
+  }
+  return total;
 }
 
-void MicroBatcher::worker_loop() {
-  std::unique_lock lock(mutex_);
+bool MicroBatcher::try_steal(std::size_t thief,
+                             std::vector<BatchItem>& batch) {
+  // Rank siblings by their mirrored sizes without locking; lock only the
+  // winner. The race (size changed under us) is benign — stealing is an
+  // opportunistic rebalance, not a correctness mechanism.
+  std::size_t victim = thief;
+  std::size_t deepest = 1;  // Require >= 2 queued: one item is not imbalance.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == thief) continue;
+    const std::size_t size = shards_[i]->size.load(std::memory_order_relaxed);
+    if (size > deepest) {
+      deepest = size;
+      victim = i;
+    }
+  }
+  if (victim == thief) return false;
+  Shard& shard = *shards_[victim];
+  std::lock_guard lock(shard.mutex);
+  if (shard.queue.size() < 2) return false;
+  // Take the older half from the front: the thief inherits the requests
+  // that have waited longest, which is exactly what deadline fairness
+  // wants from a rebalance.
+  const std::size_t take =
+      std::min(options_.max_batch, shard.queue.size() / 2);
+  batch.reserve(batch.size() + take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(shard.queue.front()));
+    shard.queue.pop_front();
+  }
+  shard.size.store(shard.queue.size(), std::memory_order_relaxed);
+  steals_.fetch_add(take, std::memory_order_relaxed);
+  batcher_metrics().steals.add(take);
+  return true;
+}
+
+void MicroBatcher::worker_loop(std::size_t index) {
+  Shard& own = *shards_[index];
+  std::vector<BatchItem> batch;
   for (;;) {
-    cv_.wait(lock, [this] {
-      return stopping_ || (!paused_ && !queue_.empty());
-    });
-    if (queue_.empty()) {
-      if (stopping_) return;
+    batch.clear();
+    {
+      std::unique_lock lock(own.mutex);
+      if (!paused_.load(std::memory_order_relaxed) && !own.queue.empty()) {
+        const std::size_t take =
+            std::min(options_.max_batch, own.queue.size());
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(own.queue.front()));
+          own.queue.pop_front();
+        }
+        own.size.store(own.queue.size(), std::memory_order_relaxed);
+      }
+    }
+    // Empty-handed and idle: rebalance from the deepest sibling. Never
+    // during drain (owners answer their own queues, so shutdown has a
+    // clean per-shard invariant) and never while paused.
+    if (batch.empty() && shards_.size() > 1 &&
+        !paused_.load(std::memory_order_relaxed) &&
+        !stopping_.load(std::memory_order_relaxed))
+      try_steal(index, batch);
+
+    if (!batch.empty()) {
+      batcher_metrics().depth.set(static_cast<double>(
+          total_depth_.fetch_sub(batch.size(), std::memory_order_relaxed) -
+          batch.size()));
+      process(batch, own.pool.get());
       continue;
     }
-    std::vector<BatchItem> batch;
-    const std::size_t take = std::min(options_.max_batch, queue_.size());
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+
+    std::unique_lock lock(own.mutex);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      if (own.queue.empty()) return;
+      continue;  // Refilled between unlock and here; drain it first.
     }
-    batcher_metrics().depth.set(static_cast<double>(queue_.size()));
-    lock.unlock();
-    process(batch);
-    lock.lock();
+    const auto runnable = [this, &own] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             (!paused_.load(std::memory_order_relaxed) &&
+              !own.queue.empty());
+    };
+    if (shards_.size() > 1) {
+      // Multi-shard workers also wake on a timer so a steal opportunity
+      // that raced the imbalance notification is picked up within 50ms.
+      own.cv.wait_for(lock, std::chrono::milliseconds(50), runnable);
+    } else {
+      own.cv.wait(lock, runnable);
+    }
   }
 }
 
-void MicroBatcher::process(std::vector<BatchItem>& batch) {
+void MicroBatcher::process(std::vector<BatchItem>& batch, ThreadPool* pool) {
   XFL_SPAN("serve.batch");
   auto& metrics = batcher_metrics();
   const std::uint64_t start_us = obs::monotonic_us();
+
+  // Cork the batch: every deliver() below (timeouts included) runs
+  // between hook(true) and hook(false), so the server can coalesce all
+  // of a connection's replies into one flush. The guard covers the
+  // early-return paths.
+  struct BatchHookGuard {
+    const std::function<void(bool)>& hook;
+    explicit BatchHookGuard(const std::function<void(bool)>& hook)
+        : hook(hook) {
+      if (hook) hook(true);
+    }
+    ~BatchHookGuard() {
+      if (hook) hook(false);
+    }
+  } hook_guard(options_.batch_hook);
 
   // Stage 1: assembly — per-request queue wait, deadline triage, and
   // packing the surviving rows into the flat-kernel input vectors.
@@ -179,8 +323,7 @@ void MicroBatcher::process(std::vector<BatchItem>& batch) {
   std::vector<double> rates;
   try {
     XFL_SPAN("serve.batch.predict");
-    rates = snapshot.predictor->predict_rates_mbps(transfers, loads,
-                                                   pool_.get());
+    rates = snapshot.predictor->predict_rates_mbps(transfers, loads, pool);
     metrics.predict.record(
         static_cast<double>(obs::monotonic_us() - predict_start_us));
   } catch (const std::exception& error) {

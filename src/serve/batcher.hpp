@@ -1,20 +1,30 @@
-// Micro-batching queue between connection threads and the predictor.
-// Connection threads submit() individual requests; a single batch worker
-// drains up to max_batch of them at a time and answers the whole batch
-// with one TransferPredictor::predict_rates_mbps call, so the flattened
-// lockstep kernel — built for exactly this serving path — is exercised
-// per batch instead of once per request.
+// Sharded micro-batching stage between the event loop and the predictor.
+// The server submits individual requests into one of N shards — each
+// shard is a bounded queue owned by exactly one worker thread, so the
+// hot path has no shared queue and no contended lock (the MAGPIE
+// per-worker-state idiom). Each worker drains up to max_batch of its own
+// items at a time and answers the whole batch with one
+// TransferPredictor::predict_rates_mbps call, so the flattened lockstep
+// kernel — built for exactly this serving path — is exercised per batch
+// instead of once per request.
 //
-// Admission control happens at submit(): the queue is bounded, and a
-// full queue (or a draining batcher) is an immediate structured
+// Work stealing happens only on imbalance: a worker that finds its own
+// queue empty takes half of the deepest sibling's backlog. Admission
+// never spills — a full shard rejects even if siblings have room, which
+// keeps per-connection admission deterministic (a connection is pinned
+// to one shard) and bounds every queue independently.
+//
+// Admission control happens at submit(): the queue is bounded per shard,
+// and a full queue (or a draining batcher) is an immediate structured
 // rejection on the caller's thread, never unbounded latency. Each item
 // may carry an absolute deadline; items whose deadline passed while
 // queued are answered with a timeout error instead of being predicted.
 //
-// Completion callbacks run on the batch worker thread with no batcher
-// lock held, so they may submit follow-up work or write to sockets.
+// Completion callbacks run on a worker thread with no batcher lock held,
+// so they may submit follow-up work or write to sockets.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -65,10 +75,19 @@ class MicroBatcher {
  public:
   struct Options {
     std::size_t max_batch = 64;        ///< Rows coalesced per predict call.
-    std::size_t queue_capacity = 1024; ///< Admission bound.
+    std::size_t queue_capacity = 1024; ///< Admission bound, per shard.
     /// Worker threads for the flat kernel inside a batch: 1 = serial on
-    /// the batch thread, N > 1 = dedicated ThreadPool of N.
+    /// the shard worker, N > 1 = a dedicated ThreadPool of N per shard.
     std::size_t predict_threads = 1;
+    /// Shard (worker) count. Every shard owns one queue and one worker;
+    /// single-shard batchers behave exactly like the pre-shard design.
+    std::size_t shards = 1;
+    /// Called on the worker thread around every batch's callback runs:
+    /// hook(true) before the first `done` of a batch, hook(false) after
+    /// the last (including early exits). Lets the server cork socket
+    /// writes for the whole batch and flush each connection once instead
+    /// of paying one send(2) per reply. May be empty.
+    std::function<void(bool)> batch_hook;
   };
 
   enum class Admission { kAccepted, kOverloaded, kShuttingDown };
@@ -79,38 +98,71 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
-  /// Enqueue one request. kAccepted guarantees `item.done` will be called
-  /// exactly once (possibly with a timeout outcome); the rejections
-  /// guarantee it will never be called, so the caller answers instead.
-  Admission submit(BatchItem item);
+  /// Enqueue one request on `shard` (wrapped modulo the shard count; the
+  /// single-argument form targets shard 0). kAccepted guarantees
+  /// `item.done` will be called exactly once (possibly with a timeout
+  /// outcome); the rejections guarantee it will never be called, so the
+  /// caller answers instead.
+  Admission submit(BatchItem item) { return submit(std::move(item), 0); }
+  Admission submit(BatchItem item, std::size_t shard);
 
-  /// Halt batch execution while keeping admission open (queued items wait;
-  /// ops lever and the deterministic overload/deadline test hook).
+  /// Enqueue a burst on one shard under a single lock + notify (the event
+  /// loop submits every frame a readiness round decoded in one call).
+  /// Admits a prefix: returns how many items were moved off the front of
+  /// `items`; the remainder is left untouched and `status` names why
+  /// admission stopped (kAccepted when everything fit). Admitted items
+  /// carry the same done-exactly-once guarantee as submit().
+  std::size_t submit_burst(std::vector<BatchItem>& items, std::size_t shard,
+                           Admission& status);
+
+  /// Halt batch execution on every shard while keeping admission open
+  /// (queued items wait; ops lever and the deterministic
+  /// overload/deadline test hook).
   void pause();
   void resume();
 
-  /// Process everything already admitted, then stop the worker. Further
-  /// submits return kShuttingDown. Clears any pause so drain always
-  /// terminates. Idempotent.
+  /// Process everything already admitted on every shard, then stop the
+  /// workers. Further submits return kShuttingDown. Clears any pause so
+  /// drain always terminates. Idempotent.
   void drain_and_stop();
 
+  /// Total queued items across all shards.
   std::size_t queue_depth() const;
 
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Items moved between shards by work stealing since construction.
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop();
-  void process(std::vector<BatchItem>& batch);
+  /// One queue + its owning worker. `size` mirrors queue.size() so the
+  /// steal scan can rank shards without taking every lock.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<BatchItem> queue;
+    std::atomic<std::size_t> size{0};
+    std::unique_ptr<ThreadPool> pool;
+    std::thread worker;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Move up to half of the deepest sibling's backlog into `batch`.
+  bool try_steal(std::size_t thief, std::vector<BatchItem>& batch);
+  void process(std::vector<BatchItem>& batch, ThreadPool* pool);
+  void notify_all_shards();
 
   ModelHost& host_;
   Options options_;
-  std::unique_ptr<ThreadPool> pool_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<BatchItem> queue_;
-  bool paused_ = false;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Lifecycle flags are atomics read in cv predicates; every setter
+  // takes each shard mutex around its notify so wakeups are never lost.
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> total_depth_{0};
   std::mutex stop_mutex_;  ///< Serialises drain_and_stop() joins.
-  std::thread worker_;
 };
 
 }  // namespace xfl::serve

@@ -45,17 +45,85 @@ PredictionClient::~PredictionClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void PredictionClient::send_line(const std::string& line) {
-  std::string framed = line;
-  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+void PredictionClient::send_raw(std::string_view bytes) {
   std::size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < bytes.size()) {
     const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (n <= 0)
       throw std::runtime_error(std::string("PredictionClient: send: ") +
                                std::strerror(errno));
     sent += static_cast<std::size_t>(n);
+  }
+}
+
+void PredictionClient::send_line(const std::string& line) {
+  std::string framed = line;
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  send_raw(framed);
+}
+
+void PredictionClient::negotiate_binary() {
+  if (binary_) return;
+  if (!buffer_.empty())
+    throw std::runtime_error(
+        "PredictionClient: negotiate_binary with unread replies buffered");
+  send_raw(kBinaryMagic);
+  while (buffer_.size() < kBinaryMagic.size()) {
+    char chunk[64];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0)
+      throw std::runtime_error(
+          "PredictionClient: connection closed during binary negotiation");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  if (buffer_.compare(0, kBinaryMagic.size(), kBinaryMagic) != 0)
+    throw std::runtime_error("PredictionClient: server refused binary mode");
+  buffer_.erase(0, kBinaryMagic.size());
+  binary_ = true;
+}
+
+std::pair<BinaryType, std::string> PredictionClient::read_frame() {
+  for (;;) {
+    const BinaryDecode decoded = decode_binary_frame(buffer_);
+    if (decoded.status == BinaryDecode::Status::kFrame) {
+      const BinaryType type = decoded.type;
+      std::string payload(decoded.payload);
+      buffer_.erase(0, decoded.consumed);
+      return {type, std::move(payload)};
+    }
+    if (decoded.status == BinaryDecode::Status::kBad)
+      throw std::runtime_error("PredictionClient: bad binary frame: " +
+                               decoded.error);
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0)
+      throw std::runtime_error(
+          "PredictionClient: connection closed by server");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool PredictionClient::response_buffered() const {
+  if (binary_)
+    return decode_binary_frame(buffer_).status == BinaryDecode::Status::kFrame;
+  return buffer_.find('\n') != std::string::npos;
+}
+
+void PredictionClient::send_document(const std::string& line) {
+  if (binary_)
+    send_raw(binary_json_frame(line));
+  else
+    send_line(line);
+}
+
+std::string PredictionClient::read_document() {
+  if (!binary_) return read_line();
+  // Packed predict replies arriving while an admin/feedback call waits
+  // can only belong to pipelined low-level traffic; skip them.
+  for (;;) {
+    auto [type, payload] = read_frame();
+    if (type == BinaryType::kJson) return payload;
   }
 }
 
@@ -106,11 +174,11 @@ PredictReply PredictionClient::parse_reply(const std::string& line) {
 
 PredictReply PredictionClient::round_trip(const std::string& line,
                                           const std::string& id) {
-  send_line(line);
+  send_document(line);
   // Replies can be reordered by the batcher relative to other traffic on
   // this connection, so spin until ours appears.
   for (;;) {
-    const PredictReply reply = parse_reply(read_line());
+    const PredictReply reply = parse_reply(read_document());
     if (reply.id == id) return reply;
   }
 }
@@ -118,16 +186,38 @@ PredictReply PredictionClient::round_trip(const std::string& line,
 PredictReply PredictionClient::predict(
     const core::PlannedTransfer& transfer,
     const features::ContentionFeatures& load, std::uint64_t deadline_ms) {
-  const std::string id = std::to_string(next_id_++);
-  return round_trip(predict_request_line(id, transfer, load, deadline_ms), id);
+  const std::uint64_t numeric_id = next_id_++;
+  const std::string id = std::to_string(numeric_id);
+  if (!binary_)
+    return round_trip(predict_request_line(id, transfer, load, deadline_ms),
+                      id);
+  // Packed hot path: kPredict out, kPredictOk/kError back, ids numeric.
+  send_raw(binary_predict_request(numeric_id, transfer, load, deadline_ms));
+  for (;;) {
+    auto [type, payload] = read_frame();
+    if (type == BinaryType::kJson) continue;  // Pipelined admin traffic.
+    const BinaryPredictReply packed = parse_binary_reply(type, payload);
+    if (packed.id != numeric_id) continue;
+    PredictReply reply;
+    reply.id = id;
+    reply.ok = packed.ok;
+    reply.rate_mbps = packed.rate_mbps;
+    if (packed.ok) reply.model = packed.edge_model ? "edge" : "global";
+    reply.model_version = packed.model_version;
+    if (packed.trace_id != 0) reply.trace_id = trace_id_string(packed.trace_id);
+    reply.server_ms = packed.server_ms;
+    reply.error = packed.error;
+    reply.message = packed.message;
+    return reply;
+  }
 }
 
 FeedbackReply PredictionClient::feedback(const std::string& trace_id,
                                          double observed_mbps) {
   const std::string id = std::to_string(next_id_++);
-  send_line(feedback_request_line(id, trace_id, observed_mbps));
+  send_document(feedback_request_line(id, trace_id, observed_mbps));
   for (;;) {
-    const JsonValue root = parse_json(read_line());
+    const JsonValue root = parse_json(read_document());
     const JsonValue* reply_id = root.find("id");
     if (reply_id == nullptr || !reply_id->is_string() ||
         reply_id->string != id)
@@ -185,9 +275,9 @@ JsonValue PredictionClient::stats(bool registry) {
   append_json_string(line, id);
   if (registry) line += ",\"registry\":true";
   line += "}";
-  send_line(line);
+  send_document(line);
   for (;;) {
-    const JsonValue root = parse_json(read_line());
+    const JsonValue root = parse_json(read_document());
     const JsonValue* reply_id = root.find("id");
     if (reply_id != nullptr && reply_id->is_string() &&
         reply_id->string == id)

@@ -4,14 +4,23 @@
 // directly through send_line()/read_line() (the overload and drain tests
 // do, and serve-bench uses the high-level calls from many threads, one
 // client each).
+//
+// negotiate_binary() flips the connection to the length-prefixed binary
+// framing: predict() then travels as packed kPredict/kPredictOk frames
+// (bit-identical rates, no JSON in the hot path) while feedback/admin
+// calls transparently ride inside kJson frames. The high-level API is
+// identical in both modes.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/predictor.hpp"
 #include "features/contention.hpp"
 #include "serve/json.hpp"
+#include "serve/protocol.hpp"
 
 namespace xfl::serve {
 
@@ -72,17 +81,39 @@ class PredictionClient {
   /// metrics-registry snapshot under "metrics".
   JsonValue stats(bool registry = false);
 
-  // Low-level framing for pipelined use.
+  /// Switch this connection to binary framing (sends the magic, blocks
+  /// for the server's ack). Irreversible; throws if the server does not
+  /// ack or if un-consumed pipelined replies are still buffered.
+  void negotiate_binary();
+  bool binary() const { return binary_; }
+
+  // Low-level framing for pipelined use (JSON mode).
   void send_line(const std::string& line);  ///< Throws on transport error.
   std::string read_line();                  ///< Blocks; throws on EOF.
   static PredictReply parse_reply(const std::string& line);
 
+  // Low-level binary framing (after negotiate_binary()).
+  void send_raw(std::string_view bytes);
+  /// Block for one well-formed frame; throws on EOF or bad framing.
+  std::pair<BinaryType, std::string> read_frame();
+
+  /// True when a complete response (a full frame in binary mode, a
+  /// newline-terminated line otherwise) is already buffered, so the next
+  /// read will not touch the socket. Pipelined callers use this to drain
+  /// every buffered reply and batch the follow-up sends into one write.
+  bool response_buffered() const;
+
  private:
   PredictReply round_trip(const std::string& line, const std::string& id);
+  /// Send one JSON document over whichever framing is active.
+  void send_document(const std::string& line);
+  /// Block for one JSON document (a line, or a kJson frame's payload).
+  std::string read_document();
 
   int fd_ = -1;
   std::string buffer_;
   std::uint64_t next_id_ = 1;
+  bool binary_ = false;
 };
 
 }  // namespace xfl::serve

@@ -1,7 +1,11 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "common/contracts.hpp"
 
 namespace xfl::serve {
 
@@ -377,6 +381,9 @@ std::string stats_response(const std::string& id, const StatsReport& report) {
   append_field(out, "id", id, /*quote=*/true);
   append_field(out, "ok", "true");
   append_field(out, "queue_depth", std::to_string(report.queue_depth));
+  append_field(out, "connections", std::to_string(report.connections));
+  append_field(out, "shards", std::to_string(report.shards));
+  append_field(out, "steals", std::to_string(report.steals));
   append_field(out, "version", std::to_string(report.model_version));
   append_field(out, "kernel", report.kernel, /*quote=*/true);
   append_field(out, "requests", std::to_string(report.requests));
@@ -426,6 +433,343 @@ std::string stats_response(const std::string& id, const StatsReport& report) {
     append_field(out, "metrics", report.registry_json);
   out += "}\n";
   return out;
+}
+
+// ------------------------------------------------------------ binary codec
+
+namespace {
+
+// Integers travel little-endian byte by byte; doubles travel as the
+// little-endian bytes of their IEEE-754 bit pattern, so a decoded rate is
+// bit-identical to the encoded one (the binary analogue of %.17g).
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+/// Bounds-checked cursor over a payload; every read either succeeds in
+/// full or returns false with the cursor untouched — no partial reads,
+/// no access past the view.
+struct Cursor {
+  const char* data;
+  std::size_t size;
+  std::size_t off = 0;
+
+  explicit Cursor(std::string_view payload)
+      : data(payload.data()), size(payload.size()) {}
+
+  std::size_t remaining() const { return size - off; }
+
+  bool u8(std::uint8_t& v) {
+    if (remaining() < 1) return false;
+    v = static_cast<std::uint8_t>(data[off++]);
+    return true;
+  }
+
+  bool u16(std::uint16_t& v) {
+    if (remaining() < 2) return false;
+    v = 0;
+    for (int shift = 0; shift < 16; shift += 8)
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  static_cast<std::uint8_t>(data[off++]))
+                  << shift);
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (remaining() < 4) return false;
+    v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[off++]))
+           << shift;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (remaining() < 8) return false;
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[off++]))
+           << shift;
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  bool bytes(std::string& v, std::size_t n) {
+    if (remaining() < n) return false;
+    v.assign(data + off, n);
+    off += n;
+    return true;
+  }
+};
+
+/// Open a frame: emit the length placeholder (patched by seal_frame) and
+/// the type byte; returns the offset of the placeholder.
+std::size_t open_frame(std::string& out, BinaryType type) {
+  const std::size_t at = out.size();
+  put_u32(out, 0);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  return at;
+}
+
+void seal_frame(std::string& out, std::size_t at) {
+  const std::uint64_t length = out.size() - at - 4;
+  XFL_EXPECTS(length >= 1 && length <= kMaxFrameBytes);
+  for (int i = 0; i < 4; ++i)
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((length >> (8 * i)) & 0xff);
+}
+
+constexpr std::uint8_t kLoadFlag = 0x01;  ///< kPredict: load block present.
+constexpr std::uint8_t kEdgeFlag = 0x01;  ///< kPredictOk: edge model answered.
+
+}  // namespace
+
+BinaryDecode decode_binary_frame(std::string_view buffer) {
+  BinaryDecode result;
+  if (buffer.size() < 5) return result;  // kNeedMore: header incomplete.
+  Cursor cursor(buffer);
+  std::uint32_t length = 0;
+  cursor.u32(length);
+  if (length < 1) {
+    result.status = BinaryDecode::Status::kBad;
+    result.error = "binary frame length must cover the type byte";
+    return result;
+  }
+  if (length > kMaxFrameBytes) {
+    result.status = BinaryDecode::Status::kBad;
+    result.error = "binary frame exceeds " + std::to_string(kMaxFrameBytes) +
+                   " bytes";
+    return result;
+  }
+  std::uint8_t type = 0;
+  cursor.u8(type);
+  if (type > static_cast<std::uint8_t>(BinaryType::kError)) {
+    result.status = BinaryDecode::Status::kBad;
+    result.error = "unknown binary frame type " + std::to_string(type);
+    return result;
+  }
+  if (buffer.size() < 4u + length) return result;  // kNeedMore: body short.
+  result.status = BinaryDecode::Status::kFrame;
+  result.consumed = 4u + length;
+  result.type = static_cast<BinaryType>(type);
+  result.payload = buffer.substr(5, length - 1);
+  return result;
+}
+
+std::string binary_predict_request(std::uint64_t id,
+                                   const core::PlannedTransfer& transfer,
+                                   const features::ContentionFeatures& load,
+                                   std::uint64_t deadline_ms) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kPredict);
+  put_u64(out, id);
+  put_u32(out, static_cast<std::uint32_t>(transfer.src));
+  put_u32(out, static_cast<std::uint32_t>(transfer.dst));
+  put_f64(out, transfer.bytes);
+  put_u64(out, transfer.files);
+  put_u64(out, transfer.dirs);
+  put_u32(out, transfer.concurrency);
+  put_u32(out, transfer.parallelism);
+  put_u32(out, static_cast<std::uint32_t>(deadline_ms));
+  const double slots[10] = {load.k_sout, load.k_sin,  load.k_dout,
+                            load.k_din,  load.g_src,  load.g_dst,
+                            load.s_sout, load.s_sin,  load.s_dout,
+                            load.s_din};
+  bool any = false;
+  for (const double v : slots) any |= v != 0.0;
+  put_u8(out, any ? kLoadFlag : 0);
+  if (any)
+    for (const double v : slots) put_f64(out, v);
+  seal_frame(out, at);
+  return out;
+}
+
+Frame parse_binary_predict(std::string_view payload) {
+  Frame frame;
+  frame.kind = Frame::Kind::kBad;
+  frame.predict.binary = true;
+  Cursor cursor(payload);
+  std::uint64_t id = 0;
+  if (!cursor.u64(id)) {
+    frame.error = "binary predict payload truncated before id";
+    return frame;
+  }
+  // From here on the id is known; keep it on the bad frame so the error
+  // response stays correlatable, exactly like the JSON parser does.
+  frame.predict.binary_id = id;
+  frame.id = std::to_string(id);
+  frame.predict.id = frame.id;
+
+  auto reject = [&frame](const char* what) {
+    frame.kind = Frame::Kind::kBad;
+    frame.error = what;
+    return frame;
+  };
+
+  auto& transfer = frame.predict.transfer;
+  std::uint32_t src = 0, dst = 0, concurrency = 0, parallelism = 0,
+                deadline_ms = 0;
+  std::uint64_t files = 0, dirs = 0;
+  double bytes = 0.0;
+  std::uint8_t flags = 0;
+  if (!cursor.u32(src) || !cursor.u32(dst) || !cursor.f64(bytes) ||
+      !cursor.u64(files) || !cursor.u64(dirs) || !cursor.u32(concurrency) ||
+      !cursor.u32(parallelism) || !cursor.u32(deadline_ms) ||
+      !cursor.u8(flags))
+    return reject("binary predict payload truncated");
+  if (src > (1u << 30) || dst > (1u << 30))
+    return reject("'src'/'dst' out of range");
+  if (!(bytes >= 0.0) || !std::isfinite(bytes))
+    return reject("'bytes' must be finite and non-negative");
+  if (files < 1 || files > (1ull << 40))
+    return reject("'files' out of range");
+  if (dirs < 1 || dirs > (1ull << 40)) return reject("'dirs' out of range");
+  if (concurrency < 1 || concurrency > (1u << 20))
+    return reject("'concurrency' out of range");
+  if (parallelism < 1 || parallelism > (1u << 20))
+    return reject("'parallelism' out of range");
+  if (deadline_ms > 86400u * 1000u) return reject("'deadline_ms' out of range");
+  if ((flags & ~kLoadFlag) != 0)
+    return reject("unknown binary predict flags");
+  if ((flags & kLoadFlag) != 0) {
+    double slots[10];
+    for (double& slot : slots)
+      if (!cursor.f64(slot))
+        return reject("binary predict load block truncated");
+    for (const double slot : slots)
+      if (!std::isfinite(slot)) return reject("load field must be finite");
+    auto& load = frame.predict.load;
+    load.k_sout = slots[0];
+    load.k_sin = slots[1];
+    load.k_dout = slots[2];
+    load.k_din = slots[3];
+    load.g_src = slots[4];
+    load.g_dst = slots[5];
+    load.s_sout = slots[6];
+    load.s_sin = slots[7];
+    load.s_dout = slots[8];
+    load.s_din = slots[9];
+  }
+  if (cursor.remaining() != 0)
+    return reject("binary predict payload has trailing bytes");
+
+  transfer.src = static_cast<endpoint::EndpointId>(src);
+  transfer.dst = static_cast<endpoint::EndpointId>(dst);
+  transfer.bytes = bytes;
+  transfer.files = files;
+  transfer.dirs = dirs;
+  transfer.concurrency = concurrency;
+  transfer.parallelism = parallelism;
+  frame.predict.deadline_ms = deadline_ms;
+  frame.kind = Frame::Kind::kPredict;
+  return frame;
+}
+
+std::string binary_predict_response(std::uint64_t id, double rate_mbps,
+                                    bool edge_model,
+                                    std::uint64_t model_version,
+                                    std::uint64_t trace_id,
+                                    double server_ms) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kPredictOk);
+  put_u64(out, id);
+  put_f64(out, rate_mbps);
+  put_u8(out, edge_model ? kEdgeFlag : 0);
+  put_u64(out, model_version);
+  put_u64(out, trace_id);
+  put_f64(out, server_ms);
+  seal_frame(out, at);
+  return out;
+}
+
+std::string binary_error_response(std::uint64_t id, const char* code,
+                                  const std::string& message,
+                                  std::uint64_t trace_id, double server_ms) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kError);
+  put_u64(out, id);
+  put_u64(out, trace_id);
+  put_f64(out, server_ms);
+  const std::string_view code_view{code};
+  // Length caps keep the frame bounded whatever the message source; a
+  // truncated message beats an unparseable frame.
+  const std::size_t code_len = std::min<std::size_t>(code_view.size(), 0xffff);
+  const std::size_t msg_len = std::min<std::size_t>(message.size(), 0xffff);
+  put_u16(out, static_cast<std::uint16_t>(code_len));
+  out.append(code_view.data(), code_len);
+  put_u16(out, static_cast<std::uint16_t>(msg_len));
+  out.append(message.data(), msg_len);
+  seal_frame(out, at);
+  return out;
+}
+
+std::string binary_json_frame(std::string_view json_document) {
+  while (!json_document.empty() &&
+         (json_document.back() == '\n' || json_document.back() == '\r'))
+    json_document.remove_suffix(1);
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kJson);
+  out.append(json_document.data(), json_document.size());
+  seal_frame(out, at);
+  return out;
+}
+
+BinaryPredictReply parse_binary_reply(BinaryType type,
+                                      std::string_view payload) {
+  BinaryPredictReply reply;
+  Cursor cursor(payload);
+  if (type == BinaryType::kPredictOk) {
+    std::uint8_t flags = 0;
+    if (!cursor.u64(reply.id) || !cursor.f64(reply.rate_mbps) ||
+        !cursor.u8(flags) || !cursor.u64(reply.model_version) ||
+        !cursor.u64(reply.trace_id) || !cursor.f64(reply.server_ms) ||
+        cursor.remaining() != 0)
+      throw std::runtime_error("malformed binary predict response");
+    reply.ok = true;
+    reply.edge_model = (flags & kEdgeFlag) != 0;
+    return reply;
+  }
+  if (type == BinaryType::kError) {
+    std::uint16_t code_len = 0, msg_len = 0;
+    if (!cursor.u64(reply.id) || !cursor.u64(reply.trace_id) ||
+        !cursor.f64(reply.server_ms) || !cursor.u16(code_len) ||
+        !cursor.bytes(reply.error, code_len) || !cursor.u16(msg_len) ||
+        !cursor.bytes(reply.message, msg_len) || cursor.remaining() != 0)
+      throw std::runtime_error("malformed binary error response");
+    reply.ok = false;
+    return reply;
+  }
+  throw std::runtime_error("not a binary reply frame");
 }
 
 }  // namespace xfl::serve

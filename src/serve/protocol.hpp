@@ -4,6 +4,22 @@
 //   $ echo '{"id":"1","src":0,"dst":1,"bytes":5e10,"files":20}' | nc host 7070
 //   {"id":"1","ok":true,"rate_mbps":312.5,"model":"edge","version":1}
 //
+// Hot clients can negotiate a length-prefixed binary framing instead: in
+// JSON mode the exact 8 bytes "XFLBIN1\n" at a frame boundary switch the
+// connection to binary; the server echoes the same 8 bytes as an ack and
+// every subsequent frame (both directions) is
+//
+//   u32 length | u8 type | payload[length - 1]      (little-endian)
+//
+// where `length` counts the type byte plus the payload. Type kPredict /
+// kPredictOk / kError carry packed predict traffic (doubles travel as
+// raw IEEE-754 bits, so binary replies are bit-identical to JSON ones);
+// type kJson wraps one JSON document, so admin/feedback/stats reuse the
+// JSON grammar inside binary framing. The codec below is shared by the
+// server, the client, and the property tests: decode_binary_frame never
+// reads past the buffer, returns kNeedMore on any truncation (every byte
+// offset), and rejects oversized or unknown frames as kBad.
+//
 // Request frames:
 //   predict:  {"id":ID, "src":N, "dst":N, "bytes":X, ["files":N],
 //              ["dirs":N], ["concurrency":N], ["parallelism":N],
@@ -31,6 +47,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include <vector>
 
@@ -51,12 +68,22 @@ inline constexpr const char* kErrTimeout = "timeout";
 inline constexpr const char* kErrShuttingDown = "shutting_down";
 inline constexpr const char* kErrInternal = "internal_error";
 inline constexpr const char* kErrReloadFailed = "reload_failed";
+/// A partially-received frame stalled past the server's patience; the
+/// connection is closed after this structured error goes out.
+inline constexpr const char* kErrFrameTimeout = "frame_timeout";
+
+/// The 8-byte preamble that flips a JSON-mode connection to binary
+/// framing; the server acks by echoing it. Deliberately not valid JSON.
+inline constexpr std::string_view kBinaryMagic{"XFLBIN1\n", 8};
 
 struct PredictRequest {
   std::string id;
   core::PlannedTransfer transfer;
   features::ContentionFeatures load;
   std::uint64_t deadline_ms = 0;  ///< 0 = no deadline.
+  /// Arrived as a packed binary frame; the response must be packed too.
+  bool binary = false;
+  std::uint64_t binary_id = 0;  ///< Wire id of a binary request.
 };
 
 struct AdminRequest {
@@ -116,6 +143,9 @@ struct StageQuantiles {
 /// from the live registry + monitor; the builder only serialises.
 struct StatsReport {
   std::size_t queue_depth = 0;
+  std::size_t connections = 0;  ///< Currently open connections.
+  std::size_t shards = 0;       ///< Batcher shard (worker) count.
+  std::uint64_t steals = 0;     ///< Items rebalanced between shards.
   std::uint64_t model_version = 0;
   /// Batch-inference kernel the serving model dispatches to ("scalar" /
   /// "avx2" / "quantized") — names the hardware path behind the latency
@@ -161,5 +191,79 @@ std::string pong_response(const std::string& id, std::uint64_t model_version);
 std::string reload_response(const std::string& id,
                             std::uint64_t model_version);
 std::string stats_response(const std::string& id, const StatsReport& report);
+
+// ------------------------------------------------------------ binary codec
+
+/// Frame types of the length-prefixed binary protocol (see file header).
+enum class BinaryType : std::uint8_t {
+  kJson = 0,       ///< Payload is one JSON request/response document.
+  kPredict = 1,    ///< Packed predict request.
+  kPredictOk = 2,  ///< Packed predict success response.
+  kError = 3,      ///< Packed error response.
+};
+
+/// Result of scanning a byte buffer for one binary frame.
+struct BinaryDecode {
+  enum class Status {
+    kNeedMore,  ///< A complete frame has not arrived yet; read more.
+    kFrame,     ///< One well-formed frame; `consumed` bytes to discard.
+    kBad,       ///< Framing is unrecoverable (oversize/unknown type).
+  };
+  Status status = Status::kNeedMore;
+  std::size_t consumed = 0;     ///< Buffer bytes this frame occupied.
+  BinaryType type = BinaryType::kJson;
+  std::string_view payload;     ///< View into the caller's buffer.
+  std::string error;            ///< kBad reason.
+};
+
+/// Scan `buffer` for one frame. Never throws, never reads past the
+/// buffer: any truncation — at every byte offset — is kNeedMore, and
+/// only a length above kMaxFrameBytes or an unknown type is kBad
+/// (framing cannot resync after either, so the caller should close).
+BinaryDecode decode_binary_frame(std::string_view buffer);
+
+/// Serialise one packed predict request (client side).
+std::string binary_predict_request(std::uint64_t id,
+                                   const core::PlannedTransfer& transfer,
+                                   const features::ContentionFeatures& load = {},
+                                   std::uint64_t deadline_ms = 0);
+
+/// Decode a kPredict payload with the same strictness as the JSON path
+/// (range/finite checks). Malformed payloads yield kind kBad with the
+/// wire id preserved (when readable) so the error stays correlatable;
+/// never throws.
+Frame parse_binary_predict(std::string_view payload);
+
+/// Serialise packed predict responses (server side).
+std::string binary_predict_response(std::uint64_t id, double rate_mbps,
+                                    bool edge_model,
+                                    std::uint64_t model_version,
+                                    std::uint64_t trace_id, double server_ms);
+std::string binary_error_response(std::uint64_t id, const char* code,
+                                  const std::string& message,
+                                  std::uint64_t trace_id = 0,
+                                  double server_ms = 0.0);
+
+/// Wrap one JSON document (trailing newline optional, stripped) in a
+/// kJson frame, for admin/feedback traffic on a binary connection.
+std::string binary_json_frame(std::string_view json_document);
+
+/// A decoded kPredictOk / kError payload (client side).
+struct BinaryPredictReply {
+  std::uint64_t id = 0;
+  bool ok = false;
+  double rate_mbps = 0.0;
+  bool edge_model = false;
+  std::uint64_t model_version = 0;
+  std::uint64_t trace_id = 0;
+  double server_ms = 0.0;
+  std::string error;    ///< Error code when !ok.
+  std::string message;
+};
+
+/// Decode a reply payload; throws std::runtime_error on malformed input
+/// (a client facing a corrupt server has no structured channel left).
+BinaryPredictReply parse_binary_reply(BinaryType type,
+                                      std::string_view payload);
 
 }  // namespace xfl::serve

@@ -3,9 +3,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -23,6 +26,8 @@ namespace {
 struct ServerMetrics {
   obs::Counter& accepted = obs::counter("serve.conn.accepted");
   obs::Gauge& active = obs::gauge("serve.conn.active");
+  obs::Counter& frame_timeouts = obs::counter("serve.conn.frame_timeout");
+  obs::Counter& binary_upgrades = obs::counter("serve.conn.binary");
   obs::Counter& requests = obs::counter("serve.request.count");
   obs::Counter& admin = obs::counter("serve.request.admin");
   obs::Counter& feedback = obs::counter("serve.request.feedback");
@@ -56,13 +61,34 @@ StageQuantiles stage_quantiles(const char* name) {
   return q;
 }
 
+/// A write buffer past this limit means the peer stopped reading long
+/// ago; treat it like a dead socket instead of buffering without bound.
+constexpr std::size_t kMaxOutBufferBytes = 8u << 20;
+
+/// Resolve Options::shards == 0 (auto) before the batcher is built.
+PredictionServer::Options normalize(PredictionServer::Options options) {
+  if (options.shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options.shards = std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 4);
+  }
+  return options;
+}
+
 }  // namespace
 
-/// One accepted socket. The fd is closed only by the destructor, so any
-/// batcher callback still holding a shared_ptr writes to a valid (if
-/// possibly disconnected) descriptor — never to a recycled one.
+/// One accepted socket and all of its state. Ownership rules keep the
+/// hot path lock-free-ish and TSan-clean:
+///   - Plain fields below `// poll-thread state` are touched only by the
+///     poll thread (read buffer, framing mode, epoll interest).
+///   - `out_mutex` guards the write side (out buffer, want_write,
+///     closed, write_failed) because batch workers append responses.
+///   - `read_closed` / `in_flight` are atomics: workers consult them to
+///     decide whether the poll thread must re-check close eligibility.
+/// The fd is closed only by the destructor, so a batcher callback still
+/// holding a shared_ptr writes to a valid (if shut-down) descriptor —
+/// never to a recycled one.
 struct PredictionServer::Connection {
-  explicit Connection(int fd) : fd(fd) {}
+  Connection(int fd, std::size_t shard) : fd(fd), shard(shard) {}
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
@@ -70,48 +96,71 @@ struct PredictionServer::Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Serialised, complete-frame write. MSG_NOSIGNAL turns a dead peer
-  /// into EPIPE instead of SIGPIPE; after the first failure the
-  /// connection goes quiet rather than spamming errno.
-  void write_line(const std::string& payload) {
-    std::lock_guard lock(write_mutex);
-    if (write_failed) return;
-    std::size_t sent = 0;
-    while (sent < payload.size()) {
-      const ssize_t n = ::send(fd, payload.data() + sent,
-                               payload.size() - sent, MSG_NOSIGNAL);
-      if (n <= 0) {
-        write_failed = true;
-        return;
-      }
-      sent += static_cast<std::size_t>(n);
-    }
-  }
+  const int fd;
+  const std::size_t shard;  ///< Batcher shard this connection is pinned to.
 
-  void shutdown_both() { ::shutdown(fd, SHUT_RDWR); }
+  // poll-thread state
+  std::string in;        ///< Bytes received, not yet framed.
+  bool binary = false;   ///< Negotiated length-prefixed framing.
+  bool dead = false;     ///< Removed from the fd table; ignore events.
+  std::uint32_t interest = 0;            ///< Current epoll event mask.
+  std::uint64_t partial_since_us = 0;    ///< First byte of a partial frame.
 
-  int fd;
-  std::mutex write_mutex;
-  bool write_failed = false;  ///< Guarded by write_mutex.
+  // cross-thread state
+  std::atomic<bool> read_closed{false};  ///< EOF seen or input abandoned.
+  std::atomic<std::size_t> in_flight{0}; ///< Requests awaiting a response.
+  std::mutex out_mutex;
+  std::string out;            ///< Bytes the socket would not take yet.
+  bool want_write = false;    ///< EPOLLOUT wanted (out non-empty).
+  bool closed = false;        ///< Logical close: drop further output.
+  bool write_failed = false;  ///< Peer is gone; connection is doomed.
 };
 
-/// A connection plus its reader thread; `done` flags the thread as
-/// join-ready for the reaper.
-struct PredictionServer::Worker {
-  std::shared_ptr<Connection> conn;
-  std::thread thread;
-  bool done = false;  ///< Guarded by conn_mutex_.
+/// Per-thread cork: batch workers collect the connections they wrote to
+/// during one batch and flush each exactly once at batch end. Thread
+/// local, so shards never contend and non-worker threads (poll, admin)
+/// see an inactive cork and keep the immediate-send fast path.
+struct PredictionServer::Cork {
+  bool active = false;
+  std::vector<std::shared_ptr<Connection>> pending;
 };
+
+/// A decoded predict frame parked by handle_frame until the readiness
+/// round's flush_predict_burst. Carries everything the rejection path
+/// needs to answer without the Frame (which dies with the input buffer).
+/// The item already holds one in_flight reference.
+struct PredictionServer::PendingPredict {
+  BatchItem item;
+  bool packed = false;  ///< Arrived as a binary kPredict frame.
+  bool wrap = false;    ///< Connection had negotiated binary framing.
+  std::uint64_t wire_id = 0;
+  std::string id;
+  std::uint64_t trace_id = 0;
+  std::uint64_t received_us = 0;
+};
+
+PredictionServer::Cork& PredictionServer::cork_state() {
+  static thread_local Cork cork;
+  return cork;
+}
 
 PredictionServer::PredictionServer(ModelHost& host)
     : PredictionServer(host, Options()) {}
 
 PredictionServer::PredictionServer(ModelHost& host, Options options)
     : host_(host),
-      options_(std::move(options)),
-      batcher_(host, MicroBatcher::Options{options_.max_batch,
-                                           options_.queue_capacity,
-                                           options_.predict_threads}),
+      options_(normalize(std::move(options))),
+      batcher_(host,
+               MicroBatcher::Options{options_.max_batch,
+                                     options_.queue_capacity,
+                                     options_.predict_threads,
+                                     options_.shards,
+                                     [this](bool begin) {
+                                       if (begin)
+                                         cork_begin();
+                                       else
+                                         cork_end();
+                                     }}),
       monitor_(options_.monitor) {}
 
 PredictionServer::~PredictionServer() { stop(); }
@@ -123,7 +172,20 @@ void PredictionServer::start() {
     started_ = true;
   }
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0)
+    throw std::runtime_error(std::string("PredictionServer: epoll_create1: ") +
+                             std::strerror(errno));
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    throw std::runtime_error(std::string("PredictionServer: eventfd: ") +
+                             std::strerror(errno));
+  }
+
+  listen_fd_ =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0)
     throw std::runtime_error(std::string("PredictionServer: socket: ") +
                              std::strerror(errno));
@@ -140,9 +202,11 @@ void PredictionServer::start() {
     throw std::runtime_error("PredictionServer: bad bind address '" +
                              options_.bind_address + "'");
   }
+  // Backlog sized for connection-storm tests (1k clients connecting at
+  // once); the kernel clamps to somaxconn.
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
              sizeof address) != 0 ||
-      ::listen(listen_fd_, 64) != 0) {
+      ::listen(listen_fd_, 1024) != 0) {
     const std::string what = std::strerror(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -155,12 +219,20 @@ void PredictionServer::start() {
                 &address_len);
   port_ = ntohs(address.sin_port);
 
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  poll_thread_ = std::thread([this] { poll_loop(); });
   XFL_LOG(info) << "prediction server listening"
                 << obs::kv("address", options_.bind_address)
                 << obs::kv("port", port_)
                 << obs::kv("max_batch", options_.max_batch)
                 << obs::kv("queue_capacity", options_.queue_capacity)
+                << obs::kv("shards", batcher_.shard_count())
                 << obs::kv("kernel",
                            host_.snapshot().predictor->serving_kernel());
 }
@@ -171,124 +243,298 @@ void PredictionServer::stop() {
     if (!started_ || stopped_) return;
     stopped_ = true;
   }
+  // 1. Stop accepting: the poll thread closes the listen socket on the
+  //    next iteration but keeps serving reads and flushing writes.
   stopping_.store(true);
+  wake();
 
-  // 1. Stop accepting; shutdown wakes the blocked accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-
-  // 2. Drain: everything already admitted gets a real answer; requests
-  //    read after this point get a structured "shutting_down".
+  // 2. Drain: everything already admitted gets a real answer (the poll
+  //    loop flushes response bytes while this blocks); requests read
+  //    after this point get a structured "shutting_down".
   batcher_.drain_and_stop();
+  join_admin_threads();
 
-  // 3. Wake blocked readers and join them; fds close with the last
-  //    Connection reference.
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (auto& worker : workers_) worker->conn->shutdown_both();
-  }
-  std::vector<std::unique_ptr<Worker>> remaining;
-  {
-    std::lock_guard lock(conn_mutex_);
-    remaining.swap(workers_);
-  }
-  for (auto& worker : remaining)
-    if (worker->thread.joinable()) worker->thread.join();
+  // 3. Flush: the poll loop pushes out every buffered response (bounded
+  //    by drain_flush_timeout_ms), closes all connections, and exits.
+  flush_and_exit_.store(true);
+  wake();
+  if (poll_thread_.joinable()) poll_thread_.join();
+
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  wake_fd_ = -1;
   server_metrics().active.set(0.0);
   XFL_LOG(info) << "prediction server stopped" << obs::kv("port", port_);
 }
 
-void PredictionServer::reap_finished_workers() {
-  std::vector<std::unique_ptr<Worker>> finished;
-  {
-    std::lock_guard lock(conn_mutex_);
-    for (auto it = workers_.begin(); it != workers_.end();) {
-      if ((*it)->done) {
-        finished.push_back(std::move(*it));
-        it = workers_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-  for (auto& worker : finished)
-    if (worker->thread.joinable()) worker->thread.join();
+void PredictionServer::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
 }
 
-void PredictionServer::accept_loop() {
+void PredictionServer::poll_loop() {
+  std::vector<epoll_event> events(128);
+  bool accepting = true;
+  std::uint64_t flush_deadline_us = 0;
+  std::uint64_t last_sweep_us = 0;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load()) return;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // Listen socket is gone; stop() handles the rest.
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; nothing left to serve.
     }
-    if (stopping_.load()) {
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      const int fd = ev.data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof drained);
+        continue;
+      }
+      if (accepting && fd == listen_fd_) {
+        handle_accepts();
+        continue;
+      }
+      // Copy the shared_ptr: a handler may close and unregister the slot.
+      const std::shared_ptr<Connection> conn =
+          static_cast<std::size_t>(fd) < conns_.size() ? conns_[fd] : nullptr;
+      if (!conn) continue;
+      if (ev.events & EPOLLOUT) handle_writable(conn);
+      if (!conn->dead && (ev.events & (EPOLLIN | EPOLLHUP | EPOLLERR)))
+        handle_readable(conn);
+    }
+    drain_pending_attention();
+
+    if (stopping_.load(std::memory_order_relaxed) && accepting) {
+      accepting = false;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+
+    const std::uint64_t now_us = obs::monotonic_us();
+    // Sweeping walks the whole fd table; twice a second is plenty for a
+    // multi-second timeout and keeps the walk off the hot path.
+    if (now_us - last_sweep_us >= 500000) {
+      last_sweep_us = now_us;
+      sweep_partial_frame_timeouts(now_us);
+    }
+
+    if (flush_and_exit_.load(std::memory_order_relaxed)) {
+      if (flush_deadline_us == 0)
+        flush_deadline_us = now_us + options_.drain_flush_timeout_ms * 1000;
+      bool pending = false;
+      for (const auto& conn : conns_) {
+        if (!conn) continue;
+        if (conn->in_flight.load(std::memory_order_relaxed) > 0) {
+          pending = true;
+          break;
+        }
+        std::lock_guard lock(conn->out_mutex);
+        if (!conn->out.empty() && !conn->write_failed) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || now_us >= flush_deadline_us) break;
+    }
+  }
+  for (std::size_t fd = 0; fd < conns_.size(); ++fd) {
+    const std::shared_ptr<Connection> conn = conns_[fd];
+    if (conn) close_connection(conn);
+  }
+}
+
+void PredictionServer::handle_accepts() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN: the backlog is empty.
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
-      return;
+      continue;
     }
     const int nodelay = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+    // Round-robin shard pinning: a connection's requests all land on one
+    // shard, so per-connection admission order stays deterministic.
+    auto conn = std::make_shared<Connection>(
+        fd, next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                batcher_.shard_count());
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+      continue;  // Connection destructor closes the fd.
+    conn->interest = EPOLLIN;
+    if (static_cast<std::size_t>(fd) >= conns_.size())
+      conns_.resize(static_cast<std::size_t>(fd) + 1);
+    conns_[static_cast<std::size_t>(fd)] = std::move(conn);
     server_metrics().accepted.add(1);
-
-    auto worker = std::make_unique<Worker>();
-    worker->conn = std::make_shared<Connection>(fd);
-    Worker* raw = worker.get();
-    {
-      std::lock_guard lock(conn_mutex_);
-      workers_.push_back(std::move(worker));
-      server_metrics().active.set(static_cast<double>(workers_.size()));
-    }
-    raw->thread = std::thread([this, raw] {
-      connection_loop(raw->conn);
-      std::lock_guard lock(conn_mutex_);
-      raw->done = true;
-    });
-    reap_finished_workers();
+    server_metrics().active.set(static_cast<double>(
+        conn_count_.fetch_add(1, std::memory_order_relaxed) + 1));
   }
 }
 
-void PredictionServer::connection_loop(
+void PredictionServer::handle_readable(
     const std::shared_ptr<Connection>& conn) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
+  if (conn->dead || conn->read_closed.load(std::memory_order_relaxed)) return;
+  char chunk[16384];
+  bool eof = false;
+  // Bounded rounds per readiness: a firehose client cannot starve its
+  // neighbours — level-triggered epoll re-reports leftover bytes.
+  for (int rounds = 0; rounds < 16; ++rounds) {
     const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
-    if (n <= 0) return;  // EOF, error, or shutdown during drain.
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (;;) {
-      const std::size_t newline = buffer.find('\n', start);
-      if (newline == std::string::npos) break;
-      std::string line = buffer.substr(start, newline - start);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (!line.empty()) handle_line(conn, line);
-      start = newline + 1;
+    if (n > 0) {
+      conn->in.append(chunk, static_cast<std::size_t>(n));
+      if (conn->in.size() >= kMaxFrameBytes * 2) break;
+      continue;
     }
-    buffer.erase(0, start);
-    if (buffer.size() > kMaxFrameBytes) {
-      server_metrics().bad.add(1);
-      conn->write_line(error_response("", kErrBadRequest,
-                                      "frame exceeds maximum length"));
-      return;
+    if (n == 0) {
+      eof = true;
+      break;
     }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    close_connection(conn);  // ECONNRESET and friends.
+    return;
+  }
+  process_input(conn);
+  if (conn->dead) return;
+  if (eof) {
+    // Half-close: the client is done asking but may still be reading.
+    // Answer everything in flight, flush, then close.
+    conn->read_closed.store(true, std::memory_order_relaxed);
+    conn->in.clear();
+    conn->partial_since_us = 0;
+    update_epoll_interest(*conn);
+    maybe_close(conn);
   }
 }
 
-void PredictionServer::handle_line(const std::shared_ptr<Connection>& conn,
-                                   const std::string& line) {
-  XFL_SPAN("serve.request");
-  const std::uint64_t received_us = obs::monotonic_us();
-  const Frame frame = parse_frame(line);
+void PredictionServer::process_input(
+    const std::shared_ptr<Connection>& conn) {
   auto& metrics = server_metrics();
-  metrics.parse.record(static_cast<double>(obs::monotonic_us() - received_us));
+  std::string& in = conn->in;
+  // Every predict frame this readiness round decodes is parked here and
+  // admitted with one submit_burst call at the end (or before any admin/
+  // feedback/error frame, which must observe prior admissions). Each
+  // parked item already holds an in_flight reference, so every exit path
+  // below must flush — a dropped burst would wedge close forever.
+  std::vector<PendingPredict> burst;
+  bool progress = true;
+  while (progress && !conn->dead &&
+         !conn->read_closed.load(std::memory_order_relaxed)) {
+    progress = false;
+    if (!conn->binary) {
+      // Binary negotiation: the exact magic bytes at a frame boundary
+      // (and nothing else — "XFLBIN1x" falls through to JSON parsing).
+      if (!in.empty() && in[0] == kBinaryMagic[0]) {
+        const std::size_t have = std::min(in.size(), kBinaryMagic.size());
+        if (kBinaryMagic.compare(0, have, in.data(), have) == 0) {
+          if (in.size() < kBinaryMagic.size()) break;  // Partial magic.
+          in.erase(0, kBinaryMagic.size());
+          conn->binary = true;
+          metrics.binary_upgrades.add(1);
+          queue_output(conn, kBinaryMagic);  // Ack: same 8 bytes back.
+          progress = true;
+          continue;
+        }
+      }
+      const std::size_t newline = in.find('\n');
+      if (newline == std::string::npos) {
+        if (in.size() > kMaxFrameBytes) {
+          metrics.bad.add(1);
+          flush_predict_burst(conn, burst);
+          fail_connection(conn, kErrBadRequest,
+                          "frame exceeds maximum length");
+          return;
+        }
+        break;
+      }
+      std::string line = in.substr(0, newline);
+      in.erase(0, newline + 1);
+      progress = true;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      const std::uint64_t received_us = obs::monotonic_us();
+      const Frame frame = parse_frame(line);
+      metrics.parse.record(
+          static_cast<double>(obs::monotonic_us() - received_us));
+      handle_frame(conn, frame, received_us, burst);
+    } else {
+      const BinaryDecode decoded = decode_binary_frame(in);
+      if (decoded.status == BinaryDecode::Status::kNeedMore) break;
+      if (decoded.status == BinaryDecode::Status::kBad) {
+        // Framing cannot resync after a bad length or type byte: one
+        // structured error, then the connection is done.
+        metrics.bad.add(1);
+        flush_predict_burst(conn, burst);
+        fail_connection(conn, kErrBadRequest, decoded.error);
+        return;
+      }
+      const std::uint64_t received_us = obs::monotonic_us();
+      Frame frame;
+      switch (decoded.type) {
+        case BinaryType::kPredict:
+          frame = parse_binary_predict(decoded.payload);
+          break;
+        case BinaryType::kJson:
+          frame = parse_frame(std::string(decoded.payload));
+          break;
+        default:
+          frame.kind = Frame::Kind::kBad;
+          frame.error = "response-type frame sent by client";
+          break;
+      }
+      in.erase(0, decoded.consumed);
+      progress = true;
+      metrics.parse.record(
+          static_cast<double>(obs::monotonic_us() - received_us));
+      handle_frame(conn, frame, received_us, burst);
+    }
+  }
+  flush_predict_burst(conn, burst);
+  if (conn->dead) return;
+  // Partial-frame clock: starts when an incomplete frame begins to sit
+  // in the buffer, cleared the moment the buffer empties. A connection
+  // with no buffered bytes is idle, and idling is free.
+  if (in.empty())
+    conn->partial_since_us = 0;
+  else if (conn->partial_since_us == 0)
+    conn->partial_since_us = obs::monotonic_us();
+}
 
+void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                                    const Frame& frame,
+                                    std::uint64_t received_us,
+                                    std::vector<PendingPredict>& burst) {
+  XFL_SPAN("serve.request");
+  auto& metrics = server_metrics();
+  if (frame.kind != Frame::Kind::kPredict) {
+    // Admin and feedback (and error replies) must observe every predict
+    // decoded before them on this connection — stats' queue_depth and the
+    // drain ordering tests rely on admission happening first.
+    flush_predict_burst(conn, burst);
+  }
   switch (frame.kind) {
     case Frame::Kind::kBad:
       metrics.bad.add(1);
-      conn->write_line(error_response(frame.id, kErrBadRequest, frame.error));
+      if (frame.predict.binary)
+        queue_output(conn,
+                     binary_error_response(frame.predict.binary_id,
+                                           kErrBadRequest, frame.error));
+      else
+        send_response(conn,
+                      error_response(frame.id, kErrBadRequest, frame.error));
       return;
 
     case Frame::Kind::kAdmin:
@@ -314,74 +560,132 @@ void PredictionServer::handle_line(const std::shared_ptr<Connection>& conn,
   item.trace_id = trace_id;
   item.received_us = received_us;
   if (frame.predict.deadline_ms > 0)
-    item.deadline_us =
-        obs::monotonic_us() + frame.predict.deadline_ms * 1000;
+    item.deadline_us = obs::monotonic_us() + frame.predict.deadline_ms * 1000;
+  // Response routing is captured now: `packed` mirrors how the request
+  // arrived, `wrap` the connection's framing at admission — both frozen
+  // so a worker-thread callback never reads mutable poll-thread state.
+  const bool packed = frame.predict.binary;
+  const bool wrap = conn->binary;
+  const std::uint64_t wire_id = frame.predict.binary_id;
   const std::string id = frame.predict.id;
+  conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   // `this` outlives every callback: stop() drains the batcher before the
   // server (and its monitor) is torn down.
-  item.done = [this, conn, id, trace_id,
+  item.done = [this, conn, id, wire_id, packed, wrap, trace_id,
                received_us](const PredictOutcome& outcome) {
     auto& m = server_metrics();
     const std::uint64_t server_us = obs::monotonic_us() - received_us;
     m.server_time.record(static_cast<double>(server_us));
     const double server_ms = static_cast<double>(server_us) / 1000.0;
+    std::string response;
     if (outcome.ok) {
       m.ok.add(1);
       monitor_.record_prediction(trace_id, outcome.rate_mbps,
                                  outcome.model_version);
-      conn->write_line(predict_response(id, outcome.rate_mbps,
+      response = packed
+                     ? binary_predict_response(wire_id, outcome.rate_mbps,
+                                               outcome.edge_model,
+                                               outcome.model_version,
+                                               trace_id, server_ms)
+                     : predict_response(id, outcome.rate_mbps,
                                         outcome.edge_model,
                                         outcome.model_version, trace_id,
-                                        server_ms));
+                                        server_ms);
     } else {
       m.errors.add(1);
-      conn->write_line(error_response(id, outcome.error, outcome.message,
-                                      trace_id, server_ms));
+      response = packed
+                     ? binary_error_response(wire_id, outcome.error,
+                                             outcome.message, trace_id,
+                                             server_ms)
+                     : error_response(id, outcome.error, outcome.message,
+                                      trace_id, server_ms);
     }
+    if (!packed && wrap) response = binary_json_frame(response);
+    queue_output(conn, response);
+    conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    if (conn->read_closed.load(std::memory_order_relaxed))
+      request_attention(conn);
   };
 
-  const auto rejected_ms = [received_us] {
-    return static_cast<double>(obs::monotonic_us() - received_us) / 1000.0;
-  };
-  switch (batcher_.submit(std::move(item))) {
-    case MicroBatcher::Admission::kAccepted:
-      return;
-    case MicroBatcher::Admission::kOverloaded:
-      metrics.overloaded.add(1);
-      conn->write_line(error_response(id, kErrOverloaded,
-                                      "prediction queue full", trace_id,
-                                      rejected_ms()));
-      return;
-    case MicroBatcher::Admission::kShuttingDown:
+  // Parked, not submitted: process_input admits the whole readiness
+  // round with one submit_burst (see flush_predict_burst for rejection).
+  PendingPredict pending;
+  pending.item = std::move(item);
+  pending.packed = packed;
+  pending.wrap = wrap;
+  pending.wire_id = wire_id;
+  pending.id = id;
+  pending.trace_id = trace_id;
+  pending.received_us = received_us;
+  burst.push_back(std::move(pending));
+}
+
+void PredictionServer::flush_predict_burst(
+    const std::shared_ptr<Connection>& conn,
+    std::vector<PendingPredict>& burst) {
+  if (burst.empty()) return;
+  auto& metrics = server_metrics();
+  std::vector<BatchItem> items;
+  items.reserve(burst.size());
+  for (PendingPredict& pending : burst) items.push_back(std::move(pending.item));
+  MicroBatcher::Admission status = MicroBatcher::Admission::kAccepted;
+  const std::size_t admitted =
+      batcher_.submit_burst(items, conn->shard, status);
+  // The rejected suffix is answered here with the same structured error
+  // (and the same counters — rejects are overloaded/shutting_down, never
+  // serve.response.error) as a lone submit() rejection would get.
+  for (std::size_t i = admitted; i < burst.size(); ++i) {
+    const PendingPredict& pending = burst[i];
+    const char* code = kErrOverloaded;
+    const char* message = "prediction queue full";
+    if (status == MicroBatcher::Admission::kShuttingDown) {
+      code = kErrShuttingDown;
+      message = "server draining";
       metrics.shutting_down.add(1);
-      conn->write_line(error_response(id, kErrShuttingDown,
-                                      "server draining", trace_id,
-                                      rejected_ms()));
-      return;
+    } else {
+      metrics.overloaded.add(1);
+    }
+    const double rejected_ms =
+        static_cast<double>(obs::monotonic_us() - pending.received_us) /
+        1000.0;
+    std::string response =
+        pending.packed
+            ? binary_error_response(pending.wire_id, code, message,
+                                    pending.trace_id, rejected_ms)
+            : error_response(pending.id, code, message, pending.trace_id,
+                             rejected_ms);
+    if (!pending.packed && pending.wrap) response = binary_json_frame(response);
+    queue_output(conn, response);
+    conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
   }
+  burst.clear();
 }
 
 void PredictionServer::handle_feedback(
     const std::shared_ptr<Connection>& conn,
     const FeedbackRequest& feedback) {
-  // Joined inline on the connection thread: one mutex-guarded map join,
-  // far cheaper than a predict — no reason to batch it.
+  // Joined inline on the poll thread: one mutex-guarded map join, far
+  // cheaper than a predict — no reason to batch it.
   const ServeMonitor::FeedbackResult result =
       monitor_.record_feedback(feedback.trace_id, feedback.observed_mbps);
-  conn->write_line(feedback_response(
-      feedback.id, trace_id_string(feedback.trace_id), result));
+  send_response(conn, feedback_response(
+                          feedback.id, trace_id_string(feedback.trace_id),
+                          result));
 }
 
 void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
                                     const AdminRequest& admin) {
   if (admin.cmd == "ping") {
-    conn->write_line(pong_response(admin.id, host_.version()));
+    send_response(conn, pong_response(admin.id, host_.version()));
     return;
   }
   if (admin.cmd == "stats") {
     auto& metrics = server_metrics();
     StatsReport report;
     report.queue_depth = batcher_.queue_depth();
+    report.connections = conn_count_.load(std::memory_order_relaxed);
+    report.shards = batcher_.shard_count();
+    report.steals = batcher_.steals();
     report.model_version = host_.version();
     report.kernel = host_.snapshot().predictor->serving_kernel();
     report.requests = metrics.requests.value();
@@ -406,18 +710,275 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
     report.versions = monitor_.version_stats();
     if (admin.registry)
       report.registry_json = obs::Registry::instance().to_json();
-    conn->write_line(stats_response(admin.id, report));
+    send_response(conn, stats_response(admin.id, report));
     return;
   }
-  // reload: runs on this connection's thread — off the batch hot path, so
-  // prediction latency is unaffected while the new model parses.
-  try {
-    const std::uint64_t version = host_.reload_from_file(admin.path);
-    conn->write_line(reload_response(admin.id, version));
-  } catch (const std::exception& error) {
-    conn->write_line(
-        error_response(admin.id, kErrReloadFailed, error.what()));
+  // reload: runs on a short-lived thread of its own — a multi-second
+  // model parse must not stall the event loop every connection shares.
+  conn->in_flight.fetch_add(1, std::memory_order_relaxed);
+  const bool wrap = conn->binary;
+  std::lock_guard lock(admin_mutex_);
+  admin_threads_.emplace_back([this, conn, admin, wrap] {
+    std::string response;
+    try {
+      const std::uint64_t version = host_.reload_from_file(admin.path);
+      response = reload_response(admin.id, version);
+    } catch (const std::exception& error) {
+      response = error_response(admin.id, kErrReloadFailed, error.what());
+    }
+    if (wrap) response = binary_json_frame(response);
+    queue_output(conn, response);
+    conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    if (conn->read_closed.load(std::memory_order_relaxed))
+      request_attention(conn);
+  });
+}
+
+void PredictionServer::send_response(const std::shared_ptr<Connection>& conn,
+                                     std::string json_line) {
+  if (conn->binary) json_line = binary_json_frame(json_line);
+  queue_output(conn, json_line);
+}
+
+void PredictionServer::cork_begin() { cork_state().active = true; }
+
+void PredictionServer::cork_end() {
+  Cork& cork = cork_state();
+  cork.active = false;
+  for (const auto& conn : cork.pending) {
+    bool need_attention = false;
+    {
+      std::lock_guard lock(conn->out_mutex);
+      if (conn->closed || conn->write_failed) continue;
+      while (!conn->out.empty()) {
+        const ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+          conn->out.erase(0, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn->write_failed = true;  // EPIPE, ECONNRESET, ...
+        conn->out.clear();
+        break;
+      }
+      if (conn->write_failed) {
+        need_attention = true;
+      } else if (!conn->out.empty() && !conn->want_write) {
+        conn->want_write = true;
+        need_attention = true;
+      }
+    }
+    // A fully-flushed reply may have been the last thing a half-closed
+    // peer was owed; only the poll thread may act on that.
+    if (!need_attention &&
+        conn->read_closed.load(std::memory_order_relaxed) &&
+        conn->in_flight.load(std::memory_order_seq_cst) == 0)
+      need_attention = true;
+    if (need_attention) request_attention(conn);
   }
+  cork.pending.clear();
+}
+
+void PredictionServer::queue_output(const std::shared_ptr<Connection>& conn,
+                                    std::string_view bytes) {
+  Cork& cork = cork_state();
+  if (cork.active) {
+    // Corked (batch worker): append only; cork_end() does one send per
+    // connection for the whole batch instead of one per reply.
+    bool need_attention = false;
+    {
+      std::lock_guard lock(conn->out_mutex);
+      if (conn->closed || conn->write_failed) return;
+      const bool was_empty = conn->out.empty();
+      conn->out.append(bytes.data(), bytes.size());
+      if (conn->out.size() > kMaxOutBufferBytes) {
+        conn->write_failed = true;
+        conn->out.clear();
+        need_attention = true;
+      } else if (was_empty) {
+        // First write this batch (an already non-empty buffer is either
+        // in cork.pending from an earlier reply or being flushed via
+        // EPOLLOUT by the poll thread).
+        cork.pending.push_back(conn);
+      }
+    }
+    if (need_attention) request_attention(conn);
+    return;
+  }
+  bool need_attention = false;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    if (conn->closed || conn->write_failed) return;
+    if (conn->out.empty()) {
+      // Fast path: the socket usually takes a whole response in one
+      // non-blocking send; only the remainder is buffered.
+      std::size_t sent = 0;
+      while (sent < bytes.size()) {
+        const ssize_t n = ::send(conn->fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+          sent += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn->write_failed = true;  // EPIPE, ECONNRESET, ...
+        need_attention = true;
+        break;
+      }
+      if (!conn->write_failed && sent < bytes.size())
+        conn->out.assign(bytes.data() + sent, bytes.size() - sent);
+    } else {
+      conn->out.append(bytes.data(), bytes.size());
+    }
+    if (conn->out.size() > kMaxOutBufferBytes) {
+      conn->write_failed = true;
+      conn->out.clear();
+      need_attention = true;
+    }
+    if (!conn->write_failed && !conn->out.empty() && !conn->want_write) {
+      conn->want_write = true;
+      need_attention = true;
+    }
+  }
+  if (need_attention) request_attention(conn);
+}
+
+void PredictionServer::handle_writable(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    while (!conn->out.empty() && !conn->write_failed) {
+      const ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      conn->write_failed = true;
+    }
+    if (conn->out.empty()) conn->want_write = false;
+  }
+  update_epoll_interest(*conn);
+  maybe_close(conn);
+}
+
+void PredictionServer::fail_connection(
+    const std::shared_ptr<Connection>& conn, const char* code,
+    const std::string& message) {
+  if (conn->dead) return;
+  queue_output(conn, conn->binary
+                         ? binary_error_response(0, code, message)
+                         : error_response("", code, message));
+  conn->read_closed.store(true, std::memory_order_relaxed);
+  conn->in.clear();
+  conn->partial_since_us = 0;
+  update_epoll_interest(*conn);
+  maybe_close(conn);
+}
+
+void PredictionServer::maybe_close(const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  // Order matters: sample in_flight before the out buffer. A worker
+  // queues its response before decrementing in_flight, so in_flight == 0
+  // here means every response is already visible in `out` (or sent).
+  const bool no_inflight =
+      conn->in_flight.load(std::memory_order_seq_cst) == 0;
+  bool failed = false;
+  bool out_empty = false;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    failed = conn->write_failed;
+    out_empty = conn->out.empty();
+  }
+  if (failed ||
+      (conn->read_closed.load(std::memory_order_relaxed) && no_inflight &&
+       out_empty))
+    close_connection(conn);
+}
+
+void PredictionServer::close_connection(
+    const std::shared_ptr<Connection>& conn) {
+  if (conn->dead) return;
+  conn->dead = true;
+  {
+    std::lock_guard lock(conn->out_mutex);
+    conn->closed = true;
+    conn->out.clear();
+    conn->want_write = false;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::shutdown(conn->fd, SHUT_RDWR);
+  if (static_cast<std::size_t>(conn->fd) < conns_.size())
+    conns_[static_cast<std::size_t>(conn->fd)].reset();
+  server_metrics().active.set(static_cast<double>(
+      conn_count_.fetch_sub(1, std::memory_order_relaxed) - 1));
+}
+
+void PredictionServer::sweep_partial_frame_timeouts(std::uint64_t now_us) {
+  if (options_.partial_frame_timeout_ms == 0) return;
+  const std::uint64_t budget_us = options_.partial_frame_timeout_ms * 1000;
+  for (std::size_t fd = 0; fd < conns_.size(); ++fd) {
+    const std::shared_ptr<Connection> conn = conns_[fd];
+    if (!conn || conn->dead || conn->partial_since_us == 0) continue;
+    if (now_us - conn->partial_since_us < budget_us) continue;
+    server_metrics().frame_timeouts.add(1);
+    fail_connection(conn, kErrFrameTimeout,
+                    "partial frame stalled past timeout");
+  }
+}
+
+void PredictionServer::update_epoll_interest(Connection& conn) {
+  if (conn.dead) return;
+  std::uint32_t desired =
+      conn.read_closed.load(std::memory_order_relaxed) ? 0u : EPOLLIN;
+  {
+    std::lock_guard lock(conn.out_mutex);
+    if (conn.want_write) desired |= EPOLLOUT;
+  }
+  if (desired == conn.interest) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.interest = desired;
+}
+
+void PredictionServer::drain_pending_attention() {
+  std::vector<std::shared_ptr<Connection>> pending;
+  {
+    std::lock_guard lock(attention_mutex_);
+    pending.swap(attention_);
+  }
+  for (const auto& conn : pending) {
+    if (conn->dead) continue;
+    update_epoll_interest(*conn);
+    maybe_close(conn);
+  }
+}
+
+void PredictionServer::request_attention(
+    const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard lock(attention_mutex_);
+    attention_.push_back(conn);
+  }
+  wake();
+}
+
+void PredictionServer::join_admin_threads() {
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard lock(admin_mutex_);
+    threads.swap(admin_threads_);
+  }
+  for (auto& thread : threads)
+    if (thread.joinable()) thread.join();
 }
 
 }  // namespace xfl::serve

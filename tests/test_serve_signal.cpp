@@ -21,6 +21,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <sys/wait.h>
@@ -178,6 +179,79 @@ TEST(ServeSignal, SigtermDrainsAdmittedRequestsAndExitsZero) {
       << outstanding.size() << " requests were never answered";
   EXPECT_GT(answered_ok, 0) << "drain answered nothing successfully";
 
+  EXPECT_EQ(child.wait_for_exit(), 0);
+}
+
+// The event-loop variant of the drain contract: idle connections parked
+// on the epoll loop must not stall shutdown, and a binary-mode client
+// with pipelined packed requests is drained exactly like a JSON one.
+TEST(ServeSignal, SigtermDrainsBinaryClientWithIdleConnectionsParked) {
+  ServeProcess child;
+  child.spawn(saved_model_path());
+  if (HasFatalFailure()) return;
+  const std::uint16_t port = child.wait_for_port();
+  ASSERT_NE(port, 0);
+
+  // Park idle connections the poll loop must close on its own at exit.
+  std::vector<std::unique_ptr<PredictionClient>> idle;
+  for (int i = 0; i < 32; ++i)
+    idle.push_back(std::make_unique<PredictionClient>("127.0.0.1", port));
+
+  PredictionClient client("127.0.0.1", port);
+  client.negotiate_binary();
+  ASSERT_TRUE(client.binary());
+  ASSERT_TRUE(client.ping());  // kJson frame round trip.
+
+  constexpr int kRequests = 48;
+  std::set<std::uint64_t> outstanding;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto id = static_cast<std::uint64_t>(1000 + i);
+    client.send_raw(binary_predict_request(id, planned_transfer(i)));
+    outstanding.insert(id);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_EQ(kill(child.pid, SIGTERM), 0) << std::strerror(errno);
+
+  int answered_ok = 0;
+  while (!outstanding.empty()) {
+    BinaryType type;
+    std::string payload;
+    try {
+      std::tie(type, payload) = client.read_frame();
+    } catch (const std::exception&) {
+      break;  // EOF after drain.
+    }
+    if (type == BinaryType::kJson) continue;
+    const BinaryPredictReply reply = parse_binary_reply(type, payload);
+    ASSERT_EQ(outstanding.erase(reply.id), 1u)
+        << "unexpected or duplicate packed reply id " << reply.id;
+    if (reply.ok) {
+      ++answered_ok;
+      EXPECT_GT(reply.rate_mbps, 0.0);
+      EXPECT_NE(reply.trace_id, 0u);
+    } else {
+      EXPECT_TRUE(reply.error == "shutting_down" ||
+                  reply.error == "overloaded")
+          << reply.error;
+    }
+  }
+  EXPECT_TRUE(outstanding.empty())
+      << outstanding.size() << " packed requests were never answered";
+  EXPECT_GT(answered_ok, 0) << "drain answered nothing successfully";
+
+  EXPECT_EQ(child.wait_for_exit(), 0);
+}
+
+// Handlers are installed before the banner is printed, so a signal that
+// lands the instant the banner appears must still drain cleanly — the
+// startup-race regression test for the poll-thread handoff.
+TEST(ServeSignal, SigtermImmediatelyAfterBannerExitsZero) {
+  ServeProcess child;
+  child.spawn(saved_model_path());
+  if (HasFatalFailure()) return;
+  const std::uint16_t port = child.wait_for_port();
+  ASSERT_NE(port, 0);
+  ASSERT_EQ(kill(child.pid, SIGTERM), 0) << std::strerror(errno);
   EXPECT_EQ(child.wait_for_exit(), 0);
 }
 

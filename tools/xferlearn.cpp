@@ -19,10 +19,15 @@
 //   xferlearn export-dataset --log log.csv --src ID --dst ID --out data.csv
 //   xferlearn serve    --model model.txt [--port N] [--bind ADDR]
 //                      [--max-batch N] [--queue-cap N] [--threads N]
+//                      [--shards N] [--frame-timeout-ms N]
 //                      [--drift-window N] [--drift-threshold PCT]
 //                      [--drift-min-samples N]
 //                      [--kernel auto|scalar|avx2|quantized]
-//                      (line-delimited JSON over TCP; SIGHUP or the
+//                      (line-delimited JSON over TCP, with an opt-in
+//                       length-prefixed binary framing — send the 8 bytes
+//                       "XFLBIN1\n" to negotiate; epoll event loop, so
+//                       idle connections are ~free; --shards 0 = auto
+//                       picks the batcher worker count; SIGHUP or the
 //                       {"cmd":"reload"} admin frame hot-swaps the model;
 //                       SIGINT/SIGTERM drain gracefully)
 //   xferlearn request  --port N [--host ADDR] --src ID --dst ID
@@ -36,13 +41,17 @@
 //                       --feedback joins an observed rate to the
 //                       prediction whose reply carried trace id TRACE)
 //   xferlearn serve-bench (--model model.txt | --log log.csv)
-//                      [--clients 1,4,16] [--seconds 2] [--max-batch N]
-//                      [--queue-cap N] [--src ID --dst ID]
+//                      [--clients 1,4,16,64] [--seconds 2] [--max-batch N]
+//                      [--queue-cap N] [--shards N] [--src ID --dst ID]
+//                      [--connections N] [--binary] [--pipeline D]
 //                      [--json-out BENCH_serve.json]
 //                      [--kernel auto|scalar|avx2|quantized]
 //                      (reports client round-trip quantiles next to the
 //                       server's own serve.request.server_us histogram
-//                       quantiles — the same estimator live stats use)
+//                       quantiles — the same estimator live stats use;
+//                       --connections parks N idle sockets on the event
+//                       loop for the whole run, --binary drives the
+//                       packed frame protocol instead of JSON lines)
 //
 // Inference options, accepted by every subcommand (after the name):
 //   --kernel auto|scalar|avx2|quantized  pin the process-wide batch-
@@ -77,6 +86,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/csv.hpp"
@@ -526,6 +536,10 @@ serve::PredictionServer::Options server_options(const ArgList& args) {
       static_cast<std::size_t>(args.number_or("--queue-cap", 1024.0));
   options.predict_threads =
       static_cast<std::size_t>(args.number_or("--threads", 1.0));
+  options.shards =
+      static_cast<std::size_t>(args.number_or("--shards", 0.0));
+  options.partial_frame_timeout_ms = static_cast<std::uint64_t>(
+      args.number_or("--frame-timeout-ms", 30000.0));
   options.monitor.drift_window = static_cast<std::size_t>(
       args.number_or("--drift-window", 64.0));
   options.monitor.drift_threshold_pct =
@@ -797,9 +811,17 @@ int cmd_serve_bench(const ArgList& args) {
       args.number_or("--src", 0.0));
   const auto dst = static_cast<endpoint::EndpointId>(
       args.number_or("--dst", 1.0));
+  const std::size_t idle_connections =
+      static_cast<std::size_t>(args.number_or("--connections", 0.0));
+  const bool binary = args.flag("--binary");
+  // Pipeline depth: requests kept outstanding per connection. 1 = classic
+  // blocking round trips; >1 is how a real hot client drives the batcher
+  // (many frames per syscall, full batches per predict call).
+  const std::size_t pipeline = static_cast<std::size_t>(
+      std::max(1.0, args.number_or("--pipeline", 1.0)));
   std::vector<std::size_t> levels;
   {
-    const std::string spec = args.value_or("--clients", "1,4,16");
+    const std::string spec = args.value_or("--clients", "1,4,16,64");
     std::size_t start = 0;
     while (start <= spec.size()) {
       const std::size_t comma = spec.find(',', start);
@@ -843,6 +865,15 @@ int cmd_serve_bench(const ArgList& args) {
   };
   std::vector<LevelResult> results;
 
+  // The idle-connection dimension: --connections N parks N extra open
+  // sockets on the event loop for the whole run, so the measured levels
+  // show what mostly-idle scale costs the hot path (it should be ~free).
+  std::vector<std::unique_ptr<serve::PredictionClient>> idle;
+  idle.reserve(idle_connections);
+  for (std::size_t i = 0; i < idle_connections; ++i)
+    idle.push_back(std::make_unique<serve::PredictionClient>(
+        "127.0.0.1", server.port()));
+
   TextTable table;
   table.set_title("serve-bench: sustained load against the micro-batching "
                   "server (loopback; srv = server-side histogram quantiles)");
@@ -857,19 +888,118 @@ int cmd_serve_bench(const ArgList& args) {
     std::vector<std::thread> threads;
     threads.reserve(clients);
     const auto start = std::chrono::steady_clock::now();
-    for (std::size_t c = 0; c < clients; ++c) {
-      threads.emplace_back([&, c] {
-        serve::PredictionClient client("127.0.0.1", server.port());
-        std::size_t i = c;  // Stagger the mix across clients.
-        while (!stop.load(std::memory_order_relaxed)) {
-          const auto t0 = std::chrono::steady_clock::now();
-          const auto reply = client.predict(mix[i++ % mix.size()]);
-          const auto t1 = std::chrono::steady_clock::now();
-          if (reply.ok)
-            latencies[c].push_back(
-                std::chrono::duration<double, std::micro>(t1 - t0).count());
-        }
-      });
+    if (pipeline == 1) {
+      // Classic mode: one blocking thread per client, one request in
+      // flight each — directly comparable across bench revisions.
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          serve::PredictionClient client("127.0.0.1", server.port());
+          if (binary) client.negotiate_binary();
+          std::size_t i = c;  // Stagger the mix across clients.
+          while (!stop.load(std::memory_order_relaxed)) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto reply = client.predict(mix[i++ % mix.size()]);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (reply.ok)
+              latencies[c].push_back(
+                  std::chrono::duration<double, std::micro>(t1 - t0).count());
+          }
+        });
+      }
+    } else {
+      // Windowed mode: every connection keeps `pipeline` requests in
+      // flight, and a handful of loadgen threads multiplex all the
+      // connections (wrk-style) — with one thread per connection the
+      // measurement drowns in loadgen scheduling, not server capacity.
+      struct WindowedConn {
+        explicit WindowedConn(std::uint16_t port)
+            : client("127.0.0.1", port) {}
+        serve::PredictionClient client;
+        std::unordered_map<std::uint64_t,
+                           std::chrono::steady_clock::time_point>
+            sent_at;
+        std::uint64_t next_id = 1;
+        std::size_t i = 0;
+      };
+      const std::size_t loadgen = std::min<std::size_t>(
+          clients, std::max(2u, std::thread::hardware_concurrency()));
+      for (std::size_t t = 0; t < loadgen; ++t) {
+        threads.emplace_back([&, t] {
+          // Each thread owns connections c = t, t + loadgen, ...
+          std::vector<std::unique_ptr<WindowedConn>> conns;
+          for (std::size_t c = t; c < clients; c += loadgen) {
+            conns.push_back(std::make_unique<WindowedConn>(server.port()));
+            conns.back()->i = c;
+            if (binary) conns.back()->client.negotiate_binary();
+          }
+          // Sends are coalesced: `n` requests leave in one send(2), the
+          // same trick the server's reply corking plays in the other
+          // direction — on a shared core, loadgen syscalls are server
+          // cycles lost.
+          std::string out;
+          const auto send_burst = [&](WindowedConn& conn, std::size_t n) {
+            out.clear();
+            const auto now = std::chrono::steady_clock::now();
+            for (std::size_t k = 0; k < n; ++k) {
+              const std::uint64_t id = conn.next_id++;
+              conn.sent_at.emplace(id, now);
+              const auto& planned = mix[conn.i++ % mix.size()];
+              if (binary) {
+                out += serve::binary_predict_request(id, planned);
+              } else {
+                out += serve::predict_request_line(std::to_string(id), planned);
+                out += '\n';
+              }
+            }
+            conn.client.send_raw(out);
+          };
+          const auto read_one = [&](WindowedConn& conn) {
+            std::uint64_t id = 0;
+            bool ok = false;
+            if (binary) {
+              for (;;) {
+                const auto [type, payload] = conn.client.read_frame();
+                if (type == serve::BinaryType::kJson) continue;
+                const auto reply = serve::parse_binary_reply(type, payload);
+                id = reply.id;
+                ok = reply.ok;
+                break;
+              }
+            } else {
+              const auto reply = serve::PredictionClient::parse_reply(
+                  conn.client.read_line());
+              id = std::stoull(reply.id);
+              ok = reply.ok;
+            }
+            const auto sent = conn.sent_at.find(id);
+            if (sent == conn.sent_at.end()) return;
+            if (ok)
+              latencies[t].push_back(
+                  std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - sent->second)
+                      .count());
+            conn.sent_at.erase(sent);
+          };
+          for (auto& conn : conns) send_burst(*conn, pipeline);
+          while (!stop.load(std::memory_order_relaxed))
+            for (auto& conn : conns) {
+              // Block for one reply, drain whatever else the server's
+              // corked flush delivered with it, then refill the window
+              // with one write.
+              read_one(*conn);
+              std::size_t replies = 1;
+              while (replies < pipeline && conn->client.response_buffered()) {
+                read_one(*conn);
+                ++replies;
+              }
+              send_burst(*conn, replies);
+            }
+          // Drain every window so all sent requests are accounted for
+          // before the sockets close.
+          for (auto& conn : conns)
+            while (!conn->sent_at.empty()) read_one(*conn);
+        });
+      }
     }
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
     stop.store(true);
@@ -906,6 +1036,7 @@ int cmd_serve_bench(const ArgList& args) {
                    TextTable::num(result.server_p99_us, 0),
                    std::to_string(result.requests)});
   }
+  idle.clear();
   server.stop();
   table.print(stdout);
 
@@ -915,8 +1046,10 @@ int cmd_serve_bench(const ArgList& args) {
       std::fprintf(stderr, "error: cannot write %s\n", out_path->c_str());
       return 1;
     }
-    out << "{\n  \"description\": \"xferlearn serve-bench: blocking clients"
-           " over loopback TCP against the micro-batching prediction server"
+    out << "{\n  \"description\": \"xferlearn serve-bench: "
+        << (pipeline == 1 ? "blocking request/reply clients"
+                          : "multiplexed pipelined clients")
+        << " over loopback TCP against the event-loop prediction server"
            " (max_batch=" << options.max_batch
         << ", queue_capacity=" << options.queue_capacity
         << "); latencies are per-request round trips in microseconds; "
@@ -925,6 +1058,9 @@ int cmd_serve_bench(const ArgList& args) {
            "estimator)\",\n"
         << "  \"kernel\": \""
         << host.snapshot().predictor->serving_kernel() << "\",\n"
+        << "  \"protocol\": \"" << (binary ? "binary" : "json") << "\",\n"
+        << "  \"pipeline\": " << pipeline << ",\n"
+        << "  \"idle_connections\": " << idle_connections << ",\n"
         << "  \"seconds_per_level\": " << seconds << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const auto& r = results[i];
