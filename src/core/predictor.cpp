@@ -1,13 +1,17 @@
 #include "core/predictor.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
@@ -128,6 +132,60 @@ void TransferPredictor::fit(const logs::LogStore& log) {
                 << obs::kv("edge_models", edge_models_.size())
                 << obs::kv("global_rows", global_dataset.rows())
                 << obs::kv("kernel", serving_kernel());
+}
+
+TransferPredictor TransferPredictor::clone() const {
+  XFL_EXPECTS(fitted_);
+  // The models hold move-only members (unique_ptr ensembles), so the
+  // tested persistence round trip is the copy path; load() recompiles the
+  // flat inference engines, so the clone serves immediately.
+  std::stringstream buffer;
+  buffer.precision(17);
+  save(buffer);
+  return load(buffer);
+}
+
+void TransferPredictor::refit_edge(const logs::EdgeKey& edge,
+                                   std::span<const EdgeSample> samples,
+                                   std::span<const std::uint32_t> weights,
+                                   const ml::GbtConfig& gbt) {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(samples.size() >= 2);
+  XFL_EXPECTS(weights.empty() || weights.size() == samples.size());
+  XFL_EXPECTS(gbt.valid());
+  XFL_SPAN("predictor.refit_edge");
+
+  Model model;
+  // Per-edge feature layout: kFeatureNames minus Nflt (prediction
+  // features only), the order feature_vector() emits.
+  for (const char* name : features::kFeatureNames)
+    if (std::string_view(name) != "Nflt") model.feature_names.emplace_back(name);
+
+  ml::Matrix raw(samples.size(), model.feature_names.size());
+  std::vector<double> y;
+  y.reserve(samples.size());
+  for (std::size_t r = 0; r < samples.size(); ++r) {
+    const EdgeSample& sample = samples[r];
+    XFL_EXPECTS(std::isfinite(sample.observed_mbps) &&
+                sample.observed_mbps > 0.0);
+    const auto row =
+        feature_vector(sample.transfer, sample.load, /*with_capabilities=*/false);
+    XFL_EXPECTS(row.size() == model.feature_names.size());
+    for (std::size_t c = 0; c < row.size(); ++c) raw.at(r, c) = row[c];
+    y.push_back(sample.observed_mbps);
+  }
+
+  const auto x = model.scaler.fit_transform(raw);
+  model.boosted = std::make_unique<ml::GradientBoostedTrees>(gbt);
+  model.boosted->fit(x, y, weights);
+  calibrate_interval(model, x, y);
+  edge_models_[edge] = std::move(model);
+
+  XFL_LOG(info) << "predictor edge refit"
+                << obs::kv("src", edge.src) << obs::kv("dst", edge.dst)
+                << obs::kv("rows", samples.size())
+                << obs::kv("weighted", weights.empty() ? 0 : 1)
+                << obs::kv("trees", gbt.trees);
 }
 
 const char* TransferPredictor::serving_kernel() const {
@@ -421,12 +479,26 @@ TransferPredictor TransferPredictor::load(std::istream& in) {
   return predictor;
 }
 
+namespace {
+/// fsync the file at `path`; returns false on open or sync failure.
+bool sync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+}  // namespace
+
 void TransferPredictor::save_file(const std::string& path) const {
   XFL_EXPECTS(fitted_);
-  // Write-to-temp + atomic rename: readers see the old complete file or
-  // the new complete file, and a failed save leaves any existing model
-  // untouched. The pid suffix keeps concurrent writers from clobbering
-  // each other's temp files.
+  // Write-to-temp + fsync + atomic rename + parent-directory fsync:
+  // readers see the old complete file or the new complete file, a failed
+  // save leaves any existing model untouched, and a crash after return
+  // cannot surface a zero-length temp promoted over a good model (the
+  // rename must not be reordered ahead of the data reaching disk). The
+  // pid suffix keeps concurrent writers from clobbering each other's
+  // temp files.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
   {
@@ -442,11 +514,23 @@ void TransferPredictor::save_file(const std::string& path) const {
           "TransferPredictor::save_file: write failed for " + tmp);
     }
   }
+  if (!sync_file(tmp)) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("TransferPredictor::save_file: cannot fsync " +
+                             tmp);
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw std::runtime_error("TransferPredictor::save_file: cannot rename " +
                              tmp + " to " + path);
   }
+  // Durability of the rename itself: sync the directory entry. "." covers
+  // bare filenames saved into the working directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  if (!sync_file(dir))
+    throw std::runtime_error(
+        "TransferPredictor::save_file: cannot fsync directory " + dir);
 }
 
 TransferPredictor TransferPredictor::load_file(const std::string& path) {

@@ -39,6 +39,17 @@ struct PlannedTransfer {
   std::uint32_t parallelism = 4;
 };
 
+/// One joined prediction/feedback observation from the serve path — the
+/// raw material of a live refit: the planned transfer, the competing
+/// load the caller reported, and the observed average rate. The retrain
+/// subsystem (src/retrain) replays journalled EdgeSamples through
+/// refit_edge() to rebuild a per-edge model from serving ground truth.
+struct EdgeSample {
+  PlannedTransfer transfer;
+  features::ContentionFeatures load;
+  double observed_mbps = 0.0;
+};
+
 /// A rate prediction with an empirical uncertainty band (the 10th and
 /// 90th percentiles of the training-residual ratio applied to the point
 /// estimate). Schedulers can plan against `low_mbps` for deadlines.
@@ -75,6 +86,25 @@ class TransferPredictor {
 
   /// Train from a historical log. May be called again to refit.
   void fit(const logs::LogStore& log);
+
+  /// Deep copy of a fitted predictor via a save()/load() round trip (the
+  /// members are move-only, so persistence is the copy path). Used by the
+  /// retrain worker to build a candidate off the hot path without
+  /// touching the serving instance. Training-only options that do not
+  /// persist (gbt config, seed) reset to defaults in the copy — callers
+  /// that refit the clone pass their own GbtConfig. Requires fit().
+  TransferPredictor clone() const;
+
+  /// Refit (or create) the dedicated model for `edge` from raw serving
+  /// samples. Builds the 15-column per-edge feature matrix, standardises
+  /// it with freshly fitted moments, trains a GBT under `gbt` with the
+  /// optional integer sample `weights` (the retrain worker's quantised
+  /// recency decay; empty = unweighted), and recalibrates the residual
+  /// interval. The global model and other edges are untouched. Requires
+  /// fit() (or load()), samples.size() >= 2, finite observed rates > 0,
+  /// and weights empty or parallel to samples.
+  void refit_edge(const logs::EdgeKey& edge, std::span<const EdgeSample> samples,
+                  std::span<const std::uint32_t> weights, const ml::GbtConfig& gbt);
 
   bool fitted() const { return fitted_; }
 
@@ -136,10 +166,12 @@ class TransferPredictor {
   static TransferPredictor load(std::istream& in);
 
   /// File-based persistence with crash-safe replacement: save_file writes
-  /// to `path + ".tmp.<pid>"` and atomically rename(2)s it into place, so
-  /// a concurrent reader (e.g. the serve hot-reload watcher) sees either
-  /// the old complete file or the new complete file, never a torn write.
-  /// Both throw std::runtime_error on I/O failure.
+  /// to `path + ".tmp.<pid>"`, fsyncs the temp file, atomically
+  /// rename(2)s it into place, then fsyncs the parent directory — so a
+  /// concurrent reader (e.g. the serve hot-reload watcher) sees either
+  /// the old complete file or the new complete file, never a torn write,
+  /// and a power loss right after return cannot roll back to a missing or
+  /// zero-length model. Both throw std::runtime_error on I/O failure.
   void save_file(const std::string& path) const;
   static TransferPredictor load_file(const std::string& path);
 

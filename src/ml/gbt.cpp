@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <memory>
 #include <numeric>
 #include <ostream>
@@ -148,10 +149,11 @@ constexpr std::size_t kMinParallelHistWork = 8192;
 
 GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
     const std::vector<std::vector<std::uint16_t>>& binned,
-    const std::vector<double>& grad, std::vector<std::size_t>& sampled,
-    std::vector<std::size_t>& unsampled, const std::vector<std::size_t>& cols,
-    const std::vector<double>& inv_hess, FitScratch& fit_scratch,
-    ThreadPool* pool, std::vector<std::int32_t>& leaf_of) {
+    const std::vector<double>& grad, std::span<const std::uint32_t> weights,
+    std::vector<std::size_t>& sampled, std::vector<std::size_t>& unsampled,
+    const std::vector<std::size_t>& cols, const std::vector<double>& inv_hess,
+    FitScratch& fit_scratch, ThreadPool* pool,
+    std::vector<std::int32_t>& leaf_of) {
   Tree tree;
   // A depth-d tree has at most 2^(d+1) - 1 nodes.
   tree.nodes.reserve((std::size_t{2} << config_.max_depth) - 1);
@@ -227,11 +229,23 @@ GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
       const double* grads = grad.data();
       double* grad_slice = hist.data() + offset[j];
       std::uint32_t* count_slice = counts.data() + offset[j];
-      for (std::size_t p = task.sampled_begin; p < task.sampled_end; ++p) {
-        const std::size_t r = rows[p];
-        const std::size_t bin = column_bins[r];
-        grad_slice[bin] += grads[r];
-        count_slice[bin] += 1;
+      if (weights.empty()) {
+        for (std::size_t p = task.sampled_begin; p < task.sampled_end; ++p) {
+          const std::size_t r = rows[p];
+          const std::size_t bin = column_bins[r];
+          grad_slice[bin] += grads[r];
+          count_slice[bin] += 1;
+        }
+      } else {
+        // Weighted rows carry their multiplicity into the count (hessian)
+        // histogram; the gradient already folds the weight in.
+        const std::uint32_t* row_weights = weights.data();
+        for (std::size_t p = task.sampled_begin; p < task.sampled_end; ++p) {
+          const std::size_t r = rows[p];
+          const std::size_t bin = column_bins[r];
+          grad_slice[bin] += grads[r];
+          count_slice[bin] += row_weights[r];
+        }
       }
     };
     const std::size_t rows_in_node = task.sampled_end - task.sampled_begin;
@@ -275,12 +289,18 @@ GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
 
   double root_grad = 0.0;
   for (std::size_t p = 0; p < sampled.size(); ++p) root_grad += grad[sampled[p]];
+  std::size_t root_count = sampled.size();
+  if (!weights.empty()) {
+    root_count = 0;
+    for (std::size_t p = 0; p < sampled.size(); ++p)
+      root_count += weights[sampled[p]];
+  }
 
   tree.nodes.push_back({});
-  tree.nodes[0].value = leaf_value(
-      root_grad, static_cast<double>(sampled.size()), config_.lambda);
+  tree.nodes[0].value =
+      leaf_value(root_grad, static_cast<double>(root_count), config_.lambda);
   pending.push_back({0, 0, 0, sampled.size(), 0, unsampled.size(), root_grad,
-                     sampled.size(), {}, {}});
+                     root_count, {}, {}});
 
   std::vector<SplitScan> scans(width);
   while (!pending.empty()) {
@@ -455,8 +475,15 @@ GradientBoostedTrees::Tree GradientBoostedTrees::grow_tree(
 }
 
 void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
+  fit(x, y, {});
+}
+
+void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y,
+                               std::span<const std::uint32_t> weights) {
   XFL_EXPECTS(x.rows() == y.size());
   XFL_EXPECTS(x.rows() >= 2 && x.cols() >= 1);
+  const bool weighted = !weights.empty();
+  XFL_EXPECTS(!weighted || weights.size() == x.rows());
   XFL_SPAN("gbt.fit");
   auto& metrics = fit_metrics();
   const std::uint64_t fit_start_us = obs::monotonic_us();
@@ -488,13 +515,38 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
     if (!edges.empty()) total_bins += edges.size() + 1;
   metrics.bins.set(static_cast<double>(total_bins));
 
-  base_score_ = mean(y);
+  // Total hessian mass: n for the unweighted path, the weight sum when
+  // multiplicities are supplied. Bounded to keep the uint32 count
+  // histograms exact.
+  std::size_t total_weight = n;
+  if (weighted) {
+    total_weight = 0;
+    for (const std::uint32_t w : weights) {
+      XFL_EXPECTS(w >= 1);
+      total_weight += w;
+    }
+    XFL_EXPECTS(total_weight <=
+                std::numeric_limits<std::uint32_t>::max());
+  }
+
+  if (weighted) {
+    double weighted_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      weighted_sum += static_cast<double>(weights[i]) * y[i];
+    base_score_ = weighted_sum / static_cast<double>(total_weight);
+  } else {
+    base_score_ = mean(y);
+  }
   std::vector<double> predictions(n, base_score_);
-  // Squared loss: g_i = prediction - y_i, h_i = 1 (folded into counts).
+  // Squared loss: g_i = prediction - y_i, h_i = 1 (folded into counts);
+  // a row of multiplicity w contributes w * g_i gradient and w hessian.
   // The gradient is kept current by the post-tree scatter, so it is
   // computed directly only once, here.
   std::vector<double> grad(n);
   for (std::size_t i = 0; i < n; ++i) grad[i] = base_score_ - y[i];
+  if (weighted)
+    for (std::size_t i = 0; i < n; ++i)
+      grad[i] *= static_cast<double>(weights[i]);
 
   Rng rng(config_.seed);
   std::vector<std::size_t> all_rows(n);
@@ -502,11 +554,11 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
   std::vector<std::size_t> all_cols(feature_count_);
   std::iota(all_cols.begin(), all_cols.end(), 0);
 
-  // Squared loss makes every hessian sum an exact integer row count in
-  // [0, n], so 1 / (H + lambda) can be tabulated once and split scans run
-  // division-free.
-  std::vector<double> inv_hess(n + 1);
-  for (std::size_t h = 0; h <= n; ++h)
+  // Squared loss makes every hessian sum an exact integer count in
+  // [0, total_weight], so 1 / (H + lambda) can be tabulated once and
+  // split scans run division-free — integer multiplicities preserve this.
+  std::vector<double> inv_hess(total_weight + 1);
+  for (std::size_t h = 0; h <= total_weight; ++h)
     inv_hess[h] = 1.0 / (static_cast<double>(h) + config_.lambda);
 
   std::vector<std::size_t> sampled, unsampled, cols;
@@ -543,16 +595,27 @@ void GradientBoostedTrees::fit(const Matrix& x, std::span<const double> y) {
       cols = all_cols;
     }
 
-    Tree tree = grow_tree(binned, grad, sampled, unsampled, cols, inv_hess,
-                          scratch, pool, leaf_of);
+    Tree tree = grow_tree(binned, grad, weights, sampled, unsampled, cols,
+                          inv_hess, scratch, pool, leaf_of);
     // Update predictions over *all* rows with shrinkage: every row was
     // routed to a leaf during growth, so this is an O(n) scatter rather
     // than n tree traversals. The gradient refresh for the next tree rides
-    // in the same pass.
-    for (std::size_t i = 0; i < n; ++i) {
-      predictions[i] += config_.learning_rate *
-                        tree.nodes[static_cast<std::size_t>(leaf_of[i])].value;
-      grad[i] = predictions[i] - y[i];
+    // in the same pass (re-folding the multiplicity when weighted).
+    if (weighted) {
+      for (std::size_t i = 0; i < n; ++i) {
+        predictions[i] +=
+            config_.learning_rate *
+            tree.nodes[static_cast<std::size_t>(leaf_of[i])].value;
+        grad[i] =
+            (predictions[i] - y[i]) * static_cast<double>(weights[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        predictions[i] +=
+            config_.learning_rate *
+            tree.nodes[static_cast<std::size_t>(leaf_of[i])].value;
+        grad[i] = predictions[i] - y[i];
+      }
     }
     trees_.push_back(std::move(tree));
     metrics.tree_us.record(

@@ -74,6 +74,19 @@ class GradientBoostedTrees {
   /// Fit on (x, y). Requires x.rows() == y.size() >= 2 and x.cols() >= 1.
   void fit(const Matrix& x, std::span<const double> y);
 
+  /// Weighted fit: `weights[i]` is an integer multiplicity — row i counts
+  /// exactly as if it appeared weights[i] times (with subsample == 1 and
+  /// colsample == 1 the result is bit-identical to fitting the replicated
+  /// dataset). Integer weights keep the squared-loss hessian sums exact
+  /// integer counts, so the division-free reciprocal-table split scan is
+  /// preserved; `min_child_weight` then bounds the weighted mass per
+  /// child. An empty span means all-ones and is bit-identical to the
+  /// unweighted overload. Requires weights.size() == x.rows() and every
+  /// weight >= 1. The recency-weighted serve-path refit (src/retrain)
+  /// quantises its decay into these multiplicities.
+  void fit(const Matrix& x, std::span<const double> y,
+           std::span<const std::uint32_t> weights);
+
   /// Predict one sample (width must match the fitted data). Served by the
   /// compiled FlatEnsemble; bit-identical to predict_nodewalk().
   double predict(std::span<const double> features) const;
@@ -151,9 +164,11 @@ class GradientBoostedTrees {
     std::vector<std::size_t> offset;
   };
   /// `inv_hess[h]` must hold 1 / (h + lambda) for every integer hessian sum
-  /// h in [0, n].
+  /// h in [0, total weight]. `weights` is empty (all rows weigh 1) or one
+  /// integer multiplicity per row; histogram counts accumulate it.
   Tree grow_tree(const std::vector<std::vector<std::uint16_t>>& binned,
                  const std::vector<double>& grad,
+                 std::span<const std::uint32_t> weights,
                  std::vector<std::size_t>& sampled,
                  std::vector<std::size_t>& unsampled,
                  const std::vector<std::size_t>& cols,

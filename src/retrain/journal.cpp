@@ -1,0 +1,423 @@
+#include "retrain/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace xfl::retrain {
+namespace {
+
+// One metrics resolution per process; appends then write lock-free.
+struct JournalMetrics {
+  obs::Counter& appended = obs::counter("retrain.journal.appended");
+  obs::Counter& rotations = obs::counter("retrain.journal.rotations");
+  obs::Gauge& segments = obs::gauge("retrain.journal.segments");
+  obs::Gauge& bytes = obs::gauge("retrain.journal.bytes");
+};
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics metrics;
+  return metrics;
+}
+
+constexpr std::string_view kMagic = "xflj1";
+constexpr std::string_view kSegmentSuffix = ".xflj";
+constexpr std::string_view kSegmentPrefix = "segment-";
+/// Magic + 22 data fields + checksum.
+constexpr std::size_t kTokens = 24;
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "segment-%08" PRIu64 ".xflj", seq);
+  return name;
+}
+
+/// Parse "segment-NNNNNNNN.xflj" back to its sequence number.
+std::optional<std::uint64_t> parse_segment_name(std::string_view name) {
+  if (!name.starts_with(kSegmentPrefix) || !name.ends_with(kSegmentSuffix))
+    return std::nullopt;
+  const std::string_view digits = name.substr(
+      kSegmentPrefix.size(),
+      name.size() - kSegmentPrefix.size() - kSegmentSuffix.size());
+  if (digits.empty() || digits.size() > 20) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out.push_back(' ');
+  out += std::to_string(v);
+}
+
+void append_double(std::string& out, double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, " %.17g", v);
+  out += buffer;
+}
+
+/// Whitespace-split `text` into at most `kTokens` + 1 tokens (the extra
+/// slot catches trailing junk). Returns the token count.
+std::size_t tokenize(std::string_view text,
+                     std::array<std::string_view, kTokens + 1>& tokens) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && text[i] == ' ') ++i;
+    if (i >= text.size()) break;
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != ' ') ++i;
+    if (count > kTokens) return count;  // Already too many; bail.
+    tokens[count++] = text.substr(start, i - start);
+  }
+  return count;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 20) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+      return false;
+    value = value * 10 + digit;
+  }
+  out = value;
+  return true;
+}
+
+bool parse_u32(std::string_view token, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(token, wide) ||
+      wide > std::numeric_limits<std::uint32_t>::max())
+    return false;
+  out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+bool parse_double(std::string_view token, double& out) {
+  if (token.empty() || token.size() >= 40) return false;
+  char buffer[40];
+  std::memcpy(buffer, token.data(), token.size());
+  buffer[token.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buffer, &end);
+  if (end != buffer + token.size() || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+bool parse_hex64(std::string_view token, std::uint64_t& out) {
+  if (token.empty() || token.size() > 16) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9')
+      digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return false;
+    value = (value << 4) | digit;
+  }
+  out = value;
+  return true;
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string encode_record(const JournalRecord& record) {
+  std::string line{kMagic};
+  append_u64(line, record.trace_id);
+  append_u64(line, record.timestamp_ms);
+  append_u64(line, record.model_version);
+  append_u64(line, record.transfer.src);
+  append_u64(line, record.transfer.dst);
+  append_double(line, record.transfer.bytes);
+  append_u64(line, record.transfer.files);
+  append_u64(line, record.transfer.dirs);
+  append_u64(line, record.transfer.concurrency);
+  append_u64(line, record.transfer.parallelism);
+  append_double(line, record.load.k_sout);
+  append_double(line, record.load.k_sin);
+  append_double(line, record.load.k_dout);
+  append_double(line, record.load.k_din);
+  append_double(line, record.load.g_src);
+  append_double(line, record.load.g_dst);
+  append_double(line, record.load.s_sout);
+  append_double(line, record.load.s_sin);
+  append_double(line, record.load.s_dout);
+  append_double(line, record.load.s_din);
+  append_double(line, record.predicted_mbps);
+  append_double(line, record.observed_mbps);
+  char checksum[24];
+  std::snprintf(checksum, sizeof checksum, " %016" PRIx64, fnv1a64(line));
+  line += checksum;
+  return line;
+}
+
+std::optional<JournalRecord> decode_record(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.remove_suffix(1);
+  std::array<std::string_view, kTokens + 1> tokens;
+  if (tokenize(line, tokens) != kTokens) return std::nullopt;
+  if (tokens[0] != kMagic) return std::nullopt;
+
+  // The checksum covers the line through the last data token — exactly
+  // what encode_record hashed before appending " <hex>".
+  std::uint64_t stored = 0;
+  if (!parse_hex64(tokens[kTokens - 1], stored)) return std::nullopt;
+  const char* hashed_end = tokens[kTokens - 2].data() + tokens[kTokens - 2].size();
+  const std::string_view hashed(line.data(),
+                                static_cast<std::size_t>(hashed_end - line.data()));
+  if (fnv1a64(hashed) != stored) return std::nullopt;
+
+  JournalRecord record;
+  std::uint64_t conc = 0;
+  std::uint64_t par = 0;
+  if (!parse_u64(tokens[1], record.trace_id) ||
+      !parse_u64(tokens[2], record.timestamp_ms) ||
+      !parse_u64(tokens[3], record.model_version) ||
+      !parse_u32(tokens[4], record.transfer.src) ||
+      !parse_u32(tokens[5], record.transfer.dst) ||
+      !parse_double(tokens[6], record.transfer.bytes) ||
+      !parse_u64(tokens[7], record.transfer.files) ||
+      !parse_u64(tokens[8], record.transfer.dirs) ||
+      !parse_u64(tokens[9], conc) || !parse_u64(tokens[10], par) ||
+      !parse_double(tokens[11], record.load.k_sout) ||
+      !parse_double(tokens[12], record.load.k_sin) ||
+      !parse_double(tokens[13], record.load.k_dout) ||
+      !parse_double(tokens[14], record.load.k_din) ||
+      !parse_double(tokens[15], record.load.g_src) ||
+      !parse_double(tokens[16], record.load.g_dst) ||
+      !parse_double(tokens[17], record.load.s_sout) ||
+      !parse_double(tokens[18], record.load.s_sin) ||
+      !parse_double(tokens[19], record.load.s_dout) ||
+      !parse_double(tokens[20], record.load.s_din) ||
+      !parse_double(tokens[21], record.predicted_mbps) ||
+      !parse_double(tokens[22], record.observed_mbps))
+    return std::nullopt;
+  if (conc > std::numeric_limits<std::uint32_t>::max() ||
+      par > std::numeric_limits<std::uint32_t>::max())
+    return std::nullopt;
+  record.transfer.concurrency = static_cast<std::uint32_t>(conc);
+  record.transfer.parallelism = static_cast<std::uint32_t>(par);
+  return record;
+}
+
+TrainingJournal::TrainingJournal(Options options)
+    : options_(std::move(options)) {
+  XFL_EXPECTS(!options_.directory.empty());
+  XFL_EXPECTS(options_.max_segment_bytes > 0);
+  XFL_EXPECTS(options_.max_segments >= 1);
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec)
+    throw std::runtime_error("TrainingJournal: cannot create '" +
+                             options_.directory + "': " + ec.message());
+
+  // Resume: adopt existing segments in sequence order and append to the
+  // newest (a restart continues the journal, it does not reset it).
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (const auto seq = parse_segment_name(entry.path().filename().string()))
+      segments_.push_back(*seq);
+  }
+  std::sort(segments_.begin(), segments_.end());
+  if (segments_.empty()) {
+    segments_.push_back(1);
+  } else {
+    const std::uintmax_t size = std::filesystem::file_size(
+        std::filesystem::path(options_.directory) /
+            segment_name(segments_.back()),
+        ec);
+    active_bytes_ = ec ? 0 : static_cast<std::size_t>(size);
+  }
+  active_seq_ = segments_.back();
+  std::lock_guard lock(mutex_);
+  open_active_locked();
+  journal_metrics().segments.set(static_cast<double>(segments_.size()));
+}
+
+TrainingJournal::~TrainingJournal() {
+  std::lock_guard lock(mutex_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TrainingJournal::open_active_locked() {
+  const std::string path = (std::filesystem::path(options_.directory) /
+                            segment_name(active_seq_))
+                               .string();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw std::runtime_error("TrainingJournal: cannot open '" + path +
+                             "': " + std::strerror(errno));
+}
+
+void TrainingJournal::sync_active_locked() {
+  if (fd_ >= 0) ::fsync(fd_);
+  since_sync_ = 0;
+}
+
+void TrainingJournal::rotate_locked() {
+  sync_active_locked();
+  ::close(fd_);
+  fd_ = -1;
+  ++active_seq_;
+  segments_.push_back(active_seq_);
+  active_bytes_ = 0;
+  open_active_locked();
+  journal_metrics().rotations.add(1);
+
+  // Bounded retention: drop the oldest segments beyond the cap. An
+  // unlink failure only delays reclamation, so it is logged, not fatal.
+  while (segments_.size() > options_.max_segments) {
+    const std::string victim = (std::filesystem::path(options_.directory) /
+                                segment_name(segments_.front()))
+                                   .string();
+    if (::unlink(victim.c_str()) != 0 && errno != ENOENT)
+      XFL_LOG(warn) << "training journal retention unlink failed"
+                    << obs::kv("path", victim)
+                    << obs::kv("errno", std::strerror(errno));
+    segments_.erase(segments_.begin());
+  }
+  journal_metrics().segments.set(static_cast<double>(segments_.size()));
+  XFL_LOG(debug) << "training journal rotated"
+                 << obs::kv("segment", active_seq_)
+                 << obs::kv("segments", segments_.size());
+}
+
+void TrainingJournal::append(const JournalRecord& record) {
+  std::string line;
+  if (record.timestamp_ms == 0) {
+    JournalRecord stamped = record;
+    stamped.timestamp_ms = now_ms();
+    line = encode_record(stamped);
+  } else {
+    line = encode_record(record);
+  }
+  line.push_back('\n');
+
+  std::lock_guard lock(mutex_);
+  XFL_EXPECTS(fd_ >= 0);
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("TrainingJournal: write: ") +
+                               std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  active_bytes_ += line.size();
+  ++appended_;
+  ++since_sync_;
+  journal_metrics().appended.add(1);
+  journal_metrics().bytes.set(static_cast<double>(active_bytes_));
+  if (options_.fsync_every > 0 && since_sync_ >= options_.fsync_every)
+    sync_active_locked();
+  if (active_bytes_ >= options_.max_segment_bytes) rotate_locked();
+}
+
+void TrainingJournal::flush() {
+  std::lock_guard lock(mutex_);
+  sync_active_locked();
+}
+
+std::uint64_t TrainingJournal::appended() const {
+  std::lock_guard lock(mutex_);
+  return appended_;
+}
+
+std::size_t TrainingJournal::segment_count() const {
+  std::lock_guard lock(mutex_);
+  return segments_.size();
+}
+
+TrainingJournal::LoadResult TrainingJournal::load(const std::string& directory,
+                                                  std::size_t max_records) {
+  LoadResult result;
+  std::error_code ec;
+  std::vector<std::uint64_t> sequence;
+  for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (const auto seq = parse_segment_name(entry.path().filename().string()))
+      sequence.push_back(*seq);
+  }
+  std::sort(sequence.begin(), sequence.end());
+
+  for (const std::uint64_t seq : sequence) {
+    const std::string path =
+        (std::filesystem::path(directory) / segment_name(seq)).string();
+    std::ifstream in(path);
+    if (!in) {
+      // Unreadable segment: evidence lost, refit continues on the rest.
+      XFL_LOG(warn) << "training journal segment unreadable"
+                    << obs::kv("path", path);
+      continue;
+    }
+    ++result.segments_read;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (auto record = decode_record(line))
+        result.records.push_back(*record);
+      else
+        ++result.lines_skipped;
+    }
+  }
+
+  if (max_records > 0 && result.records.size() > max_records)
+    result.records.erase(result.records.begin(),
+                         result.records.end() -
+                             static_cast<std::ptrdiff_t>(max_records));
+  return result;
+}
+
+}  // namespace xfl::retrain

@@ -285,4 +285,19 @@ JsonValue PredictionClient::stats(bool registry) {
   }
 }
 
+JsonValue PredictionClient::retrain_status() {
+  const std::string id = std::to_string(next_id_++);
+  std::string line = "{\"cmd\":\"retrain-status\",\"id\":";
+  append_json_string(line, id);
+  line += "}";
+  send_document(line);
+  for (;;) {
+    const JsonValue root = parse_json(read_document());
+    const JsonValue* reply_id = root.find("id");
+    if (reply_id != nullptr && reply_id->is_string() &&
+        reply_id->string == id)
+      return root;
+  }
+}
+
 }  // namespace xfl::serve

@@ -81,6 +81,10 @@ class PredictionClient {
   /// metrics-registry snapshot under "metrics".
   JsonValue stats(bool registry = false);
 
+  /// Raw parsed "retrain-status" reply: the background refit worker's
+  /// status under "retrain" ({"enabled":false} when none is attached).
+  JsonValue retrain_status();
+
   /// Switch this connection to binary framing (sends the magic, blocks
   /// for the server's ack). Irreversible; throws if the server does not
   /// ack or if un-consumed pipelined replies are still buffered.

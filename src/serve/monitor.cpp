@@ -16,6 +16,7 @@ struct MonitorMetrics {
   obs::Counter& feedback = obs::counter("serve.feedback.count");
   obs::Counter& unmatched = obs::counter("serve.feedback.unmatched");
   obs::Counter& alarms = obs::counter("serve.drift.alarms");
+  obs::Counter& cleared = obs::counter("serve.drift.cleared");
   obs::Gauge& alarm = obs::gauge("serve.drift.alarm");
   obs::Gauge& mdape = obs::gauge("serve.drift.mdape_pct");
   obs::Gauge& journal = obs::gauge("serve.monitor.journal_size");
@@ -35,13 +36,20 @@ ServeMonitor::ServeMonitor(Options options) : options_(options) {
               options_.drift_min_samples >= 1);
 }
 
+void ServeMonitor::set_alarm_hook(AlarmHook hook) {
+  std::lock_guard lock(mutex_);
+  alarm_hook_ = std::move(hook);
+}
+
 void ServeMonitor::record_prediction(std::uint64_t trace_id,
                                      double rate_mbps,
-                                     std::uint64_t model_version) {
+                                     std::uint64_t model_version,
+                                     const core::PlannedTransfer& transfer,
+                                     const features::ContentionFeatures& load) {
   std::lock_guard lock(mutex_);
   windows_[model_version].predictions += 1;
   auto [it, inserted] = journal_.try_emplace(
-      trace_id, Pending{rate_mbps, model_version});
+      trace_id, Pending{rate_mbps, model_version, transfer, load});
   if (!inserted) return;  // Trace ids are unique; be defensive anyway.
   journal_order_.push_back(trace_id);
   while (journal_.size() > options_.journal_capacity) {
@@ -56,53 +64,73 @@ ServeMonitor::FeedbackResult ServeMonitor::record_feedback(
   auto& metrics = monitor_metrics();
   metrics.feedback.add(1);
   FeedbackResult result;
-  std::lock_guard lock(mutex_);
-  const auto it = journal_.find(trace_id);
-  if (it == journal_.end() || !(observed_mbps > 0.0) ||
-      !std::isfinite(observed_mbps)) {
-    metrics.unmatched.add(1);
-    return result;
+  int edge = 0;
+  AlarmHook hook;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = journal_.find(trace_id);
+    if (it == journal_.end() || !(observed_mbps > 0.0) ||
+        !std::isfinite(observed_mbps)) {
+      metrics.unmatched.add(1);
+      return result;
+    }
+    const Pending pending = it->second;
+    journal_.erase(it);  // One feedback per prediction; frees journal space.
+
+    result.matched = true;
+    result.predicted_mbps = pending.rate_mbps;
+    result.model_version = pending.model_version;
+    result.transfer = pending.transfer;
+    result.load = pending.load;
+    // The paper's APE: error relative to the observed (actual) rate.
+    result.ape_pct =
+        std::abs(observed_mbps - pending.rate_mbps) / observed_mbps * 100.0;
+
+    Window& window = windows_[pending.model_version];
+    window.feedback += 1;
+    window.apes.push_back(result.ape_pct);
+    while (window.apes.size() > options_.drift_window) window.apes.pop_front();
+    edge = refresh_window(pending.model_version, window);
+
+    result.mdape_pct = window.mdape_pct;
+    result.window_count = window.apes.size();
+    result.alarm = window.alarm;
+    if (edge != 0) hook = alarm_hook_;  // Copied so it runs unlocked.
   }
-  const Pending pending = it->second;
-  journal_.erase(it);  // One feedback per prediction; frees journal space.
-
-  result.matched = true;
-  result.predicted_mbps = pending.rate_mbps;
-  result.model_version = pending.model_version;
-  // The paper's APE: error relative to the observed (actual) rate.
-  result.ape_pct =
-      std::abs(observed_mbps - pending.rate_mbps) / observed_mbps * 100.0;
-
-  Window& window = windows_[pending.model_version];
-  window.feedback += 1;
-  window.apes.push_back(result.ape_pct);
-  while (window.apes.size() > options_.drift_window) window.apes.pop_front();
-  refresh_window(pending.model_version, window);
-
-  result.mdape_pct = window.mdape_pct;
-  result.window_count = window.apes.size();
-  result.alarm = window.alarm;
+  if (edge != 0 && hook)
+    hook(result.model_version, result.mdape_pct, edge > 0);
   return result;
 }
 
-void ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
+int ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
   const std::vector<double> apes(window.apes.begin(), window.apes.end());
   window.mdape_pct = apes.empty() ? 0.0 : percentile(apes, 50.0);
 
   const bool breach = window.apes.size() >= options_.drift_min_samples &&
                       window.mdape_pct > options_.drift_threshold_pct;
   auto& metrics = monitor_metrics();
+  int edge = 0;
   if (breach && !window.alarm) {
+    edge = 1;
     metrics.alarms.add(1);
     XFL_LOG(warn) << "prediction drift alarm raised"
+                  << obs::kv("event", "drift.raised")
                   << obs::kv("model_version", version)
                   << obs::kv("mdape_pct", window.mdape_pct)
                   << obs::kv("threshold_pct", options_.drift_threshold_pct)
                   << obs::kv("window", window.apes.size());
   } else if (!breach && window.alarm) {
+    // The falling edge is a first-class structured event (not just a
+    // gauge flip): it carries the recovering MdAPE so log pipelines can
+    // close the incident the rising edge opened.
+    edge = -1;
+    metrics.cleared.add(1);
     XFL_LOG(info) << "prediction drift alarm cleared"
+                  << obs::kv("event", "drift.cleared")
                   << obs::kv("model_version", version)
-                  << obs::kv("mdape_pct", window.mdape_pct);
+                  << obs::kv("recovered_mdape_pct", window.mdape_pct)
+                  << obs::kv("threshold_pct", options_.drift_threshold_pct)
+                  << obs::kv("window", window.apes.size());
   }
   window.alarm = breach;
 
@@ -110,6 +138,7 @@ void ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
   bool any_alarm = false;
   for (const auto& [v, w] : windows_) any_alarm = any_alarm || w.alarm;
   metrics.alarm.set(any_alarm ? 1.0 : 0.0);
+  return edge;
 }
 
 std::map<std::uint64_t, ServeMonitor::VersionStats>

@@ -21,9 +21,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <unordered_map>
+
+#include "core/predictor.hpp"
+#include "features/contention.hpp"
 
 namespace xfl::serve {
 
@@ -40,7 +44,10 @@ class ServeMonitor {
     std::size_t drift_min_samples = 16;
   };
 
-  /// Result of joining one feedback record, echoed in the response.
+  /// Result of joining one feedback record, echoed in the response. A
+  /// matched join also returns the prediction's captured request features
+  /// (transfer + expected load), so the caller can journal the complete
+  /// observation — the training record the retrain subsystem refits from.
   struct FeedbackResult {
     bool matched = false;       ///< Trace id was in the journal.
     double ape_pct = 0.0;       ///< |observed - predicted| / observed * 100.
@@ -49,7 +56,19 @@ class ServeMonitor {
     double mdape_pct = 0.0;     ///< Windowed MdAPE for that version.
     std::size_t window_count = 0;
     bool alarm = false;         ///< Alarm state for that version after join.
+    core::PlannedTransfer transfer;       ///< Matched joins only.
+    features::ContentionFeatures load;    ///< Matched joins only.
   };
+
+  /// Alarm edge callback: raised == true on the rising edge, false on the
+  /// falling edge, with the window's MdAPE at the flip. Invoked from
+  /// record_feedback AFTER the monitor mutex is released (monitor entry
+  /// points may be called back into), on the thread that reported the
+  /// feedback — keep it cheap and non-blocking (the retrain worker's hook
+  /// just nudges a condition variable).
+  using AlarmHook =
+      std::function<void(std::uint64_t model_version, double mdape_pct,
+                         bool raised)>;
 
   /// Per-model-version aggregate for the `stats` admin command.
   struct VersionStats {
@@ -65,9 +84,14 @@ class ServeMonitor {
 
   const Options& options() const { return options_; }
 
-  /// Journal one answered prediction (batch-worker callback path).
+  /// Journal one answered prediction (batch-worker callback path). The
+  /// transfer and expected load ride along so a later matched feedback
+  /// join can hand the caller the full observation; omitting them keeps
+  /// the old accuracy-only behaviour.
   void record_prediction(std::uint64_t trace_id, double rate_mbps,
-                         std::uint64_t model_version);
+                         std::uint64_t model_version,
+                         const core::PlannedTransfer& transfer = {},
+                         const features::ContentionFeatures& load = {});
 
   /// Join an observed rate to its prediction. Unknown trace ids (evicted,
   /// duplicate, or bogus) return matched=false and change no window.
@@ -82,10 +106,16 @@ class ServeMonitor {
 
   std::size_t journal_size() const;
 
+  /// Install the alarm edge callback (see AlarmHook). Install before
+  /// traffic flows; replacing it mid-flight is racy by design.
+  void set_alarm_hook(AlarmHook hook);
+
  private:
   struct Pending {
     double rate_mbps = 0.0;
     std::uint64_t model_version = 0;
+    core::PlannedTransfer transfer;
+    features::ContentionFeatures load;
   };
   struct Window {
     std::uint64_t predictions = 0;
@@ -96,13 +126,16 @@ class ServeMonitor {
   };
 
   /// Recompute the windowed MdAPE and alarm edge. Caller holds mutex_.
-  void refresh_window(std::uint64_t version, Window& window);
+  /// Returns +1 on a rising edge, -1 on a falling edge, 0 otherwise, so
+  /// record_feedback can fire the hook after releasing the mutex.
+  int refresh_window(std::uint64_t version, Window& window);
 
   Options options_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Pending> journal_;
   std::deque<std::uint64_t> journal_order_;  ///< FIFO eviction order.
   std::map<std::uint64_t, Window> windows_;  ///< Keyed by model version.
+  AlarmHook alarm_hook_;  ///< Fired outside mutex_; set before traffic.
 };
 
 }  // namespace xfl::serve

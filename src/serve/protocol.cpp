@@ -98,7 +98,7 @@ Frame parse_admin(const JsonValue& root, std::string id) {
     reject("unknown field '" + key + "'");
   }
   if (frame.admin.cmd != "ping" && frame.admin.cmd != "stats" &&
-      frame.admin.cmd != "reload")
+      frame.admin.cmd != "reload" && frame.admin.cmd != "retrain-status")
     reject("unknown cmd '" + frame.admin.cmd + "'");
   if (!frame.admin.path.empty() && frame.admin.cmd != "reload")
     reject("'path' is only valid with cmd 'reload'");
@@ -347,6 +347,17 @@ std::string pong_response(const std::string& id, std::uint64_t model_version) {
   append_field(out, "ok", "true");
   append_field(out, "pong", "true");
   append_field(out, "version", std::to_string(model_version));
+  out += "}\n";
+  return out;
+}
+
+std::string retrain_status_response(const std::string& id,
+                                    const std::string& retrain_json) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "retrain",
+               retrain_json.empty() ? "{\"enabled\":false}" : retrain_json);
   out += "}\n";
   return out;
 }

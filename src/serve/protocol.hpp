@@ -27,9 +27,10 @@
 //   feedback: {"id":ID, "feedback":"t17", "observed_mbps":X}
 //             (reports the observed average rate of a completed transfer
 //              back to the prediction it was scheduled on, by trace id)
-//   admin:    {"cmd":"ping"|"stats"|"reload", ["id":ID], ["path":"m.txt"],
-//              ["registry":true]}   (registry: stats embeds the full
-//              metrics-registry snapshot under "metrics")
+//   admin:    {"cmd":"ping"|"stats"|"reload"|"retrain-status", ["id":ID],
+//              ["path":"m.txt"], ["registry":true]}   (registry: stats
+//              embeds the full metrics-registry snapshot under "metrics";
+//              retrain-status reports the background refit worker)
 //
 // Response frames always carry "ok". Success echoes the request id;
 // failures carry a machine-readable "error" code (kErr* below) plus a
@@ -88,7 +89,7 @@ struct PredictRequest {
 
 struct AdminRequest {
   std::string id;
-  std::string cmd;   ///< "ping", "stats", or "reload".
+  std::string cmd;   ///< "ping", "stats", "reload", or "retrain-status".
   std::string path;  ///< reload only; empty = server's configured path.
   bool registry = false;  ///< stats only; embed the metrics registry.
 };
@@ -190,6 +191,11 @@ std::string feedback_response(const std::string& id,
 std::string pong_response(const std::string& id, std::uint64_t model_version);
 std::string reload_response(const std::string& id,
                             std::uint64_t model_version);
+/// `retrain_json` is the retrain worker's status object (already
+/// serialised); empty means no retrain service is attached and the reply
+/// reports {"enabled":false}.
+std::string retrain_status_response(const std::string& id,
+                                    const std::string& retrain_json);
 std::string stats_response(const std::string& id, const StatsReport& report);
 
 // ------------------------------------------------------------ binary codec

@@ -571,8 +571,9 @@ void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
   conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   // `this` outlives every callback: stop() drains the batcher before the
   // server (and its monitor) is torn down.
-  item.done = [this, conn, id, wire_id, packed, wrap, trace_id,
-               received_us](const PredictOutcome& outcome) {
+  item.done = [this, conn, id, wire_id, packed, wrap, trace_id, received_us,
+               transfer = frame.predict.transfer,
+               load = frame.predict.load](const PredictOutcome& outcome) {
     auto& m = server_metrics();
     const std::uint64_t server_us = obs::monotonic_us() - received_us;
     m.server_time.record(static_cast<double>(server_us));
@@ -581,7 +582,7 @@ void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
     if (outcome.ok) {
       m.ok.add(1);
       monitor_.record_prediction(trace_id, outcome.rate_mbps,
-                                 outcome.model_version);
+                                 outcome.model_version, transfer, load);
       response = packed
                      ? binary_predict_response(wire_id, outcome.rate_mbps,
                                                outcome.edge_model,
@@ -668,6 +669,8 @@ void PredictionServer::handle_feedback(
   // cheaper than a predict — no reason to batch it.
   const ServeMonitor::FeedbackResult result =
       monitor_.record_feedback(feedback.trace_id, feedback.observed_mbps);
+  if (result.matched && feedback_hook_)
+    feedback_hook_(result, feedback.trace_id, feedback.observed_mbps);
   send_response(conn, feedback_response(
                           feedback.id, trace_id_string(feedback.trace_id),
                           result));
@@ -711,6 +714,15 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
     if (admin.registry)
       report.registry_json = obs::Registry::instance().to_json();
     send_response(conn, stats_response(admin.id, report));
+    return;
+  }
+  if (admin.cmd == "retrain-status") {
+    // The provider is one status-struct snapshot under a worker mutex —
+    // cheap enough to answer inline like stats.
+    send_response(conn, retrain_status_response(
+                            admin.id,
+                            retrain_status_ ? retrain_status_()
+                                            : std::string()));
     return;
   }
   // reload: runs on a short-lived thread of its own — a multi-second

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -88,6 +89,25 @@ class PredictionServer {
     return conn_count_.load(std::memory_order_relaxed);
   }
 
+  /// Invoked on the poll thread after every MATCHED feedback join, with
+  /// the join result (which carries the captured transfer + load), the
+  /// trace id, and the observed rate — the hook the retrain subsystem
+  /// journals training records through. Install before start(); keep it
+  /// cheap (one buffered journal append), it runs on the event loop.
+  using FeedbackHook =
+      std::function<void(const ServeMonitor::FeedbackResult& result,
+                         std::uint64_t trace_id, double observed_mbps)>;
+  void set_feedback_hook(FeedbackHook hook) {
+    feedback_hook_ = std::move(hook);
+  }
+
+  /// Supplies the JSON object spliced into `retrain-status` admin
+  /// replies (the retrain worker's status_json()). Install before
+  /// start(); unset means the command reports {"enabled":false}.
+  void set_retrain_status_provider(std::function<std::string()> provider) {
+    retrain_status_ = std::move(provider);
+  }
+
  private:
   struct Connection;
   struct Cork;
@@ -143,6 +163,9 @@ class PredictionServer {
   Options options_;
   MicroBatcher batcher_;
   ServeMonitor monitor_;
+  /// Both set before start() (no synchronisation of their own).
+  FeedbackHook feedback_hook_;
+  std::function<std::string()> retrain_status_;
   /// Trace ids are per-server-instance, dense from 1; id 0 is reserved
   /// so "t0" can never match a journalled prediction.
   std::atomic<std::uint64_t> next_trace_{1};

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
@@ -269,6 +271,108 @@ TEST(Gbt, EmptyImportanceBlockYieldsEmptyImportances) {
   const auto model = GradientBoostedTrees::load(stripped);
   ASSERT_TRUE(model.fitted());
   EXPECT_TRUE(model.feature_importance().empty());
+}
+
+// ------------------------------------------------------- weighted fitting
+// Integer multiplicity weights (the retrain worker's quantised recency
+// decay). The invariant the weighted path must preserve: hessian sums
+// stay exact integer counts, so the division-free split scan is intact.
+
+TEST(Gbt, AllOnesWeightsMatchUnweightedBitForBit) {
+  const auto data = make_nonlinear(500, 21);
+  GbtConfig config;
+  config.trees = 50;
+  GradientBoostedTrees unweighted(config);
+  unweighted.fit(data.x, data.y);
+  GradientBoostedTrees weighted(config);
+  const std::vector<std::uint32_t> ones(data.y.size(), 1);
+  weighted.fit(data.x, data.y, ones);
+  // All-ones weights walk the identical unweighted code values (same
+  // histograms, same gradients, same leaves): EXPECT_EQ, not NEAR.
+  const auto a = unweighted.predict(data.x);
+  const auto b = weighted.predict(data.x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Gbt, WeightedFitApproximatesRowReplication) {
+  // Weight w on a row must act like w copies of that row. The histogram
+  // counts and split structure agree exactly; only the floating-point
+  // accumulation order differs (w*g in one multiply vs w additions), so
+  // the comparison is NEAR, not EQ.
+  const auto base = make_nonlinear(240, 22);
+  std::vector<std::uint32_t> weights(base.y.size());
+  for (std::size_t i = 0; i < weights.size(); ++i)
+    weights[i] = static_cast<std::uint32_t>(1 + i % 4);
+
+  std::size_t total = 0;
+  for (const auto w : weights) total += w;
+  Synthetic replicated;
+  replicated.x = Matrix(total, base.x.cols());
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < base.y.size(); ++i) {
+    for (std::uint32_t copy = 0; copy < weights[i]; ++copy, ++row) {
+      for (std::size_t c = 0; c < base.x.cols(); ++c)
+        replicated.x.at(row, c) = base.x.at(i, c);
+      replicated.y.push_back(base.y[i]);
+    }
+  }
+
+  GbtConfig config;
+  config.trees = 40;
+  config.subsample = 1.0;  // Row sampling permutes differently across the
+  config.colsample = 1.0;  // two row counts; disable it for the claim.
+  GradientBoostedTrees weighted(config);
+  weighted.fit(base.x, base.y, weights);
+  GradientBoostedTrees cloned(config);
+  cloned.fit(replicated.x, replicated.y);
+
+  const auto wp = weighted.predict(base.x);
+  for (std::size_t i = 0; i < base.y.size(); ++i)
+    EXPECT_NEAR(wp[i], cloned.predict(base.x.row(i)),
+                1e-6 * (1.0 + std::abs(wp[i])));
+}
+
+TEST(Gbt, WeightsPullTheFitTowardHeavyRows) {
+  // Two clusters with conflicting targets at the same x: the fitted value
+  // lands at the weighted mean, so up-weighting one side must move
+  // predictions toward it.
+  constexpr std::size_t kN = 200;
+  Synthetic data;
+  data.x = Matrix(kN, 1);
+  data.y.resize(kN);
+  std::vector<std::uint32_t> weights(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    data.x.at(i, 0) = 1.0;
+    const bool heavy = i % 2 == 0;
+    data.y[i] = heavy ? 10.0 : 2.0;
+    weights[i] = heavy ? 9 : 1;
+  }
+  GbtConfig config;
+  config.trees = 30;
+  config.subsample = 1.0;
+  GradientBoostedTrees model(config);
+  model.fit(data.x, data.y, weights);
+  const double prediction = model.predict(std::vector<double>{1.0});
+  // Weighted mean is (9*10 + 1*2)/10 = 9.2; unweighted would sit at 6.
+  EXPECT_NEAR(prediction, 9.2, 0.2);
+  EXPECT_GT(prediction, 8.0);
+}
+
+TEST(Gbt, WeightedFitContractViolations) {
+  const auto data = make_nonlinear(50, 23);
+  GbtConfig config;
+  config.trees = 5;
+  {
+    GradientBoostedTrees model(config);
+    const std::vector<std::uint32_t> short_weights(data.y.size() - 1, 1);
+    EXPECT_THROW(model.fit(data.x, data.y, short_weights), ContractViolation);
+  }
+  {
+    GradientBoostedTrees model(config);
+    std::vector<std::uint32_t> zero(data.y.size(), 1);
+    zero[7] = 0;  // A zero weight silently dropping a row is a caller bug.
+    EXPECT_THROW(model.fit(data.x, data.y, zero), ContractViolation);
+  }
 }
 
 // Hyperparameter sweep: fits remain sane across depths and subsampling.

@@ -2,6 +2,9 @@
 
 #include <unistd.h>
 
+#include <cmath>
+#include <cstdint>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -227,6 +230,104 @@ TEST(Predictor, SaveFileUnwritableDirectoryThrowsAndLeavesNoTemp) {
   predictor.fit(shared_log());
   EXPECT_THROW(predictor.save_file("/nonexistent/dir/model.txt"),
                std::runtime_error);
+}
+
+TEST(Predictor, SaveFileWithBareFilenameSyncsCwdParent) {
+  // A path with no directory component must fsync "." (the cwd), not
+  // crash on an empty parent string. Run from the test's temp dir so the
+  // artifact does not litter the build tree.
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  char original[4096];
+  ASSERT_NE(::getcwd(original, sizeof original), nullptr);
+  ASSERT_EQ(::chdir(testing::TempDir().c_str()), 0);
+  predictor.save_file("bare_model.txt");
+  const auto loaded = TransferPredictor::load_file("bare_model.txt");
+  PlannedTransfer planned;
+  planned.src = 0;
+  planned.dst = 1;
+  planned.bytes = 10.0 * kGB;
+  EXPECT_DOUBLE_EQ(loaded.predict_rate_mbps(planned),
+                   predictor.predict_rate_mbps(planned));
+  ::unlink("bare_model.txt");
+  ASSERT_EQ(::chdir(original), 0);
+}
+
+TEST(Predictor, CloneAnswersIdenticallyAndIsIndependent) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+  const TransferPredictor cloned = predictor.clone();
+  ASSERT_TRUE(cloned.fitted());
+
+  PlannedTransfer planned;
+  planned.src = 0;
+  planned.dst = 1;
+  planned.bytes = 42.0 * kGB;
+  planned.files = 17;
+  features::ContentionFeatures load;
+  load.k_sout = mbps(200.0);
+  load.g_dst = 4.0;
+  // A clone is a save/load round trip: bit-identical answers.
+  EXPECT_EQ(cloned.predict_rate_mbps(planned, load),
+            predictor.predict_rate_mbps(planned, load));
+
+  // Mutating the clone (refit of one edge) must not touch the original.
+  std::vector<EdgeSample> samples;
+  for (int i = 0; i < 40; ++i) {
+    EdgeSample sample;
+    sample.transfer.src = 0;
+    sample.transfer.dst = 1;
+    sample.transfer.bytes = (1.0 + i) * kGB;
+    sample.transfer.files = static_cast<std::uint64_t>(1 + i);
+    sample.observed_mbps = 100.0 + i;
+    samples.push_back(sample);
+  }
+  TransferPredictor mutated = predictor.clone();
+  ml::GbtConfig gbt;
+  gbt.trees = 20;
+  const double before = predictor.predict_rate_mbps(planned, load);
+  mutated.refit_edge({0, 1}, samples, {}, gbt);
+  EXPECT_EQ(predictor.predict_rate_mbps(planned, load), before);
+}
+
+TEST(Predictor, RefitEdgeLearnsFromServingSamples) {
+  TransferPredictor predictor(fast_options());
+  predictor.fit(shared_log());
+
+  // Synthesize an unseen edge whose ground truth is a simple function of
+  // bytes; after refit the dedicated model must beat the global fallback.
+  const logs::EdgeKey edge{40, 41};
+  ASSERT_FALSE(predictor.has_edge_model(edge));
+  std::vector<EdgeSample> samples;
+  for (int i = 0; i < 120; ++i) {
+    EdgeSample sample;
+    sample.transfer.src = edge.src;
+    sample.transfer.dst = edge.dst;
+    sample.transfer.bytes = (1.0 + i % 30) * kGB;
+    sample.transfer.files = static_cast<std::uint64_t>(1 + i % 7);
+    sample.transfer.concurrency = static_cast<std::uint32_t>(1 + i % 4);
+    sample.observed_mbps = 50.0 + 2.0 * static_cast<double>(i % 30);
+    samples.push_back(sample);
+  }
+  ml::GbtConfig gbt;
+  gbt.trees = 60;
+  predictor.refit_edge(edge, samples, {}, gbt);
+  ASSERT_TRUE(predictor.has_edge_model(edge));
+
+  double total_ape = 0.0;
+  for (const auto& sample : samples) {
+    const double rate = predictor.predict_rate_mbps(sample.transfer);
+    total_ape += std::abs(rate - sample.observed_mbps) / sample.observed_mbps;
+  }
+  EXPECT_LT(total_ape / static_cast<double>(samples.size()), 0.15);
+
+  // Contract checks: too few samples and non-positive rates are bugs.
+  EXPECT_THROW(predictor.refit_edge(edge, std::span(samples.data(), 1), {}, gbt),
+               xfl::ContractViolation);
+  auto bad = samples;
+  bad[3].observed_mbps = 0.0;
+  EXPECT_THROW(predictor.refit_edge(edge, bad, {}, gbt),
+               xfl::ContractViolation);
 }
 
 TEST(Predictor, SaveRequiresFitAndLoadRejectsGarbage) {

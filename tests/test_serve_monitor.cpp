@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "common/stats.hpp"
 #include "common/units.hpp"
 #include "core/predictor.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/model_host.hpp"
@@ -161,6 +163,90 @@ TEST(ServeMonitor, AlarmFiresIffWindowedMdapeExceedsThreshold) {
   for (int i = 0; i < 6; ++i) feed(5.0);
   EXPECT_FALSE(monitor.alarm_active());
   EXPECT_FALSE(monitor.version_stats().at(1).alarm);
+}
+
+/// Captures log output through a tmpfile sink, restoring the default
+/// configuration afterwards (the test_obs idiom).
+class LogCapture {
+ public:
+  explicit LogCapture(obs::LogLevel level) {
+    file_ = std::tmpfile();
+    obs::configure_logging({level, /*json=*/false, file_});
+  }
+  ~LogCapture() {
+    obs::configure_logging({});
+    std::fclose(file_);
+  }
+  std::string text() const {
+    std::fflush(file_);
+    std::string out;
+    std::rewind(file_);
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file_)) > 0)
+      out.append(buffer, n);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+TEST(ServeMonitor, BothAlarmEdgesAreStructuredEventsAndFireTheHook) {
+  ServeMonitor::Options options;
+  options.drift_window = 4;
+  options.drift_threshold_pct = 30.0;
+  options.drift_min_samples = 2;
+  ServeMonitor monitor(options);
+
+  struct Edge {
+    std::uint64_t version;
+    double mdape_pct;
+    bool raised;
+  };
+  std::vector<Edge> edges;
+  monitor.set_alarm_hook(
+      [&edges](std::uint64_t version, double mdape_pct, bool raised) {
+        edges.push_back({version, mdape_pct, raised});
+      });
+
+  const std::uint64_t raised_before =
+      obs::counter("serve.drift.alarms").value();
+  const std::uint64_t cleared_before =
+      obs::counter("serve.drift.cleared").value();
+
+  std::uint64_t trace = 0;
+  const auto feed = [&](double predicted, double observed) {
+    monitor.record_prediction(++trace, predicted, 1);
+    return monitor.record_feedback(trace, observed);
+  };
+
+  LogCapture capture(obs::LogLevel::kDebug);
+  // Drift in: APE 100% until the window breaches -> exactly one rising
+  // edge, regardless of how many further breaching samples arrive.
+  for (int i = 0; i < 4; ++i) feed(200.0, 100.0);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].raised);
+  EXPECT_EQ(edges[0].version, 1u);
+  EXPECT_GT(edges[0].mdape_pct, options.drift_threshold_pct);
+
+  // Recover: perfect predictions push the window back under threshold ->
+  // exactly one falling edge carrying the recovering MdAPE.
+  for (int i = 0; i < 4; ++i) feed(100.0, 100.0);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_FALSE(edges[1].raised);
+  EXPECT_EQ(edges[1].version, 1u);
+  EXPECT_LE(edges[1].mdape_pct, options.drift_threshold_pct);
+
+  // Both edges are counted...
+  EXPECT_EQ(obs::counter("serve.drift.alarms").value(), raised_before + 1);
+  EXPECT_EQ(obs::counter("serve.drift.cleared").value(), cleared_before + 1);
+  // ...and both are structured log events; the falling edge is not just
+  // a gauge flip — it carries the recovered MdAPE for log pipelines.
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("drift.raised"), std::string::npos) << text;
+  EXPECT_NE(text.find("drift.cleared"), std::string::npos) << text;
+  EXPECT_NE(text.find("recovered_mdape_pct"), std::string::npos) << text;
 }
 
 TEST(ServeMonitor, AlarmWaitsForMinimumSamples) {

@@ -22,6 +22,8 @@
 //                      [--shards N] [--frame-timeout-ms N]
 //                      [--drift-window N] [--drift-threshold PCT]
 //                      [--drift-min-samples N]
+//                      [--journal-dir DIR] [--retrain-interval SECONDS]
+//                      [--retrain-min-records N]
 //                      [--kernel auto|scalar|avx2|quantized]
 //                      (line-delimited JSON over TCP, with an opt-in
 //                       length-prefixed binary framing — send the 8 bytes
@@ -29,16 +31,25 @@
 //                       idle connections are ~free; --shards 0 = auto
 //                       picks the batcher worker count; SIGHUP or the
 //                       {"cmd":"reload"} admin frame hot-swaps the model;
-//                       SIGINT/SIGTERM drain gracefully)
+//                       SIGINT/SIGTERM drain gracefully; --journal-dir
+//                       closes the drift loop: matched feedback is
+//                       journalled there and a background worker refits
+//                       the affected edge model on a drift alarm — or
+//                       every --retrain-interval seconds — validating the
+//                       candidate on held-out records before hot-swapping
+//                       it in as a new model version)
 //   xferlearn request  --port N [--host ADDR] --src ID --dst ID
 //                      --bytes BYTES [--files N] [--dirs N]
 //                      [--concurrency C] [--parallelism P]
 //                      [--deadline-ms N] | --ping | --stats |
 //                      --reload [--path model.txt] |
+//                      --retrain-status |
 //                      --feedback TRACE --observed-mbps X
 //                      (--stats prints a summary plus a Prometheus-style
 //                       dump of the server's live metrics registry;
-//                       --feedback joins an observed rate to the
+//                       --retrain-status reports the background refit
+//                       worker: cycles, accept/reject counts, last gate
+//                       decision; --feedback joins an observed rate to the
 //                       prediction whose reply carried trace id TRACE)
 //   xferlearn serve-bench (--model model.txt | --log log.csv)
 //                      [--clients 1,4,16,64] [--seconds 2] [--max-batch N]
@@ -103,6 +114,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "retrain/retrainer.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/scenario.hpp"
@@ -554,6 +566,30 @@ int cmd_serve(const ArgList& args) {
   serve::ModelHost host(acquire_shared_predictor(args, model_path),
                         model_path);
   serve::PredictionServer server(host, server_options(args));
+
+  // --journal-dir closes the drift loop: feedback -> journal -> refit ->
+  // validated hot swap. The service installs its hooks before start().
+  std::unique_ptr<retrain::RetrainService> retrain_service;
+  if (const auto journal_dir = args.value("--journal-dir")) {
+    retrain::TrainingJournal::Options journal_options;
+    journal_options.directory = *journal_dir;
+    retrain::RetrainOptions retrain_options;
+    retrain_options.interval_ms = static_cast<std::uint64_t>(
+        args.number_or("--retrain-interval", 0.0) * 1000.0);
+    retrain_options.min_edge_records = static_cast<std::size_t>(
+        args.number_or("--retrain-min-records", 64.0));
+    const std::uint64_t interval_s = retrain_options.interval_ms / 1000;
+    retrain_service = std::make_unique<retrain::RetrainService>(
+        server, std::move(journal_options), std::move(retrain_options));
+    if (interval_s == 0)
+      std::printf("retrain loop enabled: journal %s, drift-alarm triggered\n",
+                  journal_dir->c_str());
+    else
+      std::printf("retrain loop enabled: journal %s, every %llu s\n",
+                  journal_dir->c_str(),
+                  static_cast<unsigned long long>(interval_s));
+  }
+
   // Handlers must be live before the startup banner goes out: a parent
   // scripting us through a pipe may signal the instant it sees the port,
   // and the default disposition would kill us without draining.
@@ -716,6 +752,53 @@ int cmd_request(const ArgList& args) {
     }
     return 0;
   }
+  if (args.flag("--retrain-status")) {
+    const auto reply = client.retrain_status();
+    const auto* retrain = reply.find("retrain");
+    if (retrain == nullptr) {
+      std::fprintf(stderr, "error: malformed retrain-status reply\n");
+      return 1;
+    }
+    const auto* enabled = retrain->find("enabled");
+    if (enabled == nullptr || !enabled->is_bool() || !enabled->boolean) {
+      std::printf("retrain: disabled (serve without --journal-dir)\n");
+      return 0;
+    }
+    const auto number = [retrain](const char* name) {
+      const auto* value = retrain->find(name);
+      return value != nullptr && value->is_number() ? value->number : 0.0;
+    };
+    const auto text = [retrain](const char* name) -> std::string {
+      const auto* value = retrain->find(name);
+      return value != nullptr && value->is_string() ? value->string : "";
+    };
+    std::printf("retrain: enabled, worker %s\n",
+                [retrain] {
+                  const auto* running = retrain->find("running");
+                  return running != nullptr && running->is_bool() &&
+                                 running->boolean
+                             ? "running"
+                             : "stopped";
+                }());
+    std::printf("cycles:        %.0f (alarm %.0f, interval %.0f, "
+                "manual %.0f)\n",
+                number("cycles"), number("triggers_alarm"),
+                number("triggers_interval"), number("triggers_manual"));
+    std::printf("refits:        %.0f (accepted %.0f, rejected %.0f, "
+                "skipped %.0f, errors %.0f)\n",
+                number("refits"), number("accepted"), number("rejected"),
+                number("skipped"), number("errors"));
+    const std::string decision = text("last_decision");
+    if (!decision.empty())
+      std::printf("last gate:     %s on edge %s (candidate MdAPE %.1f%% vs "
+                  "incumbent %.1f%%), model version %.0f\n",
+                  decision.c_str(), text("last_edge").c_str(),
+                  number("last_candidate_mdape_pct"),
+                  number("last_incumbent_mdape_pct"), number("last_version"));
+    const std::string error = text("last_error");
+    if (!error.empty()) std::printf("last error:    %s\n", error.c_str());
+    return 0;
+  }
   if (const auto trace = args.value("--feedback")) {
     const auto observed = args.value("--observed-mbps");
     if (!observed) {
@@ -759,7 +842,7 @@ int cmd_request(const ArgList& args) {
   if (!src || !dst || !bytes) {
     std::fprintf(stderr,
                  "error: --src, --dst and --bytes are required (or use "
-                 "--ping/--stats/--reload)\n");
+                 "--ping/--stats/--reload/--retrain-status)\n");
     return 2;
   }
   core::PlannedTransfer planned;
