@@ -41,11 +41,32 @@ struct PredictorMetrics {
   /// serve-path "predict" stage in the stats exposition.
   obs::Histogram& batch_latency = obs::histogram(
       "predictor.predict.batch_us", obs::quantile_latency_bounds_us());
+  // Explain-path accounting, per group: which model class produced each
+  // explanation and whether its interval came from real calibration data.
+  obs::Counter& explain_rows = obs::counter("predictor.explain.rows");
+  obs::Counter& explain_edge_hits =
+      obs::counter("predictor.explain.edge_hits");
+  obs::Counter& explain_global_fallbacks =
+      obs::counter("predictor.explain.global_fallbacks");
+  obs::Counter& explain_calibrated =
+      obs::counter("predictor.explain.calibrated");
+  obs::Counter& explain_uncalibrated =
+      obs::counter("predictor.explain.uncalibrated");
+  obs::Histogram& explain_latency = obs::histogram(
+      "predictor.explain.batch_us", obs::quantile_latency_bounds_us());
 };
 
 PredictorMetrics& predictor_metrics() {
   static PredictorMetrics metrics;
   return metrics;
+}
+
+/// Bucket bounds for the per-feature |contribution| histograms (MB/s
+/// magnitudes, log-spaced 0.001..10000).
+std::span<const double> attribution_bounds() {
+  static const std::vector<double> bounds =
+      obs::log_bucket_bounds(1.0e-3, 1.0e4, 1.6);
+  return bounds;
 }
 }  // namespace
 
@@ -304,6 +325,87 @@ std::vector<double> TransferPredictor::predict_rates_mbps(
   predictor_metrics().batch_latency.record(
       static_cast<double>(obs::monotonic_us() - start_us));
   return rates;
+}
+
+std::vector<RateExplanation> TransferPredictor::explain_rates_mbps(
+    std::span<const PlannedTransfer> transfers,
+    std::span<const features::ContentionFeatures> expected_loads,
+    ThreadPool* pool) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(expected_loads.empty() ||
+              expected_loads.size() == transfers.size());
+  XFL_SPAN("predictor.explain_batch");
+  const std::uint64_t start_us = obs::monotonic_us();
+  std::vector<RateExplanation> out(transfers.size());
+  if (transfers.empty()) return out;
+  static const features::ContentionFeatures kIdle{};
+
+  // Same per-model grouping and standardisation as predict_rates_mbps, so
+  // the explained rate for a transfer is bit-identical to the rate the
+  // predict path serves for it in any batch composition.
+  std::map<const Model*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    XFL_EXPECTS(transfers[i].bytes >= 0.0 && transfers[i].files >= 1);
+    groups[&model_for({transfers[i].src, transfers[i].dst})].push_back(i);
+  }
+  auto& metrics = predictor_metrics();
+  for (const auto& [model, indices] : groups) {
+    const bool dedicated = model != &global_model_;
+    (dedicated ? metrics.explain_edge_hits : metrics.explain_global_fallbacks)
+        .add(indices.size());
+    const bool calibrated =
+        model->ratio_p10 != 1.0 || model->ratio_p90 != 1.0;
+    (calibrated ? metrics.explain_calibrated : metrics.explain_uncalibrated)
+        .add(indices.size());
+    const auto& means = model->scaler.means();
+    const auto& sigmas = model->scaler.sigmas();
+    const std::size_t cols = means.size();
+    ml::Matrix x(indices.size(), cols);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      const auto row = feature_vector(
+          transfers[i], expected_loads.empty() ? kIdle : expected_loads[i],
+          !dedicated);
+      XFL_EXPECTS(row.size() == cols);
+      for (std::size_t c = 0; c < cols; ++c)
+        x.at(k, c) = (row[c] - means[c]) / sigmas[c];
+    }
+    std::vector<double> predicted(indices.size());
+    std::vector<double> bias(indices.size());
+    std::vector<double> contributions(indices.size() * cols);
+    model->boosted->explain_batch(x, predicted, bias, contributions, pool);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      RateExplanation& explanation = out[indices[k]];
+      explanation.raw_mbps = predicted[k];
+      explanation.bias_mbps = bias[k];
+      // Identical clamp and band arithmetic as the predict path.
+      explanation.rate_mbps = std::max(predicted[k], 0.01);
+      explanation.low_mbps =
+          std::max(0.01, explanation.rate_mbps * model->ratio_p10);
+      explanation.high_mbps = std::max(
+          explanation.low_mbps, explanation.rate_mbps * model->ratio_p90);
+      explanation.edge_model = dedicated;
+      explanation.feature_names = model->feature_names;
+      explanation.contributions.assign(
+          contributions.begin() + static_cast<std::ptrdiff_t>(k * cols),
+          contributions.begin() + static_cast<std::ptrdiff_t>((k + 1) * cols));
+    }
+    // Rolling per-feature attribution magnitudes: one registry lookup per
+    // feature per group (explain traffic is low-rate by design), then
+    // lock-free records.
+    for (std::size_t c = 0; c < cols && c < model->feature_names.size();
+         ++c) {
+      auto& histogram = obs::histogram(
+          "predictor.attribution." + model->feature_names[c],
+          attribution_bounds());
+      for (std::size_t k = 0; k < indices.size(); ++k)
+        histogram.record(std::abs(contributions[k * cols + c]));
+    }
+  }
+  metrics.explain_rows.add(transfers.size());
+  metrics.explain_latency.record(
+      static_cast<double>(obs::monotonic_us() - start_us));
+  return out;
 }
 
 RateInterval TransferPredictor::predict_rate_interval(

@@ -59,6 +59,29 @@ struct RateInterval {
   double high_mbps = 0.0;
 };
 
+/// One explained prediction: the served rate plus the Saabas
+/// decomposition of where it came from. Exactness contract:
+/// `contributions` summed in ascending feature order plus `bias_mbps`
+/// (added last) equals `raw_mbps` bit-exactly, and `rate_mbps` ==
+/// max(raw_mbps, 0.01) is bit-identical to what predict_rates_mbps
+/// serves for the same transfer. Contributions are in MB/s — each is the
+/// summed shift in subtree expectation its feature's splits caused along
+/// every tree's decision path — and `bias_mbps` is the ensemble's base
+/// score plus the root expectations (what an average training row would
+/// get), absorbing the few-ulp summation residual.
+struct RateExplanation {
+  double rate_mbps = 0.0;   ///< Served rate (clamped at 0.01 MB/s).
+  double raw_mbps = 0.0;    ///< Unclamped model output = bias + sum.
+  double bias_mbps = 0.0;   ///< Base + root expectations (+ residual).
+  double low_mbps = 0.0;    ///< rate * ratio_p10 band, as in RateInterval.
+  double high_mbps = 0.0;
+  bool edge_model = false;  ///< Dedicated edge model vs. global fallback.
+  /// Parallel arrays, in the serving model's feature order (15 per-edge
+  /// features, +ROmax_src/RImax_dst on the global fallback).
+  std::vector<std::string> feature_names;
+  std::vector<double> contributions;
+};
+
 /// Historical-log-trained transfer rate predictor.
 class TransferPredictor {
  public:
@@ -128,6 +151,18 @@ class TransferPredictor {
   /// the flat kernel across them; results are bit-identical with or
   /// without it. Requires fit().
   std::vector<double> predict_rates_mbps(
+      std::span<const PlannedTransfer> transfers,
+      std::span<const features::ContentionFeatures> expected_loads = {},
+      ThreadPool* pool = nullptr) const;
+
+  /// Explained batch serving path: the same per-model grouping and
+  /// standardisation as predict_rates_mbps, routed through the flat
+  /// engine's Saabas attribution kernel. Each result's rate_mbps is
+  /// bit-identical to the rate predict_rates_mbps would serve, and its
+  /// contributions + bias reconstruct raw_mbps bit-exactly (see
+  /// RateExplanation). Per-feature |contribution| values are recorded
+  /// into `predictor.attribution.<feature>` histograms. Requires fit().
+  std::vector<RateExplanation> explain_rates_mbps(
       std::span<const PlannedTransfer> transfers,
       std::span<const features::ContentionFeatures> expected_loads = {},
       ThreadPool* pool = nullptr) const;

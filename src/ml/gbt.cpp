@@ -667,6 +667,72 @@ double GradientBoostedTrees::predict_nodewalk(
   return value;
 }
 
+double GradientBoostedTrees::explain_nodewalk(
+    std::span<const double> features, std::span<double> contributions,
+    double& bias) const {
+  XFL_EXPECTS(fitted_);
+  XFL_EXPECTS(features.size() == feature_count_);
+  XFL_EXPECTS(contributions.size() == feature_count_);
+  std::fill(contributions.begin(), contributions.end(), 0.0);
+  double value = base_score_;
+  std::vector<double> expect;
+  std::vector<double> weight;
+  for (const auto& tree : trees_) {
+    // Leaf-count-weighted subtree means, bottom-up. The expressions match
+    // FlatEnsemble::Builder::build()'s attribution pass exactly — same
+    // operand order — so both paths produce bitwise-identical tables.
+    expect.assign(tree.nodes.size(), 0.0);
+    weight.assign(tree.nodes.size(), 0.0);
+    const auto fill = [&](auto&& self, std::int32_t n) -> void {
+      const Node& node = tree.nodes[static_cast<std::size_t>(n)];
+      if (node.feature < 0) {
+        expect[static_cast<std::size_t>(n)] = node.value;
+        weight[static_cast<std::size_t>(n)] = 1.0;
+        return;
+      }
+      self(self, node.left);
+      self(self, node.right);
+      const double wl = weight[static_cast<std::size_t>(node.left)];
+      const double wr = weight[static_cast<std::size_t>(node.right)];
+      weight[static_cast<std::size_t>(n)] = wl + wr;
+      expect[static_cast<std::size_t>(n)] =
+          (wl * expect[static_cast<std::size_t>(node.left)] +
+           wr * expect[static_cast<std::size_t>(node.right)]) /
+          weight[static_cast<std::size_t>(n)];
+    };
+    fill(fill, 0);
+    std::int32_t index = 0;
+    while (tree.nodes[static_cast<std::size_t>(index)].feature >= 0) {
+      const Node& node = tree.nodes[static_cast<std::size_t>(index)];
+      // Same routing as Tree::predict: x <= t left, NaN right.
+      const std::int32_t child =
+          features[static_cast<std::size_t>(node.feature)] <= node.threshold
+              ? node.left
+              : node.right;
+      contributions[static_cast<std::size_t>(node.feature)] +=
+          config_.learning_rate * (expect[static_cast<std::size_t>(child)] -
+                                   expect[static_cast<std::size_t>(index)]);
+      index = child;
+    }
+    value += config_.learning_rate *
+             tree.nodes[static_cast<std::size_t>(index)].value;
+  }
+  bias = finalize_attribution(value, contributions.data(),
+                              contributions.size());
+  return value;
+}
+
+void GradientBoostedTrees::explain_batch(const Matrix& x,
+                                         std::span<double> predictions,
+                                         std::span<double> bias,
+                                         std::span<double> contributions,
+                                         ThreadPool* pool) const {
+  XFL_EXPECTS(fitted_);
+  if (x.rows() == 0) return;
+  XFL_EXPECTS(x.cols() == feature_count_);
+  flat_->explain_batch(x, predictions, bias, contributions, pool);
+}
+
 void GradientBoostedTrees::predict_batch(const Matrix& x,
                                          std::span<double> out,
                                          ThreadPool* pool) const {

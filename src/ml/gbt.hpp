@@ -101,6 +101,22 @@ class GradientBoostedTrees {
   /// pool per resolved_threads() for large batches).
   std::vector<double> predict(const Matrix& x) const;
 
+  /// Reference explanation path: per-row Saabas attribution over the
+  /// pointer-linked AoS trees (contributions.size() == feature count;
+  /// `bias` receives the finalized remainder). Returns the prediction.
+  /// The ground truth FlatEnsemble::explain_rows must match bit-for-bit:
+  /// the subtree-expectation arithmetic, path accumulation order, and
+  /// ml::finalize_attribution call are identical by construction.
+  double explain_nodewalk(std::span<const double> features,
+                          std::span<double> contributions,
+                          double& bias) const;
+
+  /// Explain every row of x through the flattened engine (see
+  /// FlatEnsemble::explain_batch for the layout and exactness contract).
+  void explain_batch(const Matrix& x, std::span<double> predictions,
+                     std::span<double> bias, std::span<double> contributions,
+                     ThreadPool* pool = nullptr) const;
+
   /// Predict every row of x into out (out.size() == x.rows()), blocking
   /// rows across `pool` when provided. Results are bit-identical to
   /// per-row predict() at any thread count — each row owns its output

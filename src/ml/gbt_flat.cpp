@@ -121,6 +121,20 @@ ServeMetrics& serve_metrics() {
   return metrics;
 }
 
+/// Explain-path observability, on the batch entry point only — the
+/// per-row walk stays instrumentation-free so the predict path pays
+/// nothing when explanations are never requested.
+struct ExplainMetrics {
+  obs::Counter& rows = obs::counter("gbt.explain.rows");
+  obs::Counter& batches = obs::counter("gbt.explain.batches");
+  obs::Histogram& batch_us = obs::histogram("gbt.explain.batch_us");
+};
+
+ExplainMetrics& explain_metrics() {
+  static ExplainMetrics metrics;
+  return metrics;
+}
+
 /// Per-kernel row counters, so A/B runs (--kernel / XFL_KERNEL) show up
 /// in the registry without parsing logs.
 obs::Counter& kernel_rows_counter(Kernel kernel) {
@@ -203,8 +217,76 @@ FlatEnsemble FlatEnsemble::Builder::build() && {
     flat.depth_.push_back(tree_depth);
     flat.max_depth_ = std::max(flat.max_depth_, static_cast<int>(tree_depth));
   }
+
+  // Saabas attribution table. The BFS renumbering places every child slot
+  // after its parent within a tree, so one reverse pass per tree computes
+  // the leaf-count-weighted subtree means bottom-up; a forward pass then
+  // stores each child's scaled expectation shift. The node-walk reference
+  // (GradientBoostedTrees::explain_nodewalk) evaluates the identical
+  // expressions — (wl * el + wr * er) / (wl + wr), scale * (child -
+  // parent) — so the two attribution paths agree bitwise.
+  // set_attribution(false) skips the table entirely (predict never reads
+  // it); explain_batch asserts its presence.
+  const std::size_t total_nodes = flat.feature_.size();
+  if (!attribution_) {
+    flat.build_quantized();
+    return flat;
+  }
+  flat.attr_.assign(total_nodes, 0.0);
+  std::vector<double> expect(total_nodes);
+  std::vector<double> weight(total_nodes);
+  for (std::size_t t = 0; t < flat.roots_.size(); ++t) {
+    const auto base = static_cast<std::size_t>(flat.roots_[t]);
+    const std::size_t tree_end =
+        t + 1 < flat.roots_.size()
+            ? static_cast<std::size_t>(flat.roots_[t + 1])
+            : total_nodes;
+    for (std::size_t i = tree_end; i-- > base;) {
+      if (flat.feature_[i] < 0) {
+        expect[i] = flat.value_[i];
+        weight[i] = 1.0;
+      } else {
+        const auto l = static_cast<std::size_t>(flat.left_[i]);
+        const double wl = weight[l];
+        const double wr = weight[l + 1];
+        weight[i] = wl + wr;
+        expect[i] = (wl * expect[l] + wr * expect[l + 1]) / weight[i];
+      }
+    }
+    for (std::size_t i = base; i < tree_end; ++i) {
+      if (flat.feature_[i] < 0) continue;
+      const auto l = static_cast<std::size_t>(flat.left_[i]);
+      flat.attr_[l] = scale_ * (expect[l] - expect[i]);
+      flat.attr_[l + 1] = scale_ * (expect[l + 1] - expect[i]);
+    }
+  }
+
   flat.build_quantized();
   return flat;
+}
+
+double finalize_attribution(double prediction, double* contributions,
+                            std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += contributions[i];
+  double bias = prediction - sum;
+  // fl(prediction - sum) is within a few ulps of the bias that makes the
+  // canonical reconstruction land exactly; step it there. The bound is
+  // generous — in practice 0 or 1 steps.
+  for (int step = 0; step < 64; ++step) {
+    const double rebuilt = sum + bias;
+    if (rebuilt == prediction) return bias;
+    bias = std::nextafter(bias, rebuilt < prediction
+                                    ? std::numeric_limits<double>::infinity()
+                                    : -std::numeric_limits<double>::infinity());
+  }
+  // Catastrophic cancellation (|sum| >> |prediction|) can make the
+  // prediction unreachable on the {fl(sum + b)} grid: ulp(bias) exceeds
+  // ulp(prediction), so stepping jumps over it. Fold everything into the
+  // bias — summing n zeros then adding the prediction reconstructs it
+  // exactly, keeping the contract unconditional.
+  for (std::size_t i = 0; i < n; ++i) contributions[i] = 0.0;
+  return prediction;
 }
 
 namespace {
@@ -899,6 +981,76 @@ void FlatEnsemble::predict_rows_quantized(const Matrix& x, std::size_t begin,
     }
     for (std::size_t r = 0; r < count; ++r) out[block + r] = acc[r];
   }
+}
+
+void FlatEnsemble::explain_rows(const Matrix& x, std::size_t begin,
+                                std::size_t end, double* predictions,
+                                double* bias, double* contributions) const {
+  const std::int32_t* feat = feature_.data();
+  const double* val = value_.data();
+  const std::int32_t* left = left_.data();
+  const double* attr = attr_.data();
+  const std::size_t cols = x.cols();
+  for (std::size_t r = begin; r < end; ++r) {
+    const double* row = x.row(r).data();
+    double* contrib = contributions + r * cols;
+    std::fill(contrib, contrib + cols, 0.0);
+    // The accumulation below is the scalar predict kernel's exact per-row
+    // operation sequence (walk each tree with !(x <= t), then acc +=
+    // scale * leaf, in tree order), so predictions here are bit-identical
+    // to predict_batch under every kernel.
+    double acc = base_score_;
+    for (const std::int32_t root : roots_) {
+      std::int32_t i = root;
+      std::int32_t f = feat[i];
+      while (f >= 0) {
+        const std::int32_t j =
+            left[i] +
+            static_cast<std::int32_t>(!(row[static_cast<std::size_t>(f)] <=
+                                        val[i]));
+        contrib[static_cast<std::size_t>(f)] += attr[j];
+        i = j;
+        f = feat[i];
+      }
+      acc += scale_ * val[i];
+    }
+    predictions[r] = acc;
+    bias[r] = finalize_attribution(acc, contrib, cols);
+  }
+}
+
+void FlatEnsemble::explain_batch(const Matrix& x,
+                                 std::span<double> predictions,
+                                 std::span<double> bias,
+                                 std::span<double> contributions,
+                                 ThreadPool* pool) const {
+  XFL_EXPECTS(predictions.size() == x.rows());
+  XFL_EXPECTS(bias.size() == x.rows());
+  XFL_EXPECTS(contributions.size() == x.rows() * x.cols());
+  // Ensembles built with Builder::set_attribution(false) cannot explain.
+  XFL_EXPECTS(attr_.size() == feature_.size());
+  if (x.rows() == 0) return;
+  XFL_SPAN("gbt.explain.batch");
+  auto& metrics = explain_metrics();
+  const std::uint64_t start_us = obs::monotonic_us();
+  // Same pool gate and block floor as predict_batch; each row owns its
+  // prediction/bias slot and its contribution stripe, so block boundaries
+  // never change results.
+  if (pool != nullptr && pool->thread_count() > 1 && x.rows() >= 256) {
+    pool->parallel_for_blocks(
+        x.rows(),
+        [&](std::size_t begin, std::size_t end) {
+          explain_rows(x, begin, end, predictions.data(), bias.data(),
+                       contributions.data());
+        },
+        128);
+  } else {
+    explain_rows(x, 0, x.rows(), predictions.data(), bias.data(),
+                 contributions.data());
+  }
+  metrics.rows.add(x.rows());
+  metrics.batches.add(1);
+  metrics.batch_us.record(static_cast<double>(obs::monotonic_us() - start_us));
 }
 
 void FlatEnsemble::predict_rows(const Matrix& x, std::size_t begin,

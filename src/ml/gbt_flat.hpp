@@ -29,6 +29,23 @@
 // left : right`), and each row accumulates `base + scale * leaf` in tree
 // order, so the floating-point operation sequence per row is unchanged.
 //
+// Explanation kernel (PR 10): build() additionally precomputes a Saabas
+// path-attribution table — for every child slot, the scaled shift in the
+// leaf-count-weighted subtree expectation that taking that branch causes:
+// attr[child] = scale * (E[child] - E[parent]). explain_rows() walks the
+// same SoA arrays with the same predicate, credits attr[child] to the
+// split feature at every step, and recomputes the prediction with the
+// scalar kernel's exact operation sequence — so explain predictions are
+// bit-identical to predict under every kernel. finalize_attribution()
+// then reconciles the bias so the canonical reconstruction (sum the
+// per-feature contributions in ascending feature order, then add the
+// bias last) equals the prediction bit-exactly, always: a bounded
+// ulp-stepping fix-up absorbs the summation residual, and the rare
+// catastrophic-cancellation case where the prediction is unreachable on
+// the reconstruction grid folds everything into the bias (contributions
+// zeroed). `GradientBoostedTrees::explain_nodewalk` is the kept per-row
+// reference, sharing the same expectation arithmetic and finalize.
+//
 // Kernel family (PR 6): the lockstep walk above is the `scalar` kernel and
 // stays the oracle. Two explicitly vectorized kernels sit beside it behind
 // runtime dispatch (CPUID probed once; compile-time on non-x86):
@@ -123,6 +140,19 @@ Kernel active_kernel() noexcept;
 /// detection.
 void set_active_kernel(Kernel kernel) noexcept;
 
+/// Reconcile a row's raw path attributions with its prediction so the
+/// canonical reconstruction — sum contributions[0..n) in ascending index
+/// order, then add the returned bias LAST — equals `prediction`
+/// bit-exactly. Usually the returned bias is prediction - sum (plus at
+/// most a couple of ulp steps absorbing the summation residual); under
+/// catastrophic cancellation the prediction can be unreachable on the
+/// {fl(sum + b)} grid, in which case every contribution is zeroed and the
+/// bias becomes the prediction itself — the contract holds in every case.
+/// Shared by the flat explain kernel and the node-walk reference so both
+/// agree bitwise.
+double finalize_attribution(double prediction, double* contributions,
+                            std::size_t n);
+
 /// Immutable compiled form of a fitted ensemble. Thread-safe to query
 /// concurrently; rebuild (via Builder) whenever the source model refits.
 class FlatEnsemble {
@@ -137,6 +167,13 @@ class FlatEnsemble {
 
     /// Start a new tree; node 0 of the following add_node calls is its root.
     void begin_tree();
+
+    /// Skip (or re-enable, the default) the Saabas attribution precompute.
+    /// An ensemble built without it predicts normally but must never be
+    /// explained (explain_batch asserts). This is the A/B lever the
+    /// obs_overhead_guard uses to prove the predict path pays nothing for
+    /// explain support.
+    void set_attribution(bool enabled) { attribution_ = enabled; }
 
     /// Append one node of the current tree. Internal nodes: feature >= 0,
     /// `threshold_or_value` is the split threshold, and left/right are
@@ -157,6 +194,7 @@ class FlatEnsemble {
     };
     double base_score_;
     double scale_;
+    bool attribution_ = true;
     std::vector<std::vector<RawNode>> trees_;
   };
 
@@ -200,6 +238,27 @@ class FlatEnsemble {
                      ThreadPool* pool = nullptr,
                      Kernel kernel = Kernel::kAuto) const;
 
+  /// Saabas path attributions for rows [begin, end): per row, zero the
+  /// row's x.cols() contribution slots, credit attr[child] to the split
+  /// feature along every tree's decision path, recompute the prediction
+  /// with the scalar kernel's exact operation sequence, and finalize the
+  /// bias (see finalize_attribution). Outputs are indexed by absolute
+  /// row (contributions is row-major rows x cols), so concurrent callers
+  /// over disjoint ranges never touch the same slot.
+  void explain_rows(const Matrix& x, std::size_t begin, std::size_t end,
+                    double* predictions, double* bias,
+                    double* contributions) const;
+
+  /// Explain every row of x (predictions/bias sized x.rows(),
+  /// contributions row-major x.rows() * x.cols()), blocking rows across
+  /// `pool` when provided — same gating and block floor as predict_batch.
+  /// Contract: for every row, contributions summed in ascending feature
+  /// order plus bias (added last) == predictions[row] bit-exactly, and
+  /// predictions are bit-identical to predict_batch under every kernel.
+  void explain_batch(const Matrix& x, std::span<double> predictions,
+                     std::span<double> bias, std::span<double> contributions,
+                     ThreadPool* pool = nullptr) const;
+
  private:
   FlatEnsemble() = default;
 
@@ -238,6 +297,12 @@ class FlatEnsemble {
   std::vector<double> value_;
   std::vector<std::int32_t> left_;
   std::vector<std::int32_t> roots_;
+  /// Saabas attribution per node: attr_[j] = scale * (E[j] - E[parent(j)])
+  /// for child slots (E = leaf-count-weighted subtree mean, built once by
+  /// Builder::build()); root slots hold 0 (the explain walk never credits
+  /// a root — finalize_attribution absorbs base + root expectations into
+  /// the bias).
+  std::vector<double> attr_;
   /// Per-tree depth: the lockstep kernel steps exactly this many times.
   std::vector<std::int32_t> depth_;
   int max_depth_ = 0;

@@ -77,7 +77,10 @@ double Histogram::Snapshot::quantile(double p) const {
     const std::uint64_t below = cumulative;
     cumulative += counts[b];
     if (static_cast<double>(cumulative) < rank) continue;
-    if (b >= upper_bounds.size()) return upper_bounds.back();  // Overflow.
+    // Overflow bucket: clamp to the highest bound (0 when the histogram
+    // was registered with no bounds at all — every sample overflows).
+    if (b >= upper_bounds.size())
+      return upper_bounds.empty() ? 0.0 : upper_bounds.back();
     const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
     const double hi = upper_bounds[b];
     const double fraction =

@@ -18,6 +18,7 @@ namespace {
 struct BatcherMetrics {
   obs::Counter& batches = obs::counter("serve.batch.count");
   obs::Counter& rows = obs::counter("serve.batch.rows");
+  obs::Counter& explain_rows = obs::counter("serve.batch.explain_rows");
   obs::Counter& timeouts = obs::counter("serve.request.timeout");
   obs::Counter& failures = obs::counter("serve.batch.failures");
   obs::Counter& steals = obs::counter("serve.batch.steals");
@@ -318,12 +319,54 @@ void MicroBatcher::process(std::vector<BatchItem>& batch, ThreadPool* pool) {
   }
   if (live.empty()) return;
 
-  // Stage 2: one flat-kernel predict call for the whole batch.
+  // Stage 2: one flat-kernel call per partition. Plain rows keep the
+  // single predict_rates_mbps call; explain rows go through the
+  // attribution kernel (whose served rates are bit-identical), so a
+  // batch mixing both costs one extra kernel call, not one per row.
+  std::vector<std::size_t> explain_idx;
+  for (std::size_t i = 0; i < live.size(); ++i)
+    if (live[i]->explain) explain_idx.push_back(i);
   const std::uint64_t predict_start_us = obs::monotonic_us();
   std::vector<double> rates;
+  std::vector<core::RateExplanation> explanations;
   try {
     XFL_SPAN("serve.batch.predict");
-    rates = snapshot.predictor->predict_rates_mbps(transfers, loads, pool);
+    if (explain_idx.empty()) {
+      rates = snapshot.predictor->predict_rates_mbps(transfers, loads, pool);
+    } else {
+      rates.assign(live.size(), 0.0);
+      std::vector<core::PlannedTransfer> part_transfers;
+      std::vector<features::ContentionFeatures> part_loads;
+      if (explain_idx.size() < live.size()) {
+        part_transfers.reserve(live.size() - explain_idx.size());
+        part_loads.reserve(live.size() - explain_idx.size());
+        std::vector<std::size_t> plain_idx;
+        plain_idx.reserve(live.size() - explain_idx.size());
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          if (live[i]->explain) continue;
+          plain_idx.push_back(i);
+          part_transfers.push_back(transfers[i]);
+          part_loads.push_back(loads[i]);
+        }
+        const auto plain_rates = snapshot.predictor->predict_rates_mbps(
+            part_transfers, part_loads, pool);
+        for (std::size_t k = 0; k < plain_idx.size(); ++k)
+          rates[plain_idx[k]] = plain_rates[k];
+      }
+      part_transfers.clear();
+      part_loads.clear();
+      part_transfers.reserve(explain_idx.size());
+      part_loads.reserve(explain_idx.size());
+      for (const std::size_t i : explain_idx) {
+        part_transfers.push_back(transfers[i]);
+        part_loads.push_back(loads[i]);
+      }
+      explanations = snapshot.predictor->explain_rates_mbps(
+          part_transfers, part_loads, pool);
+      for (std::size_t k = 0; k < explain_idx.size(); ++k)
+        rates[explain_idx[k]] = explanations[k].rate_mbps;
+      metrics.explain_rows.add(explain_idx.size());
+    }
     metrics.predict.record(
         static_cast<double>(obs::monotonic_us() - predict_start_us));
   } catch (const std::exception& error) {
@@ -350,6 +393,7 @@ void MicroBatcher::process(std::vector<BatchItem>& batch, ThreadPool* pool) {
   {
     XFL_SPAN("serve.batch.respond");
     const std::uint64_t respond_start_us = obs::monotonic_us();
+    std::size_t next_explanation = 0;
     for (std::size_t i = 0; i < live.size(); ++i) {
       PredictOutcome outcome;
       outcome.ok = true;
@@ -357,6 +401,11 @@ void MicroBatcher::process(std::vector<BatchItem>& batch, ThreadPool* pool) {
       outcome.edge_model = snapshot.predictor->has_edge_model(
           {live[i]->transfer.src, live[i]->transfer.dst});
       outcome.model_version = snapshot.version;
+      if (live[i]->explain) {
+        // explain_idx is ascending, so explanations drain in live order.
+        outcome.explained = true;
+        outcome.explanation = std::move(explanations[next_explanation++]);
+      }
       deliver(*live[i], outcome);
     }
     metrics.respond.record(

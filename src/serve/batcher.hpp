@@ -50,12 +50,20 @@ struct PredictOutcome {
   std::uint64_t model_version = 0;  ///< ModelHost version that answered.
   const char* error = nullptr;      ///< Protocol error code when !ok.
   std::string message;
+  /// Explain items only: the full Saabas attribution of rate_mbps (the
+  /// rate itself is bit-identical to the plain predict path).
+  bool explained = false;
+  core::RateExplanation explanation;
 };
 
 /// One queued request.
 struct BatchItem {
   core::PlannedTransfer transfer;
   features::ContentionFeatures load;
+  /// Route through the attribution kernel; the outcome carries the
+  /// explanation. Explain rows ride the same queue and batch as plain
+  /// predicts — they are partitioned only at the kernel call.
+  bool explain = false;
   /// Server-assigned trace id; propagated through the queue into the
   /// worker batch so the response and stage timings stay correlatable.
   std::uint64_t trace_id = 0;

@@ -16,6 +16,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/predictor.hpp"
 #include "features/contention.hpp"
@@ -33,6 +34,26 @@ struct PredictReply {
   std::uint64_t model_version = 0;
   std::string trace_id;   ///< Server trace id ("t17"); feedback joins on it.
   double server_ms = 0.0; ///< In-server latency reported by the server.
+  std::string error;  ///< Protocol error code when !ok.
+  std::string message;
+};
+
+/// One decoded explain reply. Contributions come back in the server's
+/// ranked order (|mbps| descending, ties in model feature order) and sum
+/// with bias_mbps to raw_mbps bit-exactly when top_k did not truncate.
+struct ExplainReply {
+  std::string id;
+  bool ok = false;
+  double rate_mbps = 0.0;
+  double raw_mbps = 0.0;
+  double bias_mbps = 0.0;
+  double low_mbps = 0.0;
+  double high_mbps = 0.0;
+  std::string model;  ///< "edge" or "global" on success.
+  std::uint64_t model_version = 0;
+  std::string trace_id;
+  double server_ms = 0.0;
+  std::vector<std::pair<std::string, double>> contributions;
   std::string error;  ///< Protocol error code when !ok.
   std::string message;
 };
@@ -65,6 +86,14 @@ class PredictionClient {
   PredictReply predict(const core::PlannedTransfer& transfer,
                        const features::ContentionFeatures& load = {},
                        std::uint64_t deadline_ms = 0);
+
+  /// predict() plus per-feature attribution. `top_k` keeps only the
+  /// strongest contributions (0 = all). Travels as an "explain" JSON
+  /// request or a kExplain frame after negotiate_binary().
+  ExplainReply explain(const core::PlannedTransfer& transfer,
+                       const features::ContentionFeatures& load = {},
+                       std::uint64_t deadline_ms = 0,
+                       std::uint16_t top_k = 0);
 
   /// Report the observed rate of a completed transfer back to the
   /// prediction identified by `trace_id` (from PredictReply::trace_id).

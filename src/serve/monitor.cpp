@@ -1,5 +1,6 @@
 #include "serve/monitor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -17,6 +18,7 @@ struct MonitorMetrics {
   obs::Counter& unmatched = obs::counter("serve.feedback.unmatched");
   obs::Counter& alarms = obs::counter("serve.drift.alarms");
   obs::Counter& cleared = obs::counter("serve.drift.cleared");
+  obs::Counter& shifts = obs::counter("serve.drift.attribution_events");
   obs::Gauge& alarm = obs::gauge("serve.drift.alarm");
   obs::Gauge& mdape = obs::gauge("serve.drift.mdape_pct");
   obs::Gauge& journal = obs::gauge("serve.monitor.journal_size");
@@ -57,6 +59,34 @@ void ServeMonitor::record_prediction(std::uint64_t trace_id,
     journal_order_.pop_front();
   }
   monitor_metrics().journal.set(static_cast<double>(journal_.size()));
+}
+
+bool ServeMonitor::lookup(std::uint64_t trace_id,
+                          core::PlannedTransfer& transfer,
+                          features::ContentionFeatures& load) const {
+  std::lock_guard lock(mutex_);
+  const auto it = journal_.find(trace_id);
+  if (it == journal_.end()) return false;
+  transfer = it->second.transfer;
+  load = it->second.load;
+  return true;
+}
+
+void ServeMonitor::record_attribution(std::span<const std::string> names,
+                                      std::span<const double> contributions) {
+  XFL_EXPECTS(names.size() == contributions.size());
+  std::lock_guard lock(mutex_);
+  const std::size_t cap = 2 * options_.drift_window;
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    auto& window = attribution_[names[c]];
+    window.push_back(std::abs(contributions[c]));
+    while (window.size() > cap) window.pop_front();
+  }
+}
+
+ServeMonitor::AttributionShift ServeMonitor::last_shift() const {
+  std::lock_guard lock(mutex_);
+  return last_shift_;
 }
 
 ServeMonitor::FeedbackResult ServeMonitor::record_feedback(
@@ -119,6 +149,7 @@ int ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
                   << obs::kv("mdape_pct", window.mdape_pct)
                   << obs::kv("threshold_pct", options_.drift_threshold_pct)
                   << obs::kv("window", window.apes.size());
+    emit_attribution_shift(version);
   } else if (!breach && window.alarm) {
     // The falling edge is a first-class structured event (not just a
     // gauge flip): it carries the recovering MdAPE so log pipelines can
@@ -139,6 +170,57 @@ int ServeMonitor::refresh_window(std::uint64_t version, Window& window) {
   for (const auto& [v, w] : windows_) any_alarm = any_alarm || w.alarm;
   metrics.alarm.set(any_alarm ? 1.0 : 0.0);
   return edge;
+}
+
+void ServeMonitor::emit_attribution_shift(std::uint64_t version) {
+  // Compare each feature's mean |contribution| over the newest
+  // drift_window samples (the window that tripped the alarm) against the
+  // chunk before it. Features without at least one sample on each side
+  // have no baseline to move from and are skipped.
+  AttributionShift shift;
+  shift.model_version = version;
+  for (const auto& [feature, samples] : attribution_) {
+    const std::size_t alarm_n = std::min(samples.size(), options_.drift_window);
+    const std::size_t baseline_n = samples.size() - alarm_n;
+    if (alarm_n == 0 || baseline_n == 0) continue;
+    double baseline_sum = 0.0, alarm_sum = 0.0;
+    std::size_t i = 0;
+    for (const double v : samples) {
+      (i++ < baseline_n ? baseline_sum : alarm_sum) += v;
+    }
+    ShiftEntry entry;
+    entry.feature = feature;
+    entry.baseline_mean_mbps = baseline_sum / static_cast<double>(baseline_n);
+    entry.alarm_mean_mbps = alarm_sum / static_cast<double>(alarm_n);
+    entry.delta_mbps = entry.alarm_mean_mbps - entry.baseline_mean_mbps;
+    shift.ranked.push_back(std::move(entry));
+  }
+  if (shift.ranked.empty()) return;  // No attribution data joined yet.
+  std::sort(shift.ranked.begin(), shift.ranked.end(),
+            [](const ShiftEntry& a, const ShiftEntry& b) {
+              const double da = std::abs(a.delta_mbps);
+              const double db = std::abs(b.delta_mbps);
+              if (da != db) return da > db;
+              return a.feature < b.feature;
+            });
+  shift.valid = true;
+  shift.events = last_shift_.events + 1;
+  monitor_metrics().shifts.add(1);
+
+  const std::size_t top = std::min<std::size_t>(shift.ranked.size(), 3);
+  std::string ranking = shift.ranked[0].feature;
+  for (std::size_t r = 1; r < top; ++r) ranking += ">" + shift.ranked[r].feature;
+  XFL_LOG(warn) << "drift attribution shift"
+                << obs::kv("event", "drift.attribution")
+                << obs::kv("model_version", version)
+                << obs::kv("features_ranked", shift.ranked.size())
+                << obs::kv("top_feature", shift.ranked[0].feature)
+                << obs::kv("top_delta_mbps", shift.ranked[0].delta_mbps)
+                << obs::kv("top_baseline_mbps",
+                           shift.ranked[0].baseline_mean_mbps)
+                << obs::kv("top_alarm_mbps", shift.ranked[0].alarm_mean_mbps)
+                << obs::kv("ranking", ranking);
+  last_shift_ = std::move(shift);
 }
 
 std::map<std::uint64_t, ServeMonitor::VersionStats>

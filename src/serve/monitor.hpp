@@ -11,6 +11,17 @@
 // raised: one warn log on the rising edge, the serve.drift.* metrics,
 // and an `alarm` field in `stats` and feedback responses.
 //
+// The monitor also explains drift, not just detects it: the server
+// explains every joined feedback observation (the Saabas attribution of
+// the prediction that transfer was scheduled on) and records the
+// per-feature |contribution| values here in rolling windows twice the
+// drift window deep. On the alarm's rising edge the monitor compares
+// each feature's mean |contribution| over the newest drift_window
+// samples against the preceding baseline chunk, ranks features by how
+// much their attribution mass moved, and emits one structured
+// `drift.attribution` warn event naming the movers — turning "the model
+// is wrong" into "the model is wrong and it started leaning on X".
+//
 // All entry points lock one mutex. Predictions arrive from the batch
 // worker (one journal insert per answered request) and feedback from
 // connection threads (one per completed transfer) — both orders of
@@ -24,7 +35,10 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <span>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/predictor.hpp"
 #include "features/contention.hpp"
@@ -70,6 +84,25 @@ class ServeMonitor {
       std::function<void(std::uint64_t model_version, double mdape_pct,
                          bool raised)>;
 
+  /// One feature's attribution movement between the baseline chunk and
+  /// the alarm-window chunk (means of |contribution| in MB/s).
+  struct ShiftEntry {
+    std::string feature;
+    double baseline_mean_mbps = 0.0;
+    double alarm_mean_mbps = 0.0;
+    double delta_mbps = 0.0;  ///< alarm_mean - baseline_mean.
+  };
+
+  /// The report behind one `drift.attribution` event: every feature with
+  /// samples in both chunks, ranked by |delta_mbps| descending (ties by
+  /// name). valid stays false until the first event fires.
+  struct AttributionShift {
+    bool valid = false;
+    std::uint64_t events = 0;         ///< drift.attribution events so far.
+    std::uint64_t model_version = 0;  ///< Version whose alarm triggered it.
+    std::vector<ShiftEntry> ranked;
+  };
+
   /// Per-model-version aggregate for the `stats` admin command.
   struct VersionStats {
     std::uint64_t predictions = 0;  ///< Answered predict requests.
@@ -93,10 +126,29 @@ class ServeMonitor {
                          const core::PlannedTransfer& transfer = {},
                          const features::ContentionFeatures& load = {});
 
+  /// Peek a journalled prediction without consuming it, so the caller can
+  /// explain the joined observation BEFORE record_feedback erases the
+  /// entry (and before the alarm edge it may trigger reads the
+  /// attribution windows). Returns false for unknown trace ids.
+  bool lookup(std::uint64_t trace_id, core::PlannedTransfer& transfer,
+              features::ContentionFeatures& load) const;
+
+  /// Record one explained observation's per-feature |contribution|
+  /// values (parallel spans, the serving model's feature order). Windows
+  /// are capped at 2 * drift_window per feature so a rising alarm edge
+  /// can compare the newest drift_window chunk against the preceding
+  /// baseline chunk. Call before record_feedback for the same trace id.
+  void record_attribution(std::span<const std::string> names,
+                          std::span<const double> contributions);
+
   /// Join an observed rate to its prediction. Unknown trace ids (evicted,
   /// duplicate, or bogus) return matched=false and change no window.
   FeedbackResult record_feedback(std::uint64_t trace_id,
                                  double observed_mbps);
+
+  /// The report of the most recent drift.attribution event (valid ==
+  /// false until the first alarm rising edge with attribution data).
+  AttributionShift last_shift() const;
 
   /// Aggregates per model version, keyed by version.
   std::map<std::uint64_t, VersionStats> version_stats() const;
@@ -130,11 +182,20 @@ class ServeMonitor {
   /// record_feedback can fire the hook after releasing the mutex.
   int refresh_window(std::uint64_t version, Window& window);
 
+  /// Build and publish the attribution-shift report for a rising alarm
+  /// edge (stores last_shift_, bumps the event counter, emits the
+  /// drift.attribution warn log). Caller holds mutex_.
+  void emit_attribution_shift(std::uint64_t version);
+
   Options options_;
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, Pending> journal_;
   std::deque<std::uint64_t> journal_order_;  ///< FIFO eviction order.
   std::map<std::uint64_t, Window> windows_;  ///< Keyed by model version.
+  /// Rolling |contribution| windows per feature name, each capped at
+  /// 2 * drift_window (alarm chunk + baseline chunk).
+  std::map<std::string, std::deque<double>> attribution_;
+  AttributionShift last_shift_;  ///< Report of the latest event.
   AlarmHook alarm_hook_;  ///< Fired outside mutex_; set before traffic.
 };
 

@@ -138,9 +138,19 @@ Frame parse_predict(const JsonValue& root, std::string id) {
     (void)value;
     if (key != "id" && key != "src" && key != "dst" && key != "bytes" &&
         key != "files" && key != "dirs" && key != "concurrency" &&
-        key != "parallelism" && key != "deadline_ms" && key != "load")
+        key != "parallelism" && key != "deadline_ms" && key != "load" &&
+        key != "explain" && key != "top_k")
       reject("unknown field '" + key + "'");
   }
+
+  if (const JsonValue* explain = root.find("explain")) {
+    if (!explain->is_bool()) reject("'explain' must be a boolean");
+    frame.predict.explain = explain->boolean;
+  }
+  frame.predict.top_k =
+      static_cast<std::uint16_t>(integral_or(root, "top_k", 0, 0, 0xffff));
+  if (root.find("top_k") != nullptr && !frame.predict.explain)
+    reject("'top_k' is only valid with 'explain'");
 
   auto& transfer = frame.predict.transfer;
   transfer.src = static_cast<endpoint::EndpointId>(
@@ -236,10 +246,13 @@ bool parse_trace_id(const std::string& text, std::uint64_t& trace_id) {
   return true;
 }
 
-std::string predict_request_line(const std::string& id,
-                                 const core::PlannedTransfer& transfer,
-                                 const features::ContentionFeatures& load,
-                                 std::uint64_t deadline_ms) {
+namespace {
+
+std::string request_line(const std::string& id,
+                         const core::PlannedTransfer& transfer,
+                         const features::ContentionFeatures& load,
+                         std::uint64_t deadline_ms, bool explain,
+                         std::uint16_t top_k) {
   std::string out = "{";
   append_field(out, "id", id, /*quote=*/true);
   append_field(out, "src", std::to_string(transfer.src));
@@ -251,6 +264,10 @@ std::string predict_request_line(const std::string& id,
   append_field(out, "parallelism", std::to_string(transfer.parallelism));
   if (deadline_ms > 0)
     append_field(out, "deadline_ms", std::to_string(deadline_ms));
+  if (explain) {
+    append_field(out, "explain", "true");
+    if (top_k > 0) append_field(out, "top_k", std::to_string(top_k));
+  }
   if (any_load(load)) {
     std::string nested = "{";
     append_field(nested, "k_sout", json_number(load.k_sout));
@@ -268,6 +285,24 @@ std::string predict_request_line(const std::string& id,
   }
   out += "}\n";
   return out;
+}
+
+}  // namespace
+
+std::string predict_request_line(const std::string& id,
+                                 const core::PlannedTransfer& transfer,
+                                 const features::ContentionFeatures& load,
+                                 std::uint64_t deadline_ms) {
+  return request_line(id, transfer, load, deadline_ms, /*explain=*/false, 0);
+}
+
+std::string explain_request_line(const std::string& id,
+                                 const core::PlannedTransfer& transfer,
+                                 const features::ContentionFeatures& load,
+                                 std::uint64_t deadline_ms,
+                                 std::uint16_t top_k) {
+  return request_line(id, transfer, load, deadline_ms, /*explain=*/true,
+                      top_k);
 }
 
 std::string feedback_request_line(const std::string& id,
@@ -292,6 +327,62 @@ std::string predict_response(const std::string& id, double rate_mbps,
   append_field(out, "version", std::to_string(model_version));
   append_field(out, "trace_id", trace_id_string(trace_id), /*quote=*/true);
   append_field(out, "server_ms", json_number(server_ms));
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Feature indices ordered by |contribution| descending (ties keep the
+/// model's feature order), truncated to top_k when top_k > 0. Shared by
+/// the JSON and binary explain reply builders so both protocols agree on
+/// which contributions a truncated reply keeps.
+std::vector<std::size_t> attribution_order(
+    const std::vector<double>& contributions, std::uint16_t top_k) {
+  std::vector<std::size_t> order(contributions.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&contributions](std::size_t a, std::size_t b) {
+                     return std::abs(contributions[a]) >
+                            std::abs(contributions[b]);
+                   });
+  if (top_k > 0 && top_k < order.size()) order.resize(top_k);
+  return order;
+}
+
+}  // namespace
+
+std::string explain_response(const std::string& id,
+                             const core::RateExplanation& explanation,
+                             std::uint64_t model_version,
+                             std::uint64_t trace_id, double server_ms,
+                             std::uint16_t top_k) {
+  std::string out = "{";
+  append_field(out, "id", id, /*quote=*/true);
+  append_field(out, "ok", "true");
+  append_field(out, "rate_mbps", json_number(explanation.rate_mbps));
+  append_field(out, "raw_mbps", json_number(explanation.raw_mbps));
+  append_field(out, "bias_mbps", json_number(explanation.bias_mbps));
+  append_field(out, "low_mbps", json_number(explanation.low_mbps));
+  append_field(out, "high_mbps", json_number(explanation.high_mbps));
+  append_field(out, "model", explanation.edge_model ? "edge" : "global",
+               /*quote=*/true);
+  append_field(out, "version", std::to_string(model_version));
+  append_field(out, "trace_id", trace_id_string(trace_id), /*quote=*/true);
+  append_field(out, "server_ms", json_number(server_ms));
+  const auto order = attribution_order(explanation.contributions, top_k);
+  std::string entries = "[";
+  for (const std::size_t c : order) {
+    if (entries.back() != '[') entries.push_back(',');
+    std::string entry = "{";
+    append_field(entry, "feature", explanation.feature_names[c],
+                 /*quote=*/true);
+    append_field(entry, "mbps", json_number(explanation.contributions[c]));
+    entry.push_back('}');
+    entries += entry;
+  }
+  entries.push_back(']');
+  append_field(out, "contributions", entries);
   out += "}\n";
   return out;
 }
@@ -399,6 +490,7 @@ std::string stats_response(const std::string& id, const StatsReport& report) {
   append_field(out, "kernel", report.kernel, /*quote=*/true);
   append_field(out, "requests", std::to_string(report.requests));
   append_field(out, "rejected", std::to_string(report.rejected));
+  append_field(out, "uptime_seconds", json_number(report.uptime_seconds));
 
   std::string latency = "{";
   for (const auto& [stage, quantiles] : report.latency_us)
@@ -437,6 +529,32 @@ std::string stats_response(const std::string& id, const StatsReport& report) {
                std::to_string(report.drift_options.drift_min_samples));
   append_field(drift, "feedback", std::to_string(report.feedback_count));
   append_field(drift, "unmatched", std::to_string(report.feedback_unmatched));
+
+  const auto& shift = report.attribution_shift;
+  std::string shift_json = "{";
+  append_field(shift_json, "valid", shift.valid ? "true" : "false");
+  append_field(shift_json, "events_total", std::to_string(shift.events));
+  if (shift.valid) {
+    append_field(shift_json, "model_version",
+                 std::to_string(shift.model_version));
+    std::string ranked = "[";
+    for (const auto& entry : shift.ranked) {
+      if (ranked.back() != '[') ranked.push_back(',');
+      std::string item = "{";
+      append_field(item, "feature", entry.feature, /*quote=*/true);
+      append_field(item, "baseline_mean_mbps",
+                   json_number(entry.baseline_mean_mbps));
+      append_field(item, "alarm_mean_mbps",
+                   json_number(entry.alarm_mean_mbps));
+      append_field(item, "delta_mbps", json_number(entry.delta_mbps));
+      item.push_back('}');
+      ranked += item;
+    }
+    ranked.push_back(']');
+    append_field(shift_json, "ranked", ranked);
+  }
+  shift_json.push_back('}');
+  append_field(drift, "attribution_shift", shift_json);
   drift.push_back('}');
   append_field(out, "drift", drift);
 
@@ -584,7 +702,7 @@ BinaryDecode decode_binary_frame(std::string_view buffer) {
   }
   std::uint8_t type = 0;
   cursor.u8(type);
-  if (type > static_cast<std::uint8_t>(BinaryType::kError)) {
+  if (type > static_cast<std::uint8_t>(BinaryType::kExplainOk)) {
     result.status = BinaryDecode::Status::kBad;
     result.error = "unknown binary frame type " + std::to_string(type);
     return result;
@@ -597,12 +715,14 @@ BinaryDecode decode_binary_frame(std::string_view buffer) {
   return result;
 }
 
-std::string binary_predict_request(std::uint64_t id,
-                                   const core::PlannedTransfer& transfer,
-                                   const features::ContentionFeatures& load,
-                                   std::uint64_t deadline_ms) {
-  std::string out;
-  const std::size_t at = open_frame(out, BinaryType::kPredict);
+namespace {
+
+/// Shared body of kPredict / kExplain requests (everything between the
+/// frame header and the kExplain-only trailing top_k).
+void put_predict_payload(std::string& out, std::uint64_t id,
+                         const core::PlannedTransfer& transfer,
+                         const features::ContentionFeatures& load,
+                         std::uint64_t deadline_ms) {
   put_u64(out, id);
   put_u32(out, static_cast<std::uint32_t>(transfer.src));
   put_u32(out, static_cast<std::uint32_t>(transfer.dst));
@@ -621,11 +741,37 @@ std::string binary_predict_request(std::uint64_t id,
   put_u8(out, any ? kLoadFlag : 0);
   if (any)
     for (const double v : slots) put_f64(out, v);
+}
+
+}  // namespace
+
+std::string binary_predict_request(std::uint64_t id,
+                                   const core::PlannedTransfer& transfer,
+                                   const features::ContentionFeatures& load,
+                                   std::uint64_t deadline_ms) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kPredict);
+  put_predict_payload(out, id, transfer, load, deadline_ms);
   seal_frame(out, at);
   return out;
 }
 
-Frame parse_binary_predict(std::string_view payload) {
+std::string binary_explain_request(std::uint64_t id,
+                                   const core::PlannedTransfer& transfer,
+                                   const features::ContentionFeatures& load,
+                                   std::uint64_t deadline_ms,
+                                   std::uint16_t top_k) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kExplain);
+  put_predict_payload(out, id, transfer, load, deadline_ms);
+  put_u16(out, top_k);
+  seal_frame(out, at);
+  return out;
+}
+
+namespace {
+
+Frame parse_binary_predict_impl(std::string_view payload, bool explain) {
   Frame frame;
   frame.kind = Frame::Kind::kBad;
   frame.predict.binary = true;
@@ -691,6 +837,13 @@ Frame parse_binary_predict(std::string_view payload) {
     load.s_dout = slots[8];
     load.s_din = slots[9];
   }
+  if (explain) {
+    std::uint16_t top_k = 0;
+    if (!cursor.u16(top_k))
+      return reject("binary explain payload truncated before top_k");
+    frame.predict.explain = true;
+    frame.predict.top_k = top_k;
+  }
   if (cursor.remaining() != 0)
     return reject("binary predict payload has trailing bytes");
 
@@ -706,6 +859,16 @@ Frame parse_binary_predict(std::string_view payload) {
   return frame;
 }
 
+}  // namespace
+
+Frame parse_binary_predict(std::string_view payload) {
+  return parse_binary_predict_impl(payload, /*explain=*/false);
+}
+
+Frame parse_binary_explain(std::string_view payload) {
+  return parse_binary_predict_impl(payload, /*explain=*/true);
+}
+
 std::string binary_predict_response(std::uint64_t id, double rate_mbps,
                                     bool edge_model,
                                     std::uint64_t model_version,
@@ -719,6 +882,36 @@ std::string binary_predict_response(std::uint64_t id, double rate_mbps,
   put_u64(out, model_version);
   put_u64(out, trace_id);
   put_f64(out, server_ms);
+  seal_frame(out, at);
+  return out;
+}
+
+std::string binary_explain_response(std::uint64_t id,
+                                    const core::RateExplanation& explanation,
+                                    std::uint64_t model_version,
+                                    std::uint64_t trace_id, double server_ms,
+                                    std::uint16_t top_k) {
+  std::string out;
+  const std::size_t at = open_frame(out, BinaryType::kExplainOk);
+  put_u64(out, id);
+  put_f64(out, explanation.rate_mbps);
+  put_u8(out, explanation.edge_model ? kEdgeFlag : 0);
+  put_u64(out, model_version);
+  put_u64(out, trace_id);
+  put_f64(out, server_ms);
+  put_f64(out, explanation.raw_mbps);
+  put_f64(out, explanation.bias_mbps);
+  put_f64(out, explanation.low_mbps);
+  put_f64(out, explanation.high_mbps);
+  const auto order = attribution_order(explanation.contributions, top_k);
+  put_u16(out, static_cast<std::uint16_t>(order.size()));
+  for (const std::size_t c : order) {
+    const std::string& name = explanation.feature_names[c];
+    const std::size_t name_len = std::min<std::size_t>(name.size(), 0xffff);
+    put_u16(out, static_cast<std::uint16_t>(name_len));
+    out.append(name.data(), name_len);
+    put_f64(out, explanation.contributions[c]);
+  }
   seal_frame(out, at);
   return out;
 }
@@ -767,6 +960,33 @@ BinaryPredictReply parse_binary_reply(BinaryType type,
         cursor.remaining() != 0)
       throw std::runtime_error("malformed binary predict response");
     reply.ok = true;
+    reply.edge_model = (flags & kEdgeFlag) != 0;
+    return reply;
+  }
+  if (type == BinaryType::kExplainOk) {
+    std::uint8_t flags = 0;
+    std::uint16_t entries = 0;
+    if (!cursor.u64(reply.id) || !cursor.f64(reply.rate_mbps) ||
+        !cursor.u8(flags) || !cursor.u64(reply.model_version) ||
+        !cursor.u64(reply.trace_id) || !cursor.f64(reply.server_ms) ||
+        !cursor.f64(reply.raw_mbps) || !cursor.f64(reply.bias_mbps) ||
+        !cursor.f64(reply.low_mbps) || !cursor.f64(reply.high_mbps) ||
+        !cursor.u16(entries))
+      throw std::runtime_error("malformed binary explain response");
+    reply.contributions.reserve(entries);
+    for (std::uint16_t e = 0; e < entries; ++e) {
+      std::uint16_t name_len = 0;
+      std::string name;
+      double mbps = 0.0;
+      if (!cursor.u16(name_len) || !cursor.bytes(name, name_len) ||
+          !cursor.f64(mbps))
+        throw std::runtime_error("malformed binary explain response");
+      reply.contributions.emplace_back(std::move(name), mbps);
+    }
+    if (cursor.remaining() != 0)
+      throw std::runtime_error("malformed binary explain response");
+    reply.ok = true;
+    reply.explained = true;
     reply.edge_model = (flags & kEdgeFlag) != 0;
     return reply;
   }

@@ -12,8 +12,9 @@
 //   u32 length | u8 type | payload[length - 1]      (little-endian)
 //
 // where `length` counts the type byte plus the payload. Type kPredict /
-// kPredictOk / kError carry packed predict traffic (doubles travel as
-// raw IEEE-754 bits, so binary replies are bit-identical to JSON ones);
+// kPredictOk / kExplain / kExplainOk / kError carry packed predict and
+// explain traffic (doubles travel as raw IEEE-754 bits, so binary
+// replies are bit-identical to JSON ones);
 // type kJson wraps one JSON document, so admin/feedback/stats reuse the
 // JSON grammar inside binary framing. The codec below is shared by the
 // server, the client, and the property tests: decode_binary_frame never
@@ -23,7 +24,10 @@
 // Request frames:
 //   predict:  {"id":ID, "src":N, "dst":N, "bytes":X, ["files":N],
 //              ["dirs":N], ["concurrency":N], ["parallelism":N],
-//              ["deadline_ms":N], ["load":{"k_sout":X, ... }]}
+//              ["deadline_ms":N], ["load":{"k_sout":X, ... }],
+//              ["explain":true], ["top_k":N]}   (explain: the response
+//              carries the per-feature Saabas attribution of the rate;
+//              top_k keeps only the N strongest contributions, 0 = all)
 //   feedback: {"id":ID, "feedback":"t17", "observed_mbps":X}
 //             (reports the observed average rate of a completed transfer
 //              back to the prediction it was scheduled on, by trace id)
@@ -82,6 +86,10 @@ struct PredictRequest {
   core::PlannedTransfer transfer;
   features::ContentionFeatures load;
   std::uint64_t deadline_ms = 0;  ///< 0 = no deadline.
+  /// Explain request: the response carries the Saabas attribution of the
+  /// prediction (top_k strongest contributions; 0 = all features).
+  bool explain = false;
+  std::uint16_t top_k = 0;
   /// Arrived as a packed binary frame; the response must be packed too.
   bool binary = false;
   std::uint64_t binary_id = 0;  ///< Wire id of a binary request.
@@ -127,6 +135,14 @@ std::string predict_request_line(const std::string& id,
                                  const features::ContentionFeatures& load = {},
                                  std::uint64_t deadline_ms = 0);
 
+/// Serialise an explain request (client side): a predict request with
+/// "explain":true and, when top_k > 0, "top_k".
+std::string explain_request_line(const std::string& id,
+                                 const core::PlannedTransfer& transfer,
+                                 const features::ContentionFeatures& load = {},
+                                 std::uint64_t deadline_ms = 0,
+                                 std::uint16_t top_k = 0);
+
 /// Serialise a feedback request (client side).
 std::string feedback_request_line(const std::string& id,
                                   const std::string& trace_id,
@@ -154,6 +170,8 @@ struct StatsReport {
   std::string kernel;
   std::uint64_t requests = 0;
   std::uint64_t rejected = 0;
+  /// Seconds since the server started accepting connections.
+  double uptime_seconds = 0.0;
   /// Stage latency quantiles, microseconds: name -> summary.
   std::vector<std::pair<std::string, StageQuantiles>> latency_us;
   /// Batch size distribution (rows per predict batch).
@@ -167,6 +185,10 @@ struct StatsReport {
   std::uint64_t feedback_count = 0;
   std::uint64_t feedback_unmatched = 0;
   std::map<std::uint64_t, ServeMonitor::VersionStats> versions;
+  /// Last attribution-shift report (valid == false until the first
+  /// drift.attribution event fires); serialised under "drift" as
+  /// "attribution_shift".
+  ServeMonitor::AttributionShift attribution_shift;
   /// Raw Registry::to_json() output, spliced under "metrics" when the
   /// request set "registry":true. Empty = omitted.
   std::string registry_json;
@@ -179,6 +201,16 @@ struct StatsReport {
 std::string predict_response(const std::string& id, double rate_mbps,
                              bool edge_model, std::uint64_t model_version,
                              std::uint64_t trace_id, double server_ms);
+/// Explain success: the predict response plus raw/bias/interval and the
+/// top_k strongest contributions (0 = all), each {"feature","mbps"},
+/// ordered by |mbps| descending (ties by feature index). With top_k == 0
+/// the entries summed in ascending feature order plus bias_mbps (added
+/// last) rebuild raw_mbps bit-exactly after a %.17g round trip.
+std::string explain_response(const std::string& id,
+                             const core::RateExplanation& explanation,
+                             std::uint64_t model_version,
+                             std::uint64_t trace_id, double server_ms,
+                             std::uint16_t top_k);
 std::string error_response(const std::string& id, const char* code,
                            const std::string& message);
 /// Predict-path error: carries the trace id + server time like a success.
@@ -206,6 +238,8 @@ enum class BinaryType : std::uint8_t {
   kPredict = 1,    ///< Packed predict request.
   kPredictOk = 2,  ///< Packed predict success response.
   kError = 3,      ///< Packed error response.
+  kExplain = 4,    ///< Packed explain request (predict + u16 top_k).
+  kExplainOk = 5,  ///< Packed explain success response.
 };
 
 /// Result of scanning a byte buffer for one binary frame.
@@ -234,11 +268,23 @@ std::string binary_predict_request(std::uint64_t id,
                                    const features::ContentionFeatures& load = {},
                                    std::uint64_t deadline_ms = 0);
 
+/// Serialise one packed explain request: the predict payload with a
+/// trailing u16 top_k (0 = all features).
+std::string binary_explain_request(std::uint64_t id,
+                                   const core::PlannedTransfer& transfer,
+                                   const features::ContentionFeatures& load = {},
+                                   std::uint64_t deadline_ms = 0,
+                                   std::uint16_t top_k = 0);
+
 /// Decode a kPredict payload with the same strictness as the JSON path
 /// (range/finite checks). Malformed payloads yield kind kBad with the
 /// wire id preserved (when readable) so the error stays correlatable;
 /// never throws.
 Frame parse_binary_predict(std::string_view payload);
+
+/// Decode a kExplain payload (parse_binary_predict plus the trailing
+/// top_k); the frame comes back with predict.explain set.
+Frame parse_binary_explain(std::string_view payload);
 
 /// Serialise packed predict responses (server side).
 std::string binary_predict_response(std::uint64_t id, double rate_mbps,
@@ -249,12 +295,21 @@ std::string binary_error_response(std::uint64_t id, const char* code,
                                   const std::string& message,
                                   std::uint64_t trace_id = 0,
                                   double server_ms = 0.0);
+/// Packed explain success: the kPredictOk fields plus raw/bias/interval
+/// and the top_k strongest (u16 name_len, name, f64 mbps) contribution
+/// entries — doubles as raw IEEE-754 bits, so with top_k == 0 the
+/// decoded entries rebuild raw_mbps bit-exactly (see explain_response).
+std::string binary_explain_response(std::uint64_t id,
+                                    const core::RateExplanation& explanation,
+                                    std::uint64_t model_version,
+                                    std::uint64_t trace_id, double server_ms,
+                                    std::uint16_t top_k);
 
 /// Wrap one JSON document (trailing newline optional, stripped) in a
 /// kJson frame, for admin/feedback traffic on a binary connection.
 std::string binary_json_frame(std::string_view json_document);
 
-/// A decoded kPredictOk / kError payload (client side).
+/// A decoded kPredictOk / kExplainOk / kError payload (client side).
 struct BinaryPredictReply {
   std::uint64_t id = 0;
   bool ok = false;
@@ -265,6 +320,13 @@ struct BinaryPredictReply {
   double server_ms = 0.0;
   std::string error;    ///< Error code when !ok.
   std::string message;
+  // kExplainOk only: attribution block (see binary_explain_response).
+  bool explained = false;
+  double raw_mbps = 0.0;
+  double bias_mbps = 0.0;
+  double low_mbps = 0.0;
+  double high_mbps = 0.0;
+  std::vector<std::pair<std::string, double>> contributions;
 };
 
 /// Decode a reply payload; throws std::runtime_error on malformed input

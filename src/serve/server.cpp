@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
@@ -26,6 +27,7 @@ namespace {
 struct ServerMetrics {
   obs::Counter& accepted = obs::counter("serve.conn.accepted");
   obs::Gauge& active = obs::gauge("serve.conn.active");
+  obs::Gauge& uptime = obs::gauge("serve.uptime_seconds");
   obs::Counter& frame_timeouts = obs::counter("serve.conn.frame_timeout");
   obs::Counter& binary_upgrades = obs::counter("serve.conn.binary");
   obs::Counter& requests = obs::counter("serve.request.count");
@@ -64,6 +66,20 @@ StageQuantiles stage_quantiles(const char* name) {
 /// A write buffer past this limit means the peer stopped reading long
 /// ago; treat it like a dead socket instead of buffering without bound.
 constexpr std::size_t kMaxOutBufferBytes = 8u << 20;
+
+// Build provenance surfaced in the startup log so a log reader can tell
+// which toolchain and flags produced the binary answering on this port.
+#if defined(__clang__)
+constexpr const char* kCompiler = "clang";
+#elif defined(__GNUC__)
+constexpr const char* kCompiler = "gcc";
+#else
+constexpr const char* kCompiler = "unknown";
+#endif
+
+#ifndef XFL_BUILD_FLAGS
+#define XFL_BUILD_FLAGS ""
+#endif
 
 /// Resolve Options::shards == 0 (auto) before the batcher is built.
 PredictionServer::Options normalize(PredictionServer::Options options) {
@@ -227,12 +243,25 @@ void PredictionServer::start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
   poll_thread_ = std::thread([this] { poll_loop(); });
+  start_us_ = obs::monotonic_us();
+  server_metrics().uptime.set(0.0);
   XFL_LOG(info) << "prediction server listening"
                 << obs::kv("address", options_.bind_address)
                 << obs::kv("port", port_)
                 << obs::kv("max_batch", options_.max_batch)
                 << obs::kv("queue_capacity", options_.queue_capacity)
                 << obs::kv("shards", batcher_.shard_count())
+                << obs::kv("kernel",
+                           host_.snapshot().predictor->serving_kernel());
+  XFL_LOG(info) << "prediction server build info"
+                << obs::kv("compiler", kCompiler)
+                << obs::kv("compiler_version", __VERSION__)
+                << obs::kv("flags", XFL_BUILD_FLAGS)
+#ifdef NDEBUG
+                << obs::kv("assertions", "off")
+#else
+                << obs::kv("assertions", "on")
+#endif
                 << obs::kv("kernel",
                            host_.snapshot().predictor->serving_kernel());
 }
@@ -487,6 +516,9 @@ void PredictionServer::process_input(
         case BinaryType::kPredict:
           frame = parse_binary_predict(decoded.payload);
           break;
+        case BinaryType::kExplain:
+          frame = parse_binary_explain(decoded.payload);
+          break;
         case BinaryType::kJson:
           frame = parse_frame(std::string(decoded.payload));
           break;
@@ -557,6 +589,7 @@ void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
   BatchItem item;
   item.transfer = frame.predict.transfer;
   item.load = frame.predict.load;
+  item.explain = frame.predict.explain;
   item.trace_id = trace_id;
   item.received_us = received_us;
   if (frame.predict.deadline_ms > 0)
@@ -568,11 +601,12 @@ void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
   const bool wrap = conn->binary;
   const std::uint64_t wire_id = frame.predict.binary_id;
   const std::string id = frame.predict.id;
+  const std::uint16_t top_k = frame.predict.top_k;
   conn->in_flight.fetch_add(1, std::memory_order_relaxed);
   // `this` outlives every callback: stop() drains the batcher before the
   // server (and its monitor) is torn down.
   item.done = [this, conn, id, wire_id, packed, wrap, trace_id, received_us,
-               transfer = frame.predict.transfer,
+               top_k, transfer = frame.predict.transfer,
                load = frame.predict.load](const PredictOutcome& outcome) {
     auto& m = server_metrics();
     const std::uint64_t server_us = obs::monotonic_us() - received_us;
@@ -583,15 +617,24 @@ void PredictionServer::handle_frame(const std::shared_ptr<Connection>& conn,
       m.ok.add(1);
       monitor_.record_prediction(trace_id, outcome.rate_mbps,
                                  outcome.model_version, transfer, load);
-      response = packed
-                     ? binary_predict_response(wire_id, outcome.rate_mbps,
-                                               outcome.edge_model,
-                                               outcome.model_version,
-                                               trace_id, server_ms)
-                     : predict_response(id, outcome.rate_mbps,
-                                        outcome.edge_model,
-                                        outcome.model_version, trace_id,
-                                        server_ms);
+      if (outcome.explained)
+        response = packed
+                       ? binary_explain_response(wire_id, outcome.explanation,
+                                                 outcome.model_version,
+                                                 trace_id, server_ms, top_k)
+                       : explain_response(id, outcome.explanation,
+                                          outcome.model_version, trace_id,
+                                          server_ms, top_k);
+      else
+        response = packed
+                       ? binary_predict_response(wire_id, outcome.rate_mbps,
+                                                 outcome.edge_model,
+                                                 outcome.model_version,
+                                                 trace_id, server_ms)
+                       : predict_response(id, outcome.rate_mbps,
+                                          outcome.edge_model,
+                                          outcome.model_version, trace_id,
+                                          server_ms);
     } else {
       m.errors.add(1);
       response = packed
@@ -665,6 +708,27 @@ void PredictionServer::flush_predict_burst(
 void PredictionServer::handle_feedback(
     const std::shared_ptr<Connection>& conn,
     const FeedbackRequest& feedback) {
+  // Explained BEFORE the join consumes the journal entry: feedback
+  // arrives orders of magnitude below predict rate, so one single-row
+  // attribution walk per join is cheap, and recording it first means the
+  // alarm edge the join may trigger sees this sample's contributions in
+  // its window — the drift.attribution report includes the observation
+  // that tripped it.
+  core::PlannedTransfer joined_transfer;
+  features::ContentionFeatures joined_load;
+  if (monitor_.lookup(feedback.trace_id, joined_transfer, joined_load)) {
+    try {
+      const auto explained = host_.snapshot().predictor->explain_rates_mbps(
+          std::span(&joined_transfer, 1), std::span(&joined_load, 1));
+      if (!explained.empty())
+        monitor_.record_attribution(explained.front().feature_names,
+                                    explained.front().contributions);
+    } catch (const std::exception& error) {
+      XFL_LOG(warn) << "feedback attribution failed"
+                    << obs::kv("trace_id", feedback.trace_id)
+                    << obs::kv("what", error.what());
+    }
+  }
   // Joined inline on the poll thread: one mutex-guarded map join, far
   // cheaper than a predict — no reason to batch it.
   const ServeMonitor::FeedbackResult result =
@@ -693,6 +757,11 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
     report.kernel = host_.snapshot().predictor->serving_kernel();
     report.requests = metrics.requests.value();
     report.rejected = metrics.overloaded.value() + metrics.bad.value();
+    report.uptime_seconds =
+        start_us_ == 0
+            ? 0.0
+            : static_cast<double>(obs::monotonic_us() - start_us_) / 1.0e6;
+    metrics.uptime.set(report.uptime_seconds);
     report.latency_us = {
         {"server", stage_quantiles("serve.request.server_us")},
         {"parse", stage_quantiles("serve.request.parse_us")},
@@ -711,6 +780,7 @@ void PredictionServer::handle_admin(const std::shared_ptr<Connection>& conn,
     report.feedback_unmatched =
         obs::counter("serve.feedback.unmatched").value();
     report.versions = monitor_.version_stats();
+    report.attribution_shift = monitor_.last_shift();
     if (admin.registry)
       report.registry_json = obs::Registry::instance().to_json();
     send_response(conn, stats_response(admin.id, report));

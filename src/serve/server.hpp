@@ -174,6 +174,8 @@ class PredictionServer {
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  ///< eventfd the workers poke to re-arm writes.
   std::uint16_t port_ = 0;
+  /// obs::monotonic_us() at start(); stats derives uptime_seconds from it.
+  std::uint64_t start_us_ = 0;
   std::thread poll_thread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> flush_and_exit_{false};

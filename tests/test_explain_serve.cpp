@@ -1,0 +1,398 @@
+// End-to-end contracts for the explanation protocol and the
+// attribution-shift telemetry:
+//   - an "explain" request over live TCP answers with the same rate bits
+//     as a plain predict, plus per-feature contributions that match a
+//     direct TransferPredictor::explain_rates_mbps call EXACTLY (the
+//     %.17g wire is lossless);
+//   - top_k truncates to the strongest contributions in the server's
+//     ranked order, identically in JSON and binary framing;
+//   - the binary kExplain/kExplainOk frames are bit-identical to the
+//     JSON path;
+//   - when the drift alarm rises, the monitor emits a structured
+//     drift.attribution event ranking which features' mean
+//     |contribution| moved most between the alarm window and the
+//     preceding baseline — with the perturbed feature first;
+//   - serve startup logs build info and stats exports uptime_seconds.
+// Carries the tier2-explain label; check-explain re-runs it under TSan
+// and ASan+UBSan like the other serve suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/predictor.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/model_host.hpp"
+#include "serve/monitor.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "sim/scenario.hpp"
+
+namespace xfl::serve {
+namespace {
+
+const logs::LogStore& shared_log() {
+  static const logs::LogStore log = [] {
+    sim::EsnetConfig config;
+    config.transfers = 1200;
+    config.duration_s = 2.0 * 86400.0;
+    config.seed = 17;
+    return sim::make_esnet_testbed(config).run().log;
+  }();
+  return log;
+}
+
+std::shared_ptr<const core::TransferPredictor> shared_model() {
+  static const auto predictor = [] {
+    core::TransferPredictor::Options options;
+    options.min_edge_transfers = 50;
+    options.gbt.trees = 40;
+    auto p = std::make_shared<core::TransferPredictor>(options);
+    p->fit(shared_log());
+    return p;
+  }();
+  return predictor;
+}
+
+std::vector<core::PlannedTransfer> transfer_mix() {
+  std::vector<core::PlannedTransfer> mix;
+  for (int i = 0; i < 12; ++i) {
+    core::PlannedTransfer planned;
+    planned.src = static_cast<endpoint::EndpointId>(i % 2 == 0 ? 0 : 2);
+    planned.dst = static_cast<endpoint::EndpointId>(i % 3 == 0 ? 1 : 3);
+    planned.bytes = (1.0 + i) * 5.0 * kGB;
+    planned.files = static_cast<std::uint64_t>(1 + i * 3);
+    planned.dirs = static_cast<std::uint64_t>(1 + i % 4);
+    planned.concurrency = static_cast<std::uint32_t>(1 + i % 8);
+    planned.parallelism = static_cast<std::uint32_t>(1 + (i * 5) % 8);
+    mix.push_back(planned);
+  }
+  return mix;
+}
+
+struct RunningServer {
+  explicit RunningServer(PredictionServer::Options options = {}) {
+    host = std::make_unique<ModelHost>(shared_model());
+    server = std::make_unique<PredictionServer>(*host, options);
+    server->start();
+  }
+  std::unique_ptr<ModelHost> host;
+  std::unique_ptr<PredictionServer> server;
+};
+
+/// Captures log output through a tmpfile sink, restoring the default
+/// configuration afterwards (the test_obs idiom).
+class LogCapture {
+ public:
+  explicit LogCapture(obs::LogLevel level) {
+    file_ = std::tmpfile();
+    obs::configure_logging({level, /*json=*/false, file_});
+  }
+  ~LogCapture() {
+    obs::configure_logging({});
+    std::fclose(file_);
+  }
+  std::string text() const {
+    std::fflush(file_);
+    std::string out;
+    std::rewind(file_);
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, file_)) > 0)
+      out.append(buffer, n);
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+/// Ground truth for a wire explanation: the same predictor the server
+/// snapshots, called directly.
+core::RateExplanation direct_explanation(const RunningServer& running,
+                                         const core::PlannedTransfer& t) {
+  const features::ContentionFeatures load;
+  const auto explained = running.host->snapshot().predictor->explain_rates_mbps(
+      std::span(&t, 1), std::span(&load, 1));
+  return explained.front();
+}
+
+// ------------------------------------------------------------ wire paths
+
+TEST(ExplainServeE2E, JsonExplainMatchesDirectComputationExactly) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  for (const auto& transfer : transfer_mix()) {
+    const auto predicted = client.predict(transfer);
+    ASSERT_TRUE(predicted.ok);
+
+    const auto reply = client.explain(transfer);
+    ASSERT_TRUE(reply.ok);
+    ASSERT_FALSE(reply.trace_id.empty());
+
+    // The explained rate is the rate — same bits as the plain predict
+    // path for the same inputs.
+    EXPECT_EQ(reply.rate_mbps, predicted.rate_mbps);
+    EXPECT_EQ(reply.model, predicted.model);
+
+    // Every contribution equals the direct computation bit-for-bit; the
+    // %.17g wire format is lossless for doubles.
+    const auto direct = direct_explanation(running, transfer);
+    EXPECT_EQ(reply.raw_mbps, direct.raw_mbps);
+    EXPECT_EQ(reply.bias_mbps, direct.bias_mbps);
+    EXPECT_EQ(reply.low_mbps, direct.low_mbps);
+    EXPECT_EQ(reply.high_mbps, direct.high_mbps);
+    ASSERT_EQ(reply.contributions.size(), direct.feature_names.size());
+    std::map<std::string, double> expected;
+    for (std::size_t c = 0; c < direct.feature_names.size(); ++c)
+      expected[direct.feature_names[c]] = direct.contributions[c];
+    double previous = std::numeric_limits<double>::infinity();
+    for (const auto& [feature, mbps] : reply.contributions) {
+      const auto found = expected.find(feature);
+      ASSERT_NE(found, expected.end()) << "unknown feature " << feature;
+      EXPECT_EQ(mbps, found->second) << feature;
+      expected.erase(found);
+      // Ranked order: |contribution| descending on the wire.
+      EXPECT_LE(std::abs(mbps), previous) << feature;
+      previous = std::abs(mbps);
+    }
+    EXPECT_TRUE(expected.empty());  // Full reply covers every feature.
+  }
+}
+
+TEST(ExplainServeE2E, TopKKeepsTheStrongestContributions) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+  const auto transfer = transfer_mix().front();
+
+  const auto full = client.explain(transfer);
+  ASSERT_TRUE(full.ok);
+  ASSERT_GT(full.contributions.size(), 3u);
+
+  const auto top3 = client.explain(transfer, {}, 0, 3);
+  ASSERT_TRUE(top3.ok);
+  ASSERT_EQ(top3.contributions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(top3.contributions[i].first, full.contributions[i].first);
+    EXPECT_EQ(top3.contributions[i].second, full.contributions[i].second);
+  }
+  // Truncation never changes the scalar fields.
+  EXPECT_EQ(top3.rate_mbps, full.rate_mbps);
+  EXPECT_EQ(top3.raw_mbps, full.raw_mbps);
+  EXPECT_EQ(top3.bias_mbps, full.bias_mbps);
+
+  // A top_k beyond the feature count returns everything.
+  const auto wide = client.explain(transfer, {}, 0, 999);
+  ASSERT_TRUE(wide.ok);
+  EXPECT_EQ(wide.contributions.size(), full.contributions.size());
+}
+
+TEST(ExplainServeE2E, BinaryExplainBitIdenticalToJson) {
+  RunningServer running;
+  PredictionClient json_client("127.0.0.1", running.server->port());
+  PredictionClient binary_client("127.0.0.1", running.server->port());
+  binary_client.negotiate_binary();
+
+  for (const auto& transfer : transfer_mix()) {
+    const auto json_reply = json_client.explain(transfer, {}, 0, 5);
+    const auto packed_reply = binary_client.explain(transfer, {}, 0, 5);
+    ASSERT_TRUE(json_reply.ok);
+    ASSERT_TRUE(packed_reply.ok);
+    EXPECT_EQ(packed_reply.rate_mbps, json_reply.rate_mbps);
+    EXPECT_EQ(packed_reply.raw_mbps, json_reply.raw_mbps);
+    EXPECT_EQ(packed_reply.bias_mbps, json_reply.bias_mbps);
+    EXPECT_EQ(packed_reply.low_mbps, json_reply.low_mbps);
+    EXPECT_EQ(packed_reply.high_mbps, json_reply.high_mbps);
+    EXPECT_EQ(packed_reply.model, json_reply.model);
+    EXPECT_EQ(packed_reply.contributions, json_reply.contributions);
+  }
+}
+
+TEST(ExplainServeE2E, MixedPredictAndExplainShareOneBatchQueue) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+  // Interleave predict and explain on one connection: both ride the same
+  // batcher and must answer consistently (the partition scatter puts
+  // every rate back in its request's slot).
+  const auto mix = transfer_mix();
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    const auto predicted = client.predict(mix[i]);
+    const auto explained = client.explain(mix[i]);
+    ASSERT_TRUE(predicted.ok);
+    ASSERT_TRUE(explained.ok);
+    EXPECT_EQ(explained.rate_mbps, predicted.rate_mbps) << "row " << i;
+  }
+  EXPECT_GE(obs::counter("serve.batch.explain_rows").value(), mix.size());
+}
+
+TEST(ExplainServeE2E, TopKWithoutExplainIsAStructuredError) {
+  RunningServer running;
+  PredictionClient client("127.0.0.1", running.server->port());
+  client.send_line(
+      "{\"cmd\":\"predict\",\"id\":\"1\",\"src\":0,\"dst\":1,"
+      "\"bytes\":1e9,\"top_k\":3}");
+  const auto reply = PredictionClient::parse_reply(client.read_line());
+  EXPECT_FALSE(reply.ok);
+  EXPECT_FALSE(reply.error.empty());
+}
+
+// --------------------------------------------------- attribution shift
+
+TEST(ServeMonitorUnit, AttributionShiftRanksTheMovedFeatureFirst) {
+  ServeMonitor::Options options;
+  options.drift_window = 4;
+  options.drift_threshold_pct = 30.0;
+  options.drift_min_samples = 2;
+  ServeMonitor monitor(options);
+
+  const std::vector<std::string> names = {"quiet", "mover"};
+  const std::uint64_t events_before =
+      obs::counter("serve.drift.attribution_events").value();
+
+  LogCapture capture(obs::LogLevel::kDebug);
+  std::uint64_t trace = 0;
+  const auto feed = [&](double quiet, double mover, double predicted,
+                        double observed) {
+    monitor.record_prediction(++trace, predicted, 1);
+    const std::vector<double> contributions = {quiet, mover};
+    monitor.record_attribution(names, contributions);
+    return monitor.record_feedback(trace, observed);
+  };
+
+  // Baseline: accurate predictions, |contribution| means quiet=5, mover=1.
+  for (int i = 0; i < 4; ++i) feed(5.0, 1.0, 100.0, 100.0);
+  EXPECT_FALSE(monitor.alarm_active());
+  EXPECT_FALSE(monitor.last_shift().valid);
+
+  // Drift: mover's attribution jumps by 20, quiet moves by 1, and the
+  // predictions go bad so the alarm rises within the window. The edge
+  // fires at the SECOND drifted join — the window is then
+  // [0%, 0%, 100%, 100%], median 50% > threshold — so the alarm chunk
+  // captured by the shift is [baseline, baseline, drifted, drifted]:
+  // mover mean (1 + 1 + 21 + 21) / 4 = 11, quiet (5 + 5 + 6 + 6) / 4 =
+  // 5.5, against baseline means 1 and 5.
+  for (int i = 0; i < 4; ++i) feed(6.0, 21.0, 200.0, 100.0);
+  ASSERT_TRUE(monitor.alarm_active());
+
+  const auto shift = monitor.last_shift();
+  ASSERT_TRUE(shift.valid);
+  EXPECT_EQ(shift.model_version, 1u);
+  EXPECT_EQ(shift.events, 1u);
+  ASSERT_EQ(shift.ranked.size(), 2u);
+  EXPECT_EQ(shift.ranked[0].feature, "mover");
+  EXPECT_EQ(shift.ranked[0].baseline_mean_mbps, 1.0);
+  EXPECT_EQ(shift.ranked[0].alarm_mean_mbps, 11.0);
+  EXPECT_EQ(shift.ranked[0].delta_mbps, 10.0);
+  EXPECT_EQ(shift.ranked[1].feature, "quiet");
+  EXPECT_EQ(shift.ranked[1].baseline_mean_mbps, 5.0);
+  EXPECT_EQ(shift.ranked[1].alarm_mean_mbps, 5.5);
+  EXPECT_EQ(shift.ranked[1].delta_mbps, 0.5);
+
+  EXPECT_EQ(obs::counter("serve.drift.attribution_events").value(),
+            events_before + 1);
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("drift.attribution"), std::string::npos) << text;
+  EXPECT_NE(text.find("mover"), std::string::npos) << text;
+}
+
+TEST(ExplainServeE2E, DriftAttributionEventNamesThePerturbedFeature) {
+  PredictionServer::Options options;
+  options.monitor.drift_window = 6;
+  options.monitor.drift_threshold_pct = 30.0;
+  options.monitor.drift_min_samples = 4;
+  RunningServer running(options);
+  PredictionClient client("127.0.0.1", running.server->port());
+
+  const std::uint64_t events_before =
+      obs::counter("serve.drift.attribution_events").value();
+
+  core::PlannedTransfer steady;
+  steady.src = 0;
+  steady.dst = 1;
+  steady.bytes = 5.0 * kGB;
+  steady.files = 8;
+  steady.dirs = 2;
+  steady.concurrency = 4;
+  steady.parallelism = 4;
+
+  const auto feed = [&](const core::PlannedTransfer& transfer,
+                        double factor) {
+    const auto reply = client.predict(transfer);
+    ASSERT_TRUE(reply.ok);
+    const auto feedback =
+        client.feedback(reply.trace_id, reply.rate_mbps * factor);
+    ASSERT_TRUE(feedback.matched);
+  };
+
+  LogCapture capture(obs::LogLevel::kDebug);
+  // Baseline: the steady workload with accurate feedback.
+  for (int i = 0; i < 6; ++i) feed(steady, 1.02);
+  EXPECT_FALSE(running.server->monitor().last_shift().valid);
+
+  // Regime change: the transfer size explodes four orders of magnitude
+  // and the observed rate collapses. The alarm rises, and the
+  // attribution shift must finger `Nb`, the byte-count feature — the
+  // input that moved.
+  core::PlannedTransfer huge = steady;
+  huge.bytes = steady.bytes * 1.0e4;
+  for (int i = 0; i < 6; ++i) feed(huge, 0.5);
+
+  const auto shift = running.server->monitor().last_shift();
+  ASSERT_TRUE(shift.valid);
+  ASSERT_FALSE(shift.ranked.empty());
+  EXPECT_EQ(shift.ranked.front().feature, "Nb");
+  EXPECT_GT(std::abs(shift.ranked.front().delta_mbps), 0.0);
+  EXPECT_EQ(obs::counter("serve.drift.attribution_events").value(),
+            events_before + 1);
+
+  // The event is a structured log line naming the top feature...
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("drift.attribution"), std::string::npos) << text;
+  EXPECT_NE(text.find("top_feature"), std::string::npos) << text;
+
+  // ...and the stats admin reply carries the full ranking.
+  const auto stats = client.stats();
+  const auto* drift = stats.find("drift");
+  ASSERT_NE(drift, nullptr);
+  const auto* wire_shift = drift->find("attribution_shift");
+  ASSERT_NE(wire_shift, nullptr);
+  EXPECT_TRUE(wire_shift->find("valid")->boolean);
+  EXPECT_GE(wire_shift->find("events_total")->number, 1.0);
+  const auto* ranked = wire_shift->find("ranked");
+  ASSERT_NE(ranked, nullptr);
+  ASSERT_FALSE(ranked->array.empty());
+  EXPECT_EQ(ranked->array.front().find("feature")->string, "Nb");
+}
+
+// ------------------------------------------------------ startup & stats
+
+TEST(ExplainServeE2E, StartupLogsBuildInfoAndStatsExportUptime) {
+  LogCapture capture(obs::LogLevel::kInfo);
+  RunningServer running;
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("prediction server build info"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("compiler"), std::string::npos) << text;
+  EXPECT_NE(text.find("kernel"), std::string::npos) << text;
+
+  PredictionClient client("127.0.0.1", running.server->port());
+  const auto stats = client.stats();
+  const auto* uptime = stats.find("uptime_seconds");
+  ASSERT_NE(uptime, nullptr);
+  EXPECT_GE(uptime->number, 0.0);
+  EXPECT_GE(obs::gauge("serve.uptime_seconds").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace xfl::serve

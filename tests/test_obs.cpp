@@ -208,13 +208,22 @@ TEST(Metrics, QuantileInterpolatesWithinBucketResolution) {
 
 TEST(Metrics, QuantileEdgeCases) {
   xfl::obs::Histogram hist(xfl::obs::log_bucket_bounds(1.0, 100.0, 2.0));
-  EXPECT_EQ(hist.snapshot().quantile(50.0), 0.0) << "empty histogram";
+  // Empty snapshot: every quantile is 0, including the extremes.
+  const auto empty = hist.snapshot();
+  EXPECT_EQ(empty.quantile(50.0), 0.0) << "empty histogram";
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(100.0), 0.0);
   // A single sample: every quantile resolves inside its bucket.
   hist.record(10.0);
   const auto one = hist.snapshot();
   EXPECT_GT(one.quantile(50.0), 0.0);
   EXPECT_LE(one.quantile(50.0), 16.0);  // Bucket (8, 16] holds the sample.
   EXPECT_GT(one.quantile(50.0), 8.0);
+  // The extremes stay inside that one populated bucket too — q=0 and
+  // q=100 never step outside the instrumented range or invert.
+  EXPECT_LE(one.quantile(0.0), one.quantile(50.0));
+  EXPECT_LE(one.quantile(50.0), one.quantile(100.0));
+  EXPECT_LE(one.quantile(100.0), 16.0);
   // Overflow samples clamp to the highest finite bound instead of
   // inventing a value beyond the instrumented range.
   xfl::obs::Histogram overflow(xfl::obs::log_bucket_bounds(1.0, 100.0, 2.0));
@@ -222,6 +231,18 @@ TEST(Metrics, QuantileEdgeCases) {
   const auto snap = overflow.snapshot();
   EXPECT_EQ(snap.quantile(50.0), snap.upper_bounds.back());
   EXPECT_EQ(snap.quantile(99.0), snap.upper_bounds.back());
+  EXPECT_EQ(snap.quantile(0.0), snap.upper_bounds.back());
+  EXPECT_EQ(snap.quantile(100.0), snap.upper_bounds.back());
+  // A histogram with no finite bounds at all routes everything to the
+  // overflow bucket; quantiles must answer 0 rather than reading
+  // upper_bounds.back() of an empty vector.
+  xfl::obs::Histogram unbounded((std::vector<double>()));
+  for (int i = 0; i < 5; ++i) unbounded.record(123.0);
+  const auto bare = unbounded.snapshot();
+  EXPECT_EQ(bare.count, 5u);
+  EXPECT_EQ(bare.quantile(0.0), 0.0);
+  EXPECT_EQ(bare.quantile(50.0), 0.0);
+  EXPECT_EQ(bare.quantile(100.0), 0.0);
 }
 
 TEST(Metrics, RegistryExportsCarryQuantilesForPopulatedHistograms) {

@@ -51,6 +51,17 @@
 //                       worker: cycles, accept/reject counts, last gate
 //                       decision; --feedback joins an observed rate to the
 //                       prediction whose reply carried trace id TRACE)
+//   xferlearn explain  --port N [--host ADDR] --src ID --dst ID
+//                      --bytes BYTES [--files N] [--dirs N]
+//                      [--concurrency C] [--parallelism P]
+//                      [--deadline-ms N] [--top-k K] [--binary]
+//                      (asks the server for a prediction plus its Saabas
+//                       per-feature attribution: each feature's MB/s
+//                       contribution along the ensemble's decision paths,
+//                       summing with the bias bit-exactly to the raw
+//                       score; --top-k keeps only the K strongest
+//                       contributions, --binary drives the packed
+//                       kExplain frame instead of JSON)
 //   xferlearn serve-bench (--model model.txt | --log log.csv)
 //                      [--clients 1,4,16,64] [--seconds 2] [--max-batch N]
 //                      [--queue-cap N] [--shards N] [--src ID --dst ID]
@@ -169,8 +180,8 @@ class ArgList {
 int usage() {
   std::fprintf(stderr,
                "usage: xferlearn <simulate|analyze|train|evaluate|predict|"
-               "predict-batch|export-dataset|serve|request|serve-bench> "
-               "[options]\n"
+               "predict-batch|export-dataset|serve|request|explain|"
+               "serve-bench> [options]\n"
                "observability (any command): --log-level <level> --log-json "
                "--metrics-out <file> --trace-out <file> --print-metrics\n"
                "run `xferlearn <command>` with no options for details in "
@@ -630,18 +641,61 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double quote, and newline must be backslash-escaped or a
+/// real scraper rejects (or silently mis-parses) the whole family.
+std::string prometheus_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// HELP text: backslash and newline are the escapable characters there
+/// (quotes are legal verbatim). Our help strings embed the dotted
+/// registry name, which is caller-controlled, so escape defensively.
+std::string prometheus_help_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 /// Prometheus-style text exposition of a Registry::to_json() snapshot
 /// (the "metrics" field of a stats reply): counters and gauges as-is,
 /// histograms as cumulative _bucket/_sum/_count series plus quantile
-/// lines extracted by the server's streaming estimator.
+/// lines extracted by the server's streaming estimator. Each family
+/// carries # HELP and # TYPE headers and escaped label values, so the
+/// dump is valid scrape input for a real Prometheus server, not just
+/// eyeball output.
 void print_prometheus(const serve::JsonValue& metrics) {
+  const auto header = [](const std::string& prom, const std::string& name,
+                         const char* type) {
+    std::printf("# HELP %s %s\n# TYPE %s %s\n", prom.c_str(),
+                prometheus_help_text("xferlearn registry metric " + name)
+                    .c_str(),
+                prom.c_str(), type);
+  };
   if (const auto* counters = metrics.find("counters");
       counters && counters->is_object()) {
     for (const auto& [name, value] : counters->object) {
       if (!value.is_number()) continue;
       const std::string prom = prometheus_name(name);
-      std::printf("# TYPE %s counter\n%s %.0f\n", prom.c_str(), prom.c_str(),
-                  value.number);
+      header(prom, name, "counter");
+      std::printf("%s %.0f\n", prom.c_str(), value.number);
     }
   }
   if (const auto* gauges = metrics.find("gauges");
@@ -650,8 +704,8 @@ void print_prometheus(const serve::JsonValue& metrics) {
       const auto* value = entry.find("value");
       if (value == nullptr || !value->is_number()) continue;
       const std::string prom = prometheus_name(name);
-      std::printf("# TYPE %s gauge\n%s %.17g\n", prom.c_str(), prom.c_str(),
-                  value->number);
+      header(prom, name, "gauge");
+      std::printf("%s %.17g\n", prom.c_str(), value->number);
       if (const auto* max = entry.find("max"); max && max->is_number())
         std::printf("%s_max %.17g\n", prom.c_str(), max->number);
     }
@@ -660,7 +714,7 @@ void print_prometheus(const serve::JsonValue& metrics) {
       histograms && histograms->is_object()) {
     for (const auto& [name, entry] : histograms->object) {
       const std::string prom = prometheus_name(name);
-      std::printf("# TYPE %s histogram\n", prom.c_str());
+      header(prom, name, "histogram");
       double cumulative = 0.0;
       if (const auto* buckets = entry.find("buckets");
           buckets && buckets->is_array()) {
@@ -670,12 +724,14 @@ void print_prometheus(const serve::JsonValue& metrics) {
           if (le == nullptr || count == nullptr || !count->is_number())
             continue;
           cumulative += count->number;
-          if (le->is_number())
-            std::printf("%s_bucket{le=\"%.17g\"} %.0f\n", prom.c_str(),
-                        le->number, cumulative);
-          else
-            std::printf("%s_bucket{le=\"+Inf\"} %.0f\n", prom.c_str(),
-                        cumulative);
+          std::string le_text = "+Inf";
+          if (le->is_number()) {
+            char text[64];
+            std::snprintf(text, sizeof text, "%.17g", le->number);
+            le_text = text;
+          }
+          std::printf("%s_bucket{le=\"%s\"} %.0f\n", prom.c_str(),
+                      prometheus_label_value(le_text).c_str(), cumulative);
         }
       }
       if (const auto* sum = entry.find("sum"); sum && sum->is_number())
@@ -686,8 +742,8 @@ void print_prometheus(const serve::JsonValue& metrics) {
           {"p50", "0.5"}, {"p95", "0.95"}, {"p99", "0.99"}};
       for (const auto& [field, quantile] : quantiles) {
         if (const auto* q = entry.find(field); q && q->is_number())
-          std::printf("%s{quantile=\"%s\"} %.17g\n", prom.c_str(), quantile,
-                      q->number);
+          std::printf("%s{quantile=\"%s\"} %.17g\n", prom.c_str(),
+                      prometheus_label_value(quantile).c_str(), q->number);
       }
     }
   }
@@ -745,6 +801,21 @@ int cmd_request(const ArgList& args) {
                                                               : "clear",
                   feedback ? feedback->number : 0.0,
                   threshold ? threshold->number : 0.0);
+      if (const auto* shift = drift->find("attribution_shift")) {
+        const auto* valid = shift->find("valid");
+        const auto* ranked = shift->find("ranked");
+        if (valid && valid->is_bool() && valid->boolean && ranked &&
+            ranked->is_array() && !ranked->array.empty()) {
+          const auto& top = ranked->array.front();
+          const auto* feature = top.find("feature");
+          const auto* delta = top.find("delta_mbps");
+          std::printf("drift shift:   %s moved %+.1f MB/s mean "
+                      "|contribution| at the last alarm\n",
+                      feature && feature->is_string() ? feature->string.c_str()
+                                                      : "?",
+                      delta ? delta->number : 0.0);
+        }
+      }
     }
     if (const auto* metrics = stats.find("metrics")) {
       std::printf("-- prometheus --\n");
@@ -875,6 +946,69 @@ int cmd_request(const ArgList& args) {
                 "with `request --feedback %s --observed-mbps X`)\n",
                 reply.trace_id.c_str(), reply.server_ms,
                 reply.trace_id.c_str());
+  return 0;
+}
+
+/// One explained prediction from a running server: rate plus the Saabas
+/// per-feature attribution, printed so the sum structure is visible
+/// (bias + contributions = raw score, clamped to the serving floor).
+int cmd_explain(const ArgList& args) {
+  const auto port_value = args.value("--port");
+  const auto src = args.value("--src");
+  const auto dst = args.value("--dst");
+  const auto bytes = args.value("--bytes");
+  if (!port_value || !src || !dst || !bytes) {
+    std::fprintf(stderr,
+                 "error: --port, --src, --dst and --bytes are required\n");
+    return 2;
+  }
+  serve::PredictionClient client(
+      args.value_or("--host", "127.0.0.1"),
+      static_cast<std::uint16_t>(parse_number("--port", *port_value)));
+  if (args.flag("--binary")) client.negotiate_binary();
+
+  core::PlannedTransfer planned;
+  planned.src = static_cast<endpoint::EndpointId>(parse_number("--src", *src));
+  planned.dst = static_cast<endpoint::EndpointId>(parse_number("--dst", *dst));
+  planned.bytes = parse_number("--bytes", *bytes);
+  planned.files = static_cast<std::uint64_t>(args.number_or("--files", 1.0));
+  planned.dirs = static_cast<std::uint64_t>(args.number_or("--dirs", 1.0));
+  planned.concurrency =
+      static_cast<std::uint32_t>(args.number_or("--concurrency", 4.0));
+  planned.parallelism =
+      static_cast<std::uint32_t>(args.number_or("--parallelism", 4.0));
+  const auto deadline_ms =
+      static_cast<std::uint64_t>(args.number_or("--deadline-ms", 0.0));
+  const auto top_k =
+      static_cast<std::uint16_t>(args.number_or("--top-k", 0.0));
+
+  const auto reply = client.explain(planned, {}, deadline_ms, top_k);
+  if (!reply.ok) {
+    std::fprintf(stderr, "error: %s: %s\n", reply.error.c_str(),
+                 reply.message.c_str());
+    return 1;
+  }
+  std::printf("predicted rate: %.1f MB/s (%s model, version %llu)\n",
+              reply.rate_mbps, reply.model.c_str(),
+              static_cast<unsigned long long>(reply.model_version));
+  std::printf("raw score:      %.3f MB/s = bias %.3f + contributions\n",
+              reply.raw_mbps, reply.bias_mbps);
+  if (reply.low_mbps != 0.0 || reply.high_mbps != 0.0)
+    std::printf("interval:       [%.1f, %.1f] MB/s\n", reply.low_mbps,
+                reply.high_mbps);
+  std::printf("contributions (MB/s, strongest first%s):\n",
+              top_k > 0 ? ", truncated by --top-k" : "");
+  double shown_sum = 0.0;
+  for (const auto& [feature, mbps] : reply.contributions) {
+    std::printf("  %+12.3f  %s\n", mbps, feature.c_str());
+    shown_sum += mbps;
+  }
+  std::printf("  %+12.3f  (bias)\n", reply.bias_mbps);
+  std::printf("  %+12.3f  (sum of shown terms)\n",
+              shown_sum + reply.bias_mbps);
+  if (!reply.trace_id.empty())
+    std::printf("trace id: %s (server %.3f ms)\n", reply.trace_id.c_str(),
+                reply.server_ms);
   return 0;
 }
 
@@ -1176,6 +1310,7 @@ int run_command(const std::string& command, const ArgList& args) {
   if (command == "export-dataset") return cmd_export_dataset(args);
   if (command == "serve") return cmd_serve(args);
   if (command == "request") return cmd_request(args);
+  if (command == "explain") return cmd_explain(args);
   if (command == "serve-bench") return cmd_serve_bench(args);
   return usage();
 }
